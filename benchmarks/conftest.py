@@ -1,0 +1,18 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment from EXPERIMENTS.md (the
+executable form of the paper's claims), prints its table, and asserts the
+claim's *shape* — who wins, what is bounded by what, where the curve bends.
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def emit(table_text: str) -> None:
+    """Print an experiment table (visible with pytest -s)."""
+    print()
+    print(table_text)
+    print()

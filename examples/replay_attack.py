@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The Section 3 replay attack, live.
+
+Stages the paper's motivating scenario against two protocols:
+
+1. the "first modification" strawman — a three-packet handshake with one
+   fixed-size random string (here 5 bits, so the effect is visible in a
+   small run); and
+2. the real protocol, whose adaptive nonce extension defeats the attack.
+
+The attacker is *oblivious*: it sees only packet identifiers and lengths.
+It lets the link run long enough to archive many old data packets, crashes
+both stations, then floods the receiver with the archive.  Against the
+fixed nonce, some archived packet usually carries the receiver's fresh
+challenge; against the extending nonce, a couple of misses make the
+challenge outgrow every packet ever sent.
+
+Run:  python examples/replay_attack.py
+"""
+
+from __future__ import annotations
+
+from repro import SequentialWorkload, Simulator, check_all_safety, make_data_link
+from repro.adversary import ReplayAttacker
+from repro.analysis import fixed_nonce_replay_probability
+from repro.baselines import make_naive_handshake_link
+
+RUNS = 10
+HARVEST = 80
+
+
+def attack(build_link, label: str) -> None:
+    broken = 0
+    for seed in range(RUNS):
+        link = build_link(seed)
+        attacker = ReplayAttacker(harvest_messages=HARVEST, replay_rounds=6)
+        simulator = Simulator(
+            link, attacker, SequentialWorkload(240), seed=seed, max_steps=40_000
+        )
+        result = simulator.run()
+        report = check_all_safety(result.trace)
+        if not (report.no_replay.passed and report.no_duplication.passed):
+            broken += 1
+    print(f"{label:>24}: uniqueness broken in {broken}/{RUNS} runs")
+
+
+def main() -> None:
+    predicted = fixed_nonce_replay_probability(5, HARVEST)
+    print(f"archive size {HARVEST}, 5-bit fixed nonce -> predicted "
+          f"attack success {predicted:.0%}\n")
+
+    attack(
+        lambda seed: make_naive_handshake_link(nonce_bits=5, seed=seed),
+        "fixed 5-bit nonce",
+    )
+    attack(
+        lambda seed: make_data_link(epsilon=2.0 ** -12, seed=seed),
+        "paper protocol",
+    )
+
+    print("\nThe fixed-nonce handshake replays old messages; the adaptive")
+    print("extension (num/bound/size machinery of Appendix A) never does.")
+
+
+if __name__ == "__main__":
+    main()

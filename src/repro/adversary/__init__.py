@@ -1,0 +1,46 @@
+"""Adversaries (Section 2.4): worst-case and randomized fault schedules."""
+
+from repro.adversary.base import (
+    Adversary,
+    CrashReceiver,
+    CrashTransmitter,
+    Deliver,
+    Move,
+    Pass,
+    TriggerRetry,
+)
+from repro.adversary.benign import DelayedFifoAdversary, ReliableAdversary
+from repro.adversary.composite import MixtureAdversary, PhasedAdversary
+from repro.adversary.crash import CrashStormAdversary, ScheduledCrashAdversary
+from repro.adversary.fairness import FairnessEnforcer, StallingAdversary
+from repro.adversary.random_faults import (
+    DuplicateFloodAdversary,
+    FaultProfile,
+    RandomFaultAdversary,
+    ReorderAdversary,
+)
+from repro.adversary.replay import AttackPhase, ReplayAttacker
+
+__all__ = [
+    "Adversary",
+    "AttackPhase",
+    "CrashReceiver",
+    "CrashStormAdversary",
+    "CrashTransmitter",
+    "DelayedFifoAdversary",
+    "Deliver",
+    "DuplicateFloodAdversary",
+    "FairnessEnforcer",
+    "FaultProfile",
+    "MixtureAdversary",
+    "Move",
+    "Pass",
+    "PhasedAdversary",
+    "RandomFaultAdversary",
+    "ReliableAdversary",
+    "ReorderAdversary",
+    "ReplayAttacker",
+    "ScheduledCrashAdversary",
+    "StallingAdversary",
+    "TriggerRetry",
+]

@@ -1,0 +1,133 @@
+"""Adversary interface (Section 2.4) and the move vocabulary.
+
+The adversary is the *only* source of indeterminism in ``D(A, ADV)``: it
+decides which packets are delivered, when, how many times, and when the
+stations crash.  Its entire view of the system is the stream of
+``new_pkt(id, length)`` announcements — it is structurally oblivious to
+packet contents, which is the paper's one restriction on malice
+(Section 2.5).
+
+The simulator drives the adversary turn-by-turn: it forwards every
+:class:`~repro.channel.PacketInfo` via :meth:`Adversary.on_new_pkt` and
+repeatedly asks :meth:`Adversary.next_move` for one of the moves defined
+here.  Fairness (Axiom 3) and the infinitely-recurring RETRY assumption are
+imposed by the harness (see :mod:`repro.adversary.fairness`), mirroring the
+paper's treatment of them as *restrictions on the adversary*, not
+capabilities of the channel.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.channel.channel import PacketInfo
+from repro.core.events import ChannelId
+from repro.core.random_source import RandomSource
+
+__all__ = [
+    "Move",
+    "Deliver",
+    "CrashTransmitter",
+    "CrashReceiver",
+    "TriggerRetry",
+    "Pass",
+    "Adversary",
+]
+
+
+@dataclass(frozen=True)
+class Move:
+    """Base class for one adversary decision."""
+
+
+@dataclass(frozen=True)
+class Deliver(Move):
+    """``deliver_pkt(id)`` on the named channel.
+
+    The same id may be delivered any number of times; delivering an id the
+    channel never issued is an adversary bug and raises
+    :class:`~repro.core.exceptions.UnknownPacketError`.
+    """
+
+    channel: ChannelId
+    packet_id: int
+
+
+@dataclass(frozen=True)
+class CrashTransmitter(Move):
+    """``crash^T``: wipe the transmitting station's memory."""
+
+
+@dataclass(frozen=True)
+class CrashReceiver(Move):
+    """``crash^R``: wipe the receiving station's memory."""
+
+
+@dataclass(frozen=True)
+class TriggerRetry(Move):
+    """Schedule the receiver's internal RETRY action now.
+
+    RETRY is not an adversary action in the model — it is an internal action
+    assumed to recur forever — but its *interleaving* with deliveries is
+    part of the worst-case schedule, so adversaries may position it.  The
+    harness additionally forces a RETRY periodically regardless, so an
+    adversary cannot starve the assumption away.
+    """
+
+
+@dataclass(frozen=True)
+class Pass(Move):
+    """Do nothing this turn (the harness may force progress instead)."""
+
+
+class Adversary(ABC):
+    """Base class for adversarial schedules.
+
+    Subclasses receive ``new_pkt`` announcements and emit moves.  They must
+    not touch packet contents — the API never exposes any.
+
+    The life cycle is: construct → :meth:`bind` (receives the experiment's
+    random tape) → interleaved :meth:`on_new_pkt` / :meth:`next_move` calls
+    until the simulation ends.
+    """
+
+    def __init__(self) -> None:
+        self._rng: Optional[RandomSource] = None
+        self._moves_made = 0
+
+    def bind(self, rng: RandomSource) -> None:
+        """Attach the adversary's private random tape (called by the harness)."""
+        self._rng = rng
+
+    @property
+    def rng(self) -> RandomSource:
+        """The bound random tape; raises if the harness never bound one."""
+        if self._rng is None:
+            raise RuntimeError(f"{type(self).__name__} was never bound to a tape")
+        return self._rng
+
+    @property
+    def moves_made(self) -> int:
+        """How many moves this adversary has produced so far."""
+        return self._moves_made
+
+    def on_new_pkt(self, info: PacketInfo) -> None:
+        """Observe a ``new_pkt(id, length)`` announcement (default: ignore)."""
+
+    def next_move(self) -> Move:
+        """Produce the next move.  Subclasses implement :meth:`_decide`."""
+        self._moves_made += 1
+        return self._decide()
+
+    @abstractmethod
+    def _decide(self) -> Move:
+        """Return the adversary's next move."""
+
+    def describe(self) -> str:
+        """Short human-readable label for experiment tables."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(moves={self._moves_made})"

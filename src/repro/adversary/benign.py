@@ -1,0 +1,68 @@
+"""Benign adversaries: reliable FIFO delivery and simple variations.
+
+These model the fault-free regime the overview of Section 3 starts from
+("Assume that all the packets are delivered in order, without duplications
+or omissions").  They calibrate the baselines — under
+:class:`ReliableAdversary` the protocol must complete each message in the
+three-packet handshake the paper advertises.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.adversary.base import Adversary, Deliver, Move, Pass, TriggerRetry
+from repro.channel.channel import PacketInfo
+
+__all__ = ["ReliableAdversary", "DelayedFifoAdversary"]
+
+
+class ReliableAdversary(Adversary):
+    """Delivers every packet exactly once, in FIFO order, never crashes.
+
+    When both channels have pending packets, the oldest announcement goes
+    first, preserving global causal order.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pending: Deque[PacketInfo] = deque()
+
+    def on_new_pkt(self, info: PacketInfo) -> None:
+        self._pending.append(info)
+
+    def _decide(self) -> Move:
+        if self._pending:
+            info = self._pending.popleft()
+            return Deliver(channel=info.channel, packet_id=info.packet_id)
+        return Pass()
+
+
+class DelayedFifoAdversary(Adversary):
+    """FIFO delivery, but each packet waits a fixed number of turns.
+
+    Models plain propagation latency: no loss, duplication or reordering.
+    Useful for checking that the receiver-paced handshake tolerates slow
+    links without spurious error counting.
+    """
+
+    def __init__(self, delay_turns: int = 3) -> None:
+        super().__init__()
+        if delay_turns < 0:
+            raise ValueError("delay_turns must be non-negative")
+        self._delay = delay_turns
+        self._pending: Deque[tuple] = deque()  # (ready_at_move, info)
+
+    def on_new_pkt(self, info: PacketInfo) -> None:
+        self._pending.append((self.moves_made + self._delay, info))
+
+    def _decide(self) -> Move:
+        if self._pending and self._pending[0][0] <= self.moves_made:
+            __, info = self._pending.popleft()
+            return Deliver(channel=info.channel, packet_id=info.packet_id)
+        if self._pending:
+            # Let simulated time advance so the head packet matures; asking
+            # for a RETRY keeps the receiver side live in the meantime.
+            return TriggerRetry()
+        return Pass()

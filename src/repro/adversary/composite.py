@@ -1,0 +1,107 @@
+"""Composition of adversaries: phases and probabilistic mixtures.
+
+Worst-case behaviours are often staged ("run clean, then attack") or mixed
+("mostly lossy, occasionally reordering").  Rather than hand-writing each
+combination, :class:`PhasedAdversary` chains adversaries by move budget and
+:class:`MixtureAdversary` flips a weighted coin per turn.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.adversary.base import Adversary, Move
+from repro.channel.channel import PacketInfo
+
+__all__ = ["PhasedAdversary", "MixtureAdversary"]
+
+
+class PhasedAdversary(Adversary):
+    """Run each inner adversary for a fixed number of moves, in sequence.
+
+    All inner adversaries observe every ``new_pkt`` throughout (a later
+    phase may replay packets announced during an earlier one); only the
+    currently active one is asked for moves.  The final phase runs forever.
+    """
+
+    def __init__(self, phases: Sequence[Tuple[Adversary, int]]) -> None:
+        super().__init__()
+        if not phases:
+            raise ValueError("at least one phase is required")
+        for __, budget in phases[:-1]:
+            if budget < 1:
+                raise ValueError("every non-final phase needs a positive budget")
+        self._phases: List[Tuple[Adversary, int]] = list(phases)
+        self._phase_index = 0
+        self._moves_in_phase = 0
+
+    def bind(self, rng) -> None:
+        super().bind(rng)
+        for index, (inner, __) in enumerate(self._phases):
+            inner.bind(rng.fork("phase", index))
+
+    def on_new_pkt(self, info: PacketInfo) -> None:
+        for inner, __ in self._phases:
+            inner.on_new_pkt(info)
+
+    @property
+    def current_phase(self) -> Adversary:
+        """The inner adversary currently producing moves."""
+        return self._phases[self._phase_index][0]
+
+    def _decide(self) -> Move:
+        inner, budget = self._phases[self._phase_index]
+        if (
+            self._phase_index < len(self._phases) - 1
+            and self._moves_in_phase >= budget
+        ):
+            self._phase_index += 1
+            self._moves_in_phase = 0
+            inner, __ = self._phases[self._phase_index]
+        self._moves_in_phase += 1
+        return inner.next_move()
+
+    def describe(self) -> str:
+        inner = " -> ".join(a.describe() for a, __ in self._phases)
+        return f"phased[{inner}]"
+
+
+class MixtureAdversary(Adversary):
+    """Per-turn weighted choice among inner adversaries.
+
+    Every inner adversary sees every ``new_pkt``; each turn one of them is
+    drawn with probability proportional to its weight and asked to move.
+    """
+
+    def __init__(self, components: Sequence[Tuple[Adversary, float]]) -> None:
+        super().__init__()
+        if not components:
+            raise ValueError("at least one component is required")
+        total = sum(weight for __, weight in components)
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self._components = [(adv, weight / total) for adv, weight in components]
+
+    def bind(self, rng) -> None:
+        super().bind(rng)
+        for index, (inner, __) in enumerate(self._components):
+            inner.bind(rng.fork("mixture", index))
+
+    def on_new_pkt(self, info: PacketInfo) -> None:
+        for inner, __ in self._components:
+            inner.on_new_pkt(info)
+
+    def _decide(self) -> Move:
+        roll = self.rng.random_float()
+        cumulative = 0.0
+        for inner, weight in self._components:
+            cumulative += weight
+            if roll < cumulative:
+                return inner.next_move()
+        return self._components[-1][0].next_move()
+
+    def describe(self) -> str:
+        inner = ", ".join(
+            f"{adv.describe()}:{weight:.2f}" for adv, weight in self._components
+        )
+        return f"mixture[{inner}]"

@@ -1,0 +1,119 @@
+"""Crash-focused adversaries for experiment E6.
+
+[LMF88] proved deterministic protocols cannot survive host crashes at all;
+these adversaries hammer exactly that capability.  They deliver packets
+semi-reliably (so the protocol can make progress between crashes) while
+injecting crashes on various schedules.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional
+
+from repro.adversary.base import (
+    Adversary,
+    CrashReceiver,
+    CrashTransmitter,
+    Deliver,
+    Move,
+    Pass,
+)
+from repro.channel.channel import PacketInfo
+
+__all__ = ["CrashStormAdversary", "ScheduledCrashAdversary"]
+
+
+class CrashStormAdversary(Adversary):
+    """Benign FIFO delivery punctuated by random crashes of both stations.
+
+    Parameters
+    ----------
+    crash_rate:
+        Per-turn probability of injecting a crash.
+    target_transmitter / target_receiver:
+        Which stations may be crashed (at least one must be True).
+    max_crashes:
+        Optional cap, letting liveness tests guarantee eventual quiescence.
+    """
+
+    def __init__(
+        self,
+        crash_rate: float = 0.01,
+        target_transmitter: bool = True,
+        target_receiver: bool = True,
+        max_crashes: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= crash_rate <= 1.0:
+            raise ValueError("crash_rate must be a probability")
+        if not (target_transmitter or target_receiver):
+            raise ValueError("at least one station must be crashable")
+        self._crash_rate = crash_rate
+        self._target_t = target_transmitter
+        self._target_r = target_receiver
+        self._max_crashes = max_crashes
+        self._pending: Deque[PacketInfo] = deque()
+        self.crashes_injected = 0
+
+    def on_new_pkt(self, info: PacketInfo) -> None:
+        self._pending.append(info)
+
+    def _decide(self) -> Move:
+        allowed = self._max_crashes is None or self.crashes_injected < self._max_crashes
+        if allowed and self.rng.bernoulli(self._crash_rate):
+            self.crashes_injected += 1
+            if self._target_t and self._target_r:
+                return CrashTransmitter() if self.rng.bernoulli(0.5) else CrashReceiver()
+            return CrashTransmitter() if self._target_t else CrashReceiver()
+        if self._pending:
+            info = self._pending.popleft()
+            return Deliver(channel=info.channel, packet_id=info.packet_id)
+        return Pass()
+
+    def describe(self) -> str:
+        return f"crash-storm(rate={self._crash_rate})"
+
+
+class ScheduledCrashAdversary(Adversary):
+    """Crashes at exact, predetermined turn numbers.
+
+    Deterministic schedules make the crash-recovery unit tests precise:
+    e.g. "crash the receiver on turn 12, mid-handshake" is reproducible
+    independent of any random tape.
+
+    Parameters
+    ----------
+    crash_turns:
+        Iterable of ``(turn_number, station)`` pairs with station one of
+        ``"T"`` or ``"R"``; turn numbers refer to this adversary's own move
+        counter.
+    """
+
+    def __init__(self, crash_turns: Iterable) -> None:
+        super().__init__()
+        schedule: List = sorted(crash_turns, key=lambda pair: pair[0])
+        for turn, station in schedule:
+            if station not in ("T", "R"):
+                raise ValueError(f"station must be 'T' or 'R', got {station!r}")
+            if turn < 0:
+                raise ValueError("turn numbers must be non-negative")
+        self._schedule = schedule
+        self._pending: Deque[PacketInfo] = deque()
+        self.crashes_injected = 0
+
+    def on_new_pkt(self, info: PacketInfo) -> None:
+        self._pending.append(info)
+
+    def _decide(self) -> Move:
+        if self._schedule and self.moves_made - 1 >= self._schedule[0][0]:
+            __, station = self._schedule.pop(0)
+            self.crashes_injected += 1
+            return CrashTransmitter() if station == "T" else CrashReceiver()
+        if self._pending:
+            info = self._pending.popleft()
+            return Deliver(channel=info.channel, packet_id=info.packet_id)
+        return Pass()
+
+    def describe(self) -> str:
+        return f"scheduled-crash(remaining={len(self._schedule)})"

@@ -1,0 +1,122 @@
+"""Fairness enforcement (Axiom 3) and adversarial stalling.
+
+Axiom 3 restricts every adversary *per channel*: if infinitely many
+packets are sent on ``C^{T→R}`` after any point, a delivery eventually
+occurs on ``C^{T→R}`` (and identically for ``C^{R→T}``).  In a bounded
+simulation "eventually" must be concretised; :class:`FairnessEnforcer`
+wraps any adversary and, for each channel separately, force-delivers that
+channel's *most recently announced* pending packet whenever the wrapped
+adversary has gone ``patience`` consecutive turns without delivering on it
+while it has packets pending.
+
+The per-channel accounting matters: the receiver polls continuously, so a
+"globally newest packet" rule would forever prefer fresh polls and starve
+the data channel — precisely the schedule Axiom 3 exists to exclude.
+Delivering the most recent (rather than the oldest) packet is the weakest
+useful reading of the axiom — the adversary may still starve any
+individual packet forever, exactly as the model allows — yet it is enough
+for Theorem 9's argument, which only needs *some* current-state packet to
+get through.
+
+One consequence worth knowing: the enforcer tracks every announced packet,
+including ones the wrapped adversary silently dropped, so it may
+*resurrect* a "lost" packet arbitrarily late and out of order.  This is
+legal adversary behaviour in the paper's model (which the protocol
+tolerates), but it silently upgrades a loss-only FIFO schedule into a
+reordering one — experiments that rely on a FIFO premise (e.g. the
+alternating-bit comparisons) must run with ``enforce_fairness=False`` and
+an adversary that is fair by construction.
+
+:class:`StallingAdversary` is the adversary that does nothing at all; under
+the enforcer it becomes the minimal fair adversary and is the sharpest
+liveness probe we have (experiment E5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.adversary.base import Adversary, Deliver, Move, Pass, TriggerRetry
+from repro.channel.channel import PacketInfo
+
+__all__ = ["FairnessEnforcer", "StallingAdversary"]
+
+
+class StallingAdversary(Adversary):
+    """Never delivers, never crashes: pure denial of service.
+
+    On its own this adversary violates Axiom 3 and the theorems promise
+    nothing; wrapped in :class:`FairnessEnforcer` it yields the slowest
+    schedule any fair adversary can impose.
+    """
+
+    def _decide(self) -> Move:
+        return Pass()
+
+
+class FairnessEnforcer(Adversary):
+    """Wrap an adversary so its schedule satisfies Axiom 3.
+
+    Parameters
+    ----------
+    inner:
+        The adversary whose moves are passed through when legal.
+    patience:
+        Maximum consecutive non-delivery turns tolerated while packets are
+        pending before a delivery is forced.
+    """
+
+    def __init__(self, inner: Adversary, patience: int = 32) -> None:
+        super().__init__()
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.inner = inner
+        self._patience = patience
+        self._pending: dict = {}  # ChannelId -> List[PacketInfo]
+        self._starvation: dict = {}  # ChannelId -> turns without delivery
+        self.forced_deliveries = 0
+
+    def bind(self, rng) -> None:
+        super().bind(rng)
+        self.inner.bind(rng.fork("inner-adversary"))
+
+    def on_new_pkt(self, info: PacketInfo) -> None:
+        self._pending.setdefault(info.channel, []).append(info)
+        self._starvation.setdefault(info.channel, 0)
+        self.inner.on_new_pkt(info)
+
+    def _decide(self) -> Move:
+        move = self.inner.next_move()
+        if isinstance(move, Deliver):
+            self._starvation[move.channel] = 0
+            self._forget(move.packet_id, move.channel)
+            return move
+        # Advance starvation on every channel that has pending traffic and
+        # force the most-starved one once it exceeds the patience budget.
+        most_starved = None
+        for channel, pending in self._pending.items():
+            if not pending:
+                continue
+            self._starvation[channel] += 1
+            if self._starvation[channel] >= self._patience and (
+                most_starved is None
+                or self._starvation[channel] > self._starvation[most_starved]
+            ):
+                most_starved = channel
+        if most_starved is not None:
+            info = self._pending[most_starved][-1]  # newest: weakest fair choice
+            self._forget(info.packet_id, info.channel)
+            self._starvation[most_starved] = 0
+            self.forced_deliveries += 1
+            return Deliver(channel=info.channel, packet_id=info.packet_id)
+        return move
+
+    def _forget(self, packet_id: int, channel) -> None:
+        pending = self._pending.get(channel, [])
+        for index, info in enumerate(pending):
+            if info.packet_id == packet_id:
+                del pending[index]
+                return
+
+    def describe(self) -> str:
+        return f"fair({self.inner.describe()}, patience={self._patience})"

@@ -1,0 +1,174 @@
+"""Randomized fault adversaries: loss, duplication, reordering, crashes.
+
+These are the workhorse adversaries for the Monte-Carlo experiments
+(E1, E3, E4, E6, E7): every fault class of the model — omission,
+duplication, arbitrary reordering, and station crashes — is injected with
+configurable rates from the adversary's own random tape.  They keep the
+fairness axiom by construction as long as the loss probability is below 1
+(every packet is eventually either delivered or dropped, and retransmitted
+packets get fresh coin flips).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.adversary.base import (
+    Adversary,
+    CrashReceiver,
+    CrashTransmitter,
+    Deliver,
+    Move,
+    Pass,
+)
+from repro.channel.channel import PacketInfo
+
+__all__ = ["FaultProfile", "RandomFaultAdversary", "ReorderAdversary", "DuplicateFloodAdversary"]
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Fault rates for :class:`RandomFaultAdversary`.
+
+    Attributes
+    ----------
+    loss:
+        Probability a packet is silently dropped instead of queued.
+    duplicate:
+        Probability a delivered packet is re-queued for another delivery.
+        Applied after every delivery, so duplication counts are geometric.
+    reorder:
+        Probability the adversary delivers a uniformly random pending
+        packet rather than the oldest one.
+    crash_t / crash_r:
+        Per-turn probability of crashing the transmitter / receiver.
+    """
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    crash_t: float = 0.0
+    crash_r: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "duplicate", "reorder", "crash_t", "crash_r"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.loss >= 1.0:
+            raise ValueError("loss=1 disconnects the stations (violates Axiom 3)")
+
+
+class RandomFaultAdversary(Adversary):
+    """Injects all four fault classes with the rates of a :class:`FaultProfile`."""
+
+    def __init__(self, profile: FaultProfile) -> None:
+        super().__init__()
+        self.profile = profile
+        self._pending: List[PacketInfo] = []
+        self.dropped = 0
+        self.duplicated = 0
+        self.crashes_injected = 0
+
+    def on_new_pkt(self, info: PacketInfo) -> None:
+        if self.rng.bernoulli(self.profile.loss):
+            self.dropped += 1
+            return
+        self._pending.append(info)
+
+    def _decide(self) -> Move:
+        if self.rng.bernoulli(self.profile.crash_t):
+            self.crashes_injected += 1
+            return CrashTransmitter()
+        if self.rng.bernoulli(self.profile.crash_r):
+            self.crashes_injected += 1
+            return CrashReceiver()
+        if not self._pending:
+            return Pass()
+        if self.profile.reorder and self.rng.bernoulli(self.profile.reorder):
+            index = self.rng.randint(0, len(self._pending) - 1)
+        else:
+            index = 0
+        info = self._pending.pop(index)
+        if self.rng.bernoulli(self.profile.duplicate):
+            # Geometric duplication: the copy gets its own coin flip later.
+            self._pending.append(info)
+            self.duplicated += 1
+        return Deliver(channel=info.channel, packet_id=info.packet_id)
+
+    def describe(self) -> str:
+        p = self.profile
+        return (
+            f"random(loss={p.loss}, dup={p.duplicate}, reorder={p.reorder}, "
+            f"crashT={p.crash_t}, crashR={p.crash_r})"
+        )
+
+
+class ReorderAdversary(Adversary):
+    """Delivers every packet exactly once but in uniformly random order.
+
+    The pure non-FIFO regime of [AFWZ89]'s setting: no loss, no duplicates,
+    no crashes — only ordering is adversarial.
+    """
+
+    def __init__(self, window: int = 16) -> None:
+        super().__init__()
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._window = window
+        self._pending: List[PacketInfo] = []
+
+    def on_new_pkt(self, info: PacketInfo) -> None:
+        self._pending.append(info)
+
+    def _decide(self) -> Move:
+        if not self._pending:
+            return Pass()
+        # Shuffle only within a bounded window so ancient packets cannot be
+        # starved forever (keeps the adversary fair on its own).
+        limit = min(self._window, len(self._pending))
+        index = self.rng.randint(0, limit - 1)
+        info = self._pending.pop(index)
+        return Deliver(channel=info.channel, packet_id=info.packet_id)
+
+
+class DuplicateFloodAdversary(Adversary):
+    """Delivers every packet, then keeps re-delivering old ones.
+
+    Exercises the "any number of duplications" clause of the model: after
+    the first delivery of each packet, every subsequent turn redelivers a
+    uniformly chosen old packet with probability ``flood``, biased toward
+    the direction named by ``flood_channel`` if given.
+    """
+
+    def __init__(self, flood: float = 0.5, flood_t_to_r_only: bool = False) -> None:
+        super().__init__()
+        if not 0.0 <= flood <= 1.0:
+            raise ValueError("flood must be a probability")
+        self._flood = flood
+        self._t_to_r_only = flood_t_to_r_only
+        self._fresh: List[PacketInfo] = []
+        self._archive: List[PacketInfo] = []
+        self.redeliveries = 0
+
+    def on_new_pkt(self, info: PacketInfo) -> None:
+        self._fresh.append(info)
+
+    def _decide(self) -> Move:
+        if self._archive and self.rng.bernoulli(self._flood):
+            candidates = self._archive
+            if self._t_to_r_only:
+                t_to_r = [i for i in self._archive if i.channel.value == "T->R"]
+                candidates = t_to_r or self._archive
+            info = self.rng.choice(candidates)
+            self.redeliveries += 1
+            return Deliver(channel=info.channel, packet_id=info.packet_id)
+        if self._fresh:
+            info = self._fresh.pop(0)
+            self._archive.append(info)
+            return Deliver(channel=info.channel, packet_id=info.packet_id)
+        return Pass()
+
+    def describe(self) -> str:
+        return f"duplicate-flood(flood={self._flood})"

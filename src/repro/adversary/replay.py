@@ -1,0 +1,161 @@
+"""The Section 3 replay attack.
+
+The paper motivates adaptive nonce extension with this scenario:
+
+    "the system was running for a long time ... the adversary generates a
+    crash^T event followed by a crash^R event.  Then the adversary starts
+    sending old packets (m*, ρ*, τ*).  There is no limit on the number of
+    packets that the adversary can duplicate. ... Eventually, the receiver
+    delivers an old message, violating the no replay condition."
+
+:class:`ReplayAttacker` stages exactly that schedule, obliviously (it sees
+only identifiers and lengths, never ρ values):
+
+* **Harvest phase** — behave like a reliable FIFO network while the higher
+  layers exchange messages, archiving every data-packet identifier seen on
+  ``C^{T→R}``.  Each archived packet embeds one historical receiver
+  challenge ρ.
+* **Crash** — ``crash^T`` then ``crash^R``, erasing both stations.
+* **Replay phase** — cycle the archive into the receiver over and over,
+  interleaved with RETRY so the receiver keeps running.
+
+Against the non-adaptive single-nonce protocol (``FixedPolicy`` with a
+small nonce), a large archive hits the receiver's fresh challenge with
+probability approaching ``1 − (1 − 2^−b)^distinct``, and the checkers flag
+a no-replay violation.  Against the real protocol, the receiver's error
+counter forces an extension after ``bound(1)`` misses, after which no
+archived packet can ever match (exact-length equality is required), so the
+violation probability stays below ε.  Experiment E2 measures both sides.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, List
+
+from repro.adversary.base import (
+    Adversary,
+    CrashReceiver,
+    CrashTransmitter,
+    Deliver,
+    Move,
+    Pass,
+    TriggerRetry,
+)
+from repro.channel.channel import PacketInfo
+from repro.core.events import ChannelId
+
+__all__ = ["ReplayAttacker", "AttackPhase"]
+
+
+class AttackPhase(enum.Enum):
+    """Where the staged attack currently is."""
+
+    HARVEST = "harvest"
+    CRASH_T = "crash-t"
+    CRASH_R = "crash-r"
+    REPLAY = "replay"
+    DRAINED = "drained"
+
+
+class ReplayAttacker(Adversary):
+    """Stages the Section 3 crash-then-replay attack.
+
+    Parameters
+    ----------
+    harvest_messages:
+        How many data packets to archive before striking.  More archived
+        packets mean more distinct historical ρ values, i.e. a stronger
+        attack on non-adaptive protocols.
+    replay_rounds:
+        How many full passes over the archive to attempt.
+    polls_between_replays:
+        RETRY actions interleaved per replayed packet, keeping the
+        receiver's poll loop alive (and, against the real protocol, letting
+        the handshake for the *current* message still make progress).
+    """
+
+    def __init__(
+        self,
+        harvest_messages: int = 64,
+        replay_rounds: int = 4,
+        polls_between_replays: int = 0,
+    ) -> None:
+        super().__init__()
+        if harvest_messages < 1:
+            raise ValueError("harvest_messages must be >= 1")
+        if replay_rounds < 1:
+            raise ValueError("replay_rounds must be >= 1")
+        self._harvest_target = harvest_messages
+        self._replay_rounds = replay_rounds
+        self._polls_between = polls_between_replays
+        self._pending: Deque[PacketInfo] = deque()
+        self._archive: List[PacketInfo] = []
+        self._phase = AttackPhase.HARVEST
+        self._replay_cursor = 0
+        self._polls_owed = 0
+        self.replays_sent = 0
+
+    @property
+    def phase(self) -> AttackPhase:
+        """Current :class:`AttackPhase` (exposed for tests and examples)."""
+        return self._phase
+
+    @property
+    def archive_size(self) -> int:
+        """Number of harvested data-packet identifiers."""
+        return len(self._archive)
+
+    def on_new_pkt(self, info: PacketInfo) -> None:
+        self._pending.append(info)
+        if info.channel == ChannelId.T_TO_R:
+            self._archive.append(info)
+
+    def _decide(self) -> Move:
+        if self._phase == AttackPhase.HARVEST:
+            return self._harvest_move()
+        if self._phase == AttackPhase.CRASH_T:
+            self._phase = AttackPhase.CRASH_R
+            return CrashTransmitter()
+        if self._phase == AttackPhase.CRASH_R:
+            self._phase = AttackPhase.REPLAY
+            return CrashReceiver()
+        if self._phase == AttackPhase.REPLAY:
+            return self._replay_move()
+        return self._faithful_move()
+
+    # -- phase behaviours -----------------------------------------------------------
+
+    def _harvest_move(self) -> Move:
+        if len(self._archive) >= self._harvest_target:
+            self._phase = AttackPhase.CRASH_T
+            # Fall through to the crash on the *next* move; this turn still
+            # behaves innocently so the trap is sprung between deliveries.
+        return self._faithful_move()
+
+    def _replay_move(self) -> Move:
+        if self._polls_owed > 0:
+            self._polls_owed -= 1
+            return TriggerRetry()
+        total_replays = self._replay_rounds * len(self._archive)
+        if self._replay_cursor >= total_replays:
+            self._phase = AttackPhase.DRAINED
+            return self._faithful_move()
+        info = self._archive[self._replay_cursor % len(self._archive)]
+        self._replay_cursor += 1
+        self._polls_owed = self._polls_between
+        self.replays_sent += 1
+        return Deliver(channel=info.channel, packet_id=info.packet_id)
+
+    def _faithful_move(self) -> Move:
+        if self._pending:
+            info = self._pending.popleft()
+            return Deliver(channel=info.channel, packet_id=info.packet_id)
+        return Pass()
+
+    def describe(self) -> str:
+        return (
+            f"replay(harvest={self._harvest_target}, "
+            f"rounds={self._replay_rounds}, phase={self._phase.value})"
+        )

@@ -1,0 +1,23 @@
+"""Analytic bounds of Section 4, as executable formulas."""
+
+from repro.analysis.bounds import (
+    ErrorBudget,
+    expected_handshake_packets,
+    fixed_nonce_replay_probability,
+    generation_after_errors,
+    nonce_bits_after_errors,
+    replay_attack_curve,
+    theorem3_budget,
+    union_bound,
+)
+
+__all__ = [
+    "ErrorBudget",
+    "expected_handshake_packets",
+    "fixed_nonce_replay_probability",
+    "generation_after_errors",
+    "nonce_bits_after_errors",
+    "replay_attack_curve",
+    "theorem3_budget",
+    "union_bound",
+]

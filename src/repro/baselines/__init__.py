@@ -1,0 +1,32 @@
+"""Baseline protocols the paper positions itself against (Section 1)."""
+
+from repro.baselines.alternating_bit import AbpReceiver, AbpTransmitter, make_abp_link
+from repro.baselines.base import AckFrame, BaselineLink, BaselineStats, Frame
+from repro.baselines.naive_handshake import make_naive_handshake_link
+from repro.baselines.nonvolatile_bit import (
+    NonvolatileBitReceiver,
+    NonvolatileBitTransmitter,
+    make_nonvolatile_bit_link,
+)
+from repro.baselines.stop_and_wait import (
+    StopAndWaitReceiver,
+    StopAndWaitTransmitter,
+    make_stop_and_wait_link,
+)
+
+__all__ = [
+    "AbpReceiver",
+    "AbpTransmitter",
+    "AckFrame",
+    "BaselineLink",
+    "BaselineStats",
+    "Frame",
+    "NonvolatileBitReceiver",
+    "NonvolatileBitTransmitter",
+    "StopAndWaitReceiver",
+    "StopAndWaitTransmitter",
+    "make_abp_link",
+    "make_naive_handshake_link",
+    "make_nonvolatile_bit_link",
+    "make_stop_and_wait_link",
+]

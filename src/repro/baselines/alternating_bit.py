@@ -1,0 +1,142 @@
+"""The alternating-bit protocol (ABP) — the classical FIFO data link.
+
+ABP is the canonical deterministic protocol the paper's "Other Solutions"
+section alludes to ("For FIFO channels, many protocols are known
+[Zim80, Tan81]").  It is correct over FIFO channels without duplication and
+without crashes; the comparison experiments show both faces:
+
+* under :class:`~repro.adversary.ReliableAdversary` and loss-only
+  adversaries it matches the paper's protocol at two frames per message;
+* under duplication/reordering, and especially under crashes, it violates
+  the Section 2.6 conditions — empirically illustrating [BS88]'s
+  observation and the [LMF88] impossibility that motivate the paper.
+
+To fit the receiver-paced harness, retransmissions are ack-driven: the
+receiver's RETRY resends its last acknowledgement, and a transmitter
+holding an unacknowledged frame retransmits on any ack that does not match
+the frame's bit.  This is a standard ABP variant (NAK-free, ack-clocked)
+and keeps the packet economy identical to the textbook version.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.base import AckFrame, BaselineLink, BaselineStats, Frame
+from repro.core.events import EmitOk, EmitPacket, EmitReceiveMsg, StationOutput
+from repro.core.exceptions import ProtocolError
+
+__all__ = ["AbpTransmitter", "AbpReceiver", "make_abp_link"]
+
+
+class AbpTransmitter:
+    """ABP sender: one-bit sequence, retransmit until the bit is acked."""
+
+    def __init__(self) -> None:
+        self.stats = BaselineStats()
+        self._reset()
+
+    @property
+    def busy(self) -> bool:
+        return self._message is not None
+
+    @property
+    def storage_bits(self) -> int:
+        return 1  # the alternating bit
+
+    def crash(self) -> None:
+        """Crash erases everything — including the bit (volatile memory)."""
+        self._reset()
+        self.stats.crashes += 1
+
+    def send_msg(self, message: bytes) -> List[StationOutput]:
+        if self.busy:
+            raise ProtocolError("send_msg while busy violates Axiom 1")
+        self._message = message
+        frame = Frame(seq=self._bit, message=message)
+        self.stats.packets_sent += 1
+        return [EmitPacket(frame)]
+
+    def on_receive_pkt(self, packet: AckFrame) -> List[StationOutput]:
+        if not isinstance(packet, AckFrame):
+            raise ProtocolError(f"ABP transmitter got {type(packet).__name__}")
+        if not self.busy:
+            return []
+        if packet.seq == self._bit:
+            # Current frame acknowledged: flip the bit, notify the layer.
+            self._message = None
+            self._bit ^= 1
+            return [EmitOk()]
+        # Stale ack: the receiver has not seen the current frame yet.
+        assert self._message is not None
+        frame = Frame(seq=self._bit, message=self._message)
+        self.stats.packets_sent += 1
+        return [EmitPacket(frame)]
+
+    def _reset(self) -> None:
+        self._bit = 0
+        self._message: Optional[bytes] = None
+
+    def __repr__(self) -> str:
+        return f"AbpTransmitter(bit={self._bit}, busy={self.busy})"
+
+
+class AbpReceiver:
+    """ABP receiver: accept frames whose bit matches the expectation."""
+
+    def __init__(self) -> None:
+        self.stats = BaselineStats()
+        self._reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return 1
+
+    def crash(self) -> None:
+        """Crash erases the expected bit — the root of ABP's crash fragility."""
+        self._reset()
+        self.stats.crashes += 1
+
+    def retry(self) -> List[StationOutput]:
+        """Resend the last acknowledgement (ack-clocked retransmission).
+
+        Before anything has been accepted there is nothing to acknowledge;
+        a sentinel seq of -1 still clocks the transmitter's retransmission
+        (it never equals an alternating bit, so it can never produce a
+        spurious OK — acking ``expected ^ 1`` at boot would alias with a
+        later message's bit).
+        """
+        self.stats.packets_sent += 1
+        seq = (self._expected ^ 1) if self._has_accepted else -1
+        return [EmitPacket(AckFrame(seq=seq))]
+
+    def on_receive_pkt(self, packet: Frame) -> List[StationOutput]:
+        if not isinstance(packet, Frame):
+            raise ProtocolError(f"ABP receiver got {type(packet).__name__}")
+        if packet.seq == self._expected:
+            self._expected ^= 1
+            self._has_accepted = True
+            self.stats.packets_sent += 1
+            return [
+                EmitReceiveMsg(packet.message),
+                EmitPacket(AckFrame(seq=packet.seq)),
+            ]
+        # Duplicate frame: do NOT ack immediately — the periodic RETRY
+        # re-ack covers it.  Per-duplicate acks feed a retransmission loop
+        # (every stale ack spawns a frame, every stale frame an ack) that
+        # floods any finite-rate channel.
+        return []
+
+    def _reset(self) -> None:
+        self._expected = 0
+        self._has_accepted = False
+
+    def __repr__(self) -> str:
+        return f"AbpReceiver(expected={self._expected})"
+
+
+def make_abp_link() -> BaselineLink:
+    """Build an alternating-bit protocol pair."""
+    return BaselineLink(
+        transmitter=AbpTransmitter(), receiver=AbpReceiver(), name="alternating-bit"
+    )

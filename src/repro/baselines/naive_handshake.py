@@ -1,0 +1,47 @@
+"""The Section 3 "first modification" protocol: fixed random nonces.
+
+This is the strawman the paper builds its attack narrative around — the
+three-packet handshake with retransmission, but with a *single, fixed-size*
+random string per message and no adaptive extension.  It is exactly the
+real protocol run with :class:`~repro.core.params.FixedPolicy`, which this
+module packages under its own name so experiments and examples can refer
+to it as a protocol in its own right.
+
+Against benign faults it behaves like the real protocol.  Against the
+Section 3 replay attack (:class:`~repro.adversary.ReplayAttacker`) its
+no-replay violation probability grows with the attacker's archive toward
+certainty, because the archive eventually contains every value its short
+challenge can take.  Experiment E2 measures the contrast.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.params import FixedPolicy
+from repro.core.protocol import DataLink, make_data_link
+
+__all__ = ["make_naive_handshake_link"]
+
+
+def make_naive_handshake_link(
+    nonce_bits: int = 8, seed: Optional[int] = None
+) -> DataLink:
+    """Build the fixed-nonce handshake pair of Section 3's overview.
+
+    Parameters
+    ----------
+    nonce_bits:
+        The fixed challenge length.  The paper's attack succeeds once the
+        adversary has archived on the order of ``2^nonce_bits`` distinct
+        historical packets, so small values make the vulnerability visible
+        in small simulations.
+    seed:
+        Root seed for the stations' tapes.
+    """
+    return make_data_link(
+        epsilon=2.0 ** -nonce_bits,
+        seed=seed,
+        policy=FixedPolicy(nonce_bits=nonce_bits),
+        require_sound_policy=False,
+    )

@@ -1,0 +1,150 @@
+"""ABP with one nonvolatile bit per station — the [BS88] remedy.
+
+The paper cites [BS88]: classical FIFO protocols are not crash-resilient,
+but a single *nonvolatile* bit (memory that survives crashes) restores
+correctness over FIFO channels.  This baseline is ABP where the
+alternating/expected bit lives in simulated nonvolatile storage: ``crash``
+erases everything *except* that bit.
+
+It brackets the design space the paper operates in: stable storage buys
+back *receiver*-crash resilience deterministically (receiver crashes stop
+producing duplications/replays — the failure [BS88] highlight in classical
+ABP), whereas the paper achieves full crash resilience probabilistically
+*without* any stable storage.  Transmitter crashes can still yield an OK
+for a message a one-bit deterministic ack cannot distinguish from its
+predecessor (the E6 experiments measure exactly this residual order
+violation), and over non-FIFO or duplicating channels the baseline fails
+like any ABP variant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.base import AckFrame, BaselineLink, BaselineStats, Frame
+from repro.core.events import EmitOk, EmitPacket, EmitReceiveMsg, StationOutput
+from repro.core.exceptions import ProtocolError
+
+__all__ = [
+    "NonvolatileBitTransmitter",
+    "NonvolatileBitReceiver",
+    "make_nonvolatile_bit_link",
+]
+
+
+class NonvolatileBitTransmitter:
+    """ABP sender whose alternating bit survives crashes."""
+
+    def __init__(self) -> None:
+        self.stats = BaselineStats()
+        self._nonvolatile_bit = 0
+        self._message: Optional[bytes] = None
+
+    @property
+    def busy(self) -> bool:
+        return self._message is not None
+
+    @property
+    def storage_bits(self) -> int:
+        return 1
+
+    @property
+    def nonvolatile_bit(self) -> int:
+        """The stable-storage bit (exposed for tests)."""
+        return self._nonvolatile_bit
+
+    def crash(self) -> None:
+        """Volatile state (the in-flight message) is lost; the bit is not."""
+        self._message = None
+        self.stats.crashes += 1
+
+    def send_msg(self, message: bytes) -> List[StationOutput]:
+        if self.busy:
+            raise ProtocolError("send_msg while busy violates Axiom 1")
+        self._message = message
+        self.stats.packets_sent += 1
+        return [EmitPacket(Frame(seq=self._nonvolatile_bit, message=message))]
+
+    def on_receive_pkt(self, packet: AckFrame) -> List[StationOutput]:
+        if not isinstance(packet, AckFrame):
+            raise ProtocolError(
+                f"nonvolatile-bit transmitter got {type(packet).__name__}"
+            )
+        if not self.busy:
+            return []
+        if packet.seq == self._nonvolatile_bit:
+            self._message = None
+            self._nonvolatile_bit ^= 1  # committed to stable storage
+            return [EmitOk()]
+        assert self._message is not None
+        self.stats.packets_sent += 1
+        return [EmitPacket(Frame(seq=self._nonvolatile_bit, message=self._message))]
+
+    def __repr__(self) -> str:
+        return (
+            f"NonvolatileBitTransmitter(bit={self._nonvolatile_bit}, "
+            f"busy={self.busy})"
+        )
+
+
+class NonvolatileBitReceiver:
+    """ABP receiver whose expected bit survives crashes."""
+
+    def __init__(self) -> None:
+        self.stats = BaselineStats()
+        self._nonvolatile_expected = 0
+        self._nonvolatile_has_accepted = False
+
+    @property
+    def storage_bits(self) -> int:
+        return 2  # the expected bit + the has-accepted flag, both stable
+
+    @property
+    def nonvolatile_bit(self) -> int:
+        """The stable-storage bit (exposed for tests)."""
+        return self._nonvolatile_expected
+
+    def crash(self) -> None:
+        """Nothing volatile to lose; both stable values persist."""
+        self.stats.crashes += 1
+
+    def retry(self) -> List[StationOutput]:
+        self.stats.packets_sent += 1
+        # Before the first-ever acceptance, ack a sentinel: it clocks
+        # retransmission but can never alias with a data bit.  (The flag is
+        # stable storage, so post-crash re-acks stay valid.)
+        seq = (
+            (self._nonvolatile_expected ^ 1)
+            if self._nonvolatile_has_accepted
+            else -1
+        )
+        return [EmitPacket(AckFrame(seq=seq))]
+
+    def on_receive_pkt(self, packet: Frame) -> List[StationOutput]:
+        if not isinstance(packet, Frame):
+            raise ProtocolError(
+                f"nonvolatile-bit receiver got {type(packet).__name__}"
+            )
+        if packet.seq == self._nonvolatile_expected:
+            self._nonvolatile_expected ^= 1  # committed to stable storage
+            self._nonvolatile_has_accepted = True
+            self.stats.packets_sent += 1
+            return [
+                EmitReceiveMsg(packet.message),
+                EmitPacket(AckFrame(seq=packet.seq)),
+            ]
+        # Duplicates are re-acked by the periodic RETRY, not per packet
+        # (per-duplicate acks self-flood the channel).
+        return []
+
+    def __repr__(self) -> str:
+        return f"NonvolatileBitReceiver(expected={self._nonvolatile_expected})"
+
+
+def make_nonvolatile_bit_link() -> BaselineLink:
+    """Build the [BS88]-style nonvolatile-bit ABP pair."""
+    return BaselineLink(
+        transmitter=NonvolatileBitTransmitter(),
+        receiver=NonvolatileBitReceiver(),
+        name="nonvolatile-bit",
+    )

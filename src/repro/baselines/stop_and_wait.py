@@ -1,0 +1,133 @@
+"""Stop-and-wait with bounded modular sequence numbers.
+
+A deterministic generalisation of ABP: frames carry a ``k``-bit sequence
+number incremented per message (mod 2^k).  Larger ``k`` buys tolerance to
+deeper reordering/duplication than ABP's single bit, but the protocol is
+still deterministic, so by [LMF88] it cannot survive crashes — after a
+crash both counters restart at zero and history repeats.  The comparison
+experiments use it as the "best deterministic effort" rung between ABP and
+the paper's randomized protocol.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.base import AckFrame, BaselineLink, BaselineStats, Frame
+from repro.core.events import EmitOk, EmitPacket, EmitReceiveMsg, StationOutput
+from repro.core.exceptions import ProtocolError
+
+__all__ = ["StopAndWaitTransmitter", "StopAndWaitReceiver", "make_stop_and_wait_link"]
+
+
+class StopAndWaitTransmitter:
+    """Sender with a mod-2^k per-message sequence counter."""
+
+    def __init__(self, seq_bits: int = 16) -> None:
+        if seq_bits < 1:
+            raise ValueError("seq_bits must be >= 1")
+        self._modulus = 1 << seq_bits
+        self._seq_bits = seq_bits
+        self.stats = BaselineStats()
+        self._reset()
+
+    @property
+    def busy(self) -> bool:
+        return self._message is not None
+
+    @property
+    def storage_bits(self) -> int:
+        return self._seq_bits
+
+    def crash(self) -> None:
+        self._reset()
+        self.stats.crashes += 1
+
+    def send_msg(self, message: bytes) -> List[StationOutput]:
+        if self.busy:
+            raise ProtocolError("send_msg while busy violates Axiom 1")
+        self._message = message
+        self._seq = (self._seq + 1) % self._modulus
+        self.stats.packets_sent += 1
+        return [EmitPacket(Frame(seq=self._seq, message=message))]
+
+    def on_receive_pkt(self, packet: AckFrame) -> List[StationOutput]:
+        if not isinstance(packet, AckFrame):
+            raise ProtocolError(
+                f"stop-and-wait transmitter got {type(packet).__name__}"
+            )
+        if not self.busy:
+            return []
+        if packet.seq == self._seq:
+            self._message = None
+            return [EmitOk()]
+        assert self._message is not None
+        self.stats.packets_sent += 1
+        return [EmitPacket(Frame(seq=self._seq, message=self._message))]
+
+    def _reset(self) -> None:
+        self._seq = 0
+        self._message: Optional[bytes] = None
+
+    def __repr__(self) -> str:
+        return f"StopAndWaitTransmitter(seq={self._seq}, busy={self.busy})"
+
+
+class StopAndWaitReceiver:
+    """Receiver accepting exactly the next expected sequence number.
+
+    Frames other than ``last_accepted + 1 (mod 2^k)`` — duplicates of the
+    current or of older messages — are rejected and re-acked with the last
+    accepted number, which drives the transmitter's retransmission.  A
+    ``2^k``-deep duplicate (full wraparound) or any post-crash replay still
+    fools it: determinism, not counter width, is the root limitation.
+    """
+
+    def __init__(self, seq_bits: int = 16) -> None:
+        if seq_bits < 1:
+            raise ValueError("seq_bits must be >= 1")
+        self._seq_bits = seq_bits
+        self._modulus = 1 << seq_bits
+        self.stats = BaselineStats()
+        self._reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return self._seq_bits
+
+    def crash(self) -> None:
+        self._reset()
+        self.stats.crashes += 1
+
+    def retry(self) -> List[StationOutput]:
+        self.stats.packets_sent += 1
+        return [EmitPacket(AckFrame(seq=self._last_accepted))]
+
+    def on_receive_pkt(self, packet: Frame) -> List[StationOutput]:
+        if not isinstance(packet, Frame):
+            raise ProtocolError(f"stop-and-wait receiver got {type(packet).__name__}")
+        if packet.seq == (self._last_accepted + 1) % self._modulus:
+            self._last_accepted = packet.seq
+            self.stats.packets_sent += 1
+            return [
+                EmitReceiveMsg(packet.message),
+                EmitPacket(AckFrame(seq=self._last_accepted)),
+            ]
+        # Duplicates are not acked per-packet (the periodic RETRY re-ack
+        # covers them) — per-duplicate acks self-flood the channel.
+        return []
+
+    def _reset(self) -> None:
+        self._last_accepted = 0
+
+    def __repr__(self) -> str:
+        return f"StopAndWaitReceiver(last={self._last_accepted})"
+
+
+def make_stop_and_wait_link(seq_bits: int = 16) -> BaselineLink:
+    """Build a stop-and-wait pair with ``seq_bits``-bit counters."""
+    return BaselineLink(
+        transmitter=StopAndWaitTransmitter(seq_bits=seq_bits),
+        receiver=StopAndWaitReceiver(seq_bits=seq_bits),
+        name=f"stop-and-wait-{seq_bits}b",
+    )

@@ -1,0 +1,5 @@
+"""The semi-reliable communication channel substrate (Section 2.3)."""
+
+from repro.channel.channel import Channel, ChannelPair, PacketInfo
+
+__all__ = ["Channel", "ChannelPair", "PacketInfo"]

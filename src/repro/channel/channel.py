@@ -1,0 +1,176 @@
+"""The communication channel of Section 2.3.
+
+A channel is a passive store with the four actions of the model:
+
+* ``send_pkt(p)`` — the sending station places packet ``p`` on the channel;
+  the channel assigns a unique identifier and announces
+  ``new_pkt(id, length(p))`` to the adversary;
+* ``deliver_pkt(id)`` — the adversary orders delivery of a previously sent
+  packet; the channel responds with ``receive_pkt(p)``.
+
+The channel itself never loses, duplicates or reorders anything — *all*
+indeterminism lives in the adversary, exactly as the paper specifies
+("Properties such as fairness and causality are treated as restrictions on
+the behavior of the adversary, not of the communication channel").  A
+packet, once sent, may be delivered any number of times, including zero;
+asking for an identifier that was never issued raises
+:class:`~repro.core.exceptions.UnknownPacketError` (the causality axiom is
+enforced by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.events import ChannelId
+from repro.core.exceptions import UnknownPacketError
+from repro.core.packets import Packet, encode_packet
+
+__all__ = ["PacketInfo", "Channel", "ChannelPair"]
+
+
+@dataclass(frozen=True)
+class PacketInfo:
+    """What ``new_pkt(id, l)`` reveals to the adversary: identity and length.
+
+    This is the *entire* view the adversary gets of a packet — the
+    oblivious-adversary assumption of Section 2.5 is enforced by never
+    handing adversaries anything richer than this record.
+    """
+
+    channel: ChannelId
+    packet_id: int
+    length_bits: int
+
+
+class Channel:
+    """One unidirectional communication channel.
+
+    Parameters
+    ----------
+    channel_id:
+        Which direction this channel carries (``T->R`` or ``R->T``).
+    on_new_pkt:
+        Optional callback invoked with the :class:`PacketInfo` of every
+        sent packet — how the adversary learns of ``new_pkt`` events.
+    """
+
+    def __init__(
+        self,
+        channel_id: ChannelId,
+        on_new_pkt: Optional[Callable[[PacketInfo], None]] = None,
+    ) -> None:
+        self.channel_id = channel_id
+        self._on_new_pkt = on_new_pkt
+        self._store: Dict[int, Packet] = {}
+        self._next_id = 0
+        self._sent_count = 0
+        self._delivered_count = 0
+        self._bits_sent = 0
+
+    # -- model actions ------------------------------------------------------------
+
+    def send_pkt(self, packet: Packet) -> PacketInfo:
+        """``send_pkt(p)``: store the packet, mint an id, announce new_pkt."""
+        packet_id = self._next_id
+        self._next_id += 1
+        self._store[packet_id] = packet
+        self._sent_count += 1
+        length_bits = packet.wire_length_bits
+        self._bits_sent += length_bits
+        info = PacketInfo(
+            channel=self.channel_id, packet_id=packet_id, length_bits=length_bits
+        )
+        if self._on_new_pkt is not None:
+            self._on_new_pkt(info)
+        return info
+
+    def deliver_pkt(self, packet_id: int) -> Packet:
+        """``deliver_pkt(id)``: produce the stored packet (any number of times)."""
+        try:
+            packet = self._store[packet_id]
+        except KeyError:
+            raise UnknownPacketError(packet_id) from None
+        self._delivered_count += 1
+        return packet
+
+    # -- inspection (for metrics and adversaries' legitimate view) ------------------
+
+    def peek(self, packet_id: int) -> Packet:
+        """Read a stored packet's contents WITHOUT delivering it.
+
+        This deliberately breaks the oblivious-adversary assumption of
+        Section 2.5 and exists only for the content-aware extension
+        adversaries (:mod:`repro.extensions.content_aware`), which study
+        what happens when that assumption is dropped.  Core-model
+        adversaries must never call it.
+        """
+        try:
+            return self._store[packet_id]
+        except KeyError:
+            raise UnknownPacketError(packet_id) from None
+
+    def has_packet(self, packet_id: int) -> bool:
+        """True iff the id was ever issued by this channel."""
+        return packet_id in self._store
+
+    def packet_length_bits(self, packet_id: int) -> int:
+        """The length the adversary may observe for a given id."""
+        try:
+            return self._store[packet_id].wire_length_bits
+        except KeyError:
+            raise UnknownPacketError(packet_id) from None
+
+    @property
+    def sent_count(self) -> int:
+        """Total ``send_pkt`` actions so far."""
+        return self._sent_count
+
+    @property
+    def delivered_count(self) -> int:
+        """Total ``deliver_pkt`` actions so far (deliveries, not packets)."""
+        return self._delivered_count
+
+    @property
+    def bits_sent(self) -> int:
+        """Total wire bits placed on this channel (communication cost)."""
+        return self._bits_sent
+
+    def all_packet_ids(self) -> List[int]:
+        """Every id ever issued — the adversary's replay arsenal."""
+        return list(self._store.keys())
+
+    def __repr__(self) -> str:
+        return (
+            f"Channel({self.channel_id}, sent={self._sent_count}, "
+            f"delivered={self._delivered_count})"
+        )
+
+
+class ChannelPair:
+    """The two channels of Figure 1, wired with a shared new_pkt listener."""
+
+    def __init__(
+        self, on_new_pkt: Optional[Callable[[PacketInfo], None]] = None
+    ) -> None:
+        self.t_to_r = Channel(ChannelId.T_TO_R, on_new_pkt)
+        self.r_to_t = Channel(ChannelId.R_TO_T, on_new_pkt)
+
+    def by_id(self, channel_id: ChannelId) -> Channel:
+        """Look a channel up by direction."""
+        if channel_id == ChannelId.T_TO_R:
+            return self.t_to_r
+        if channel_id == ChannelId.R_TO_T:
+            return self.r_to_t
+        raise ValueError(f"unknown channel id {channel_id!r}")
+
+    @property
+    def total_bits_sent(self) -> int:
+        """Combined communication cost across both directions."""
+        return self.t_to_r.bits_sent + self.r_to_t.bits_sent
+
+    @property
+    def total_packets_sent(self) -> int:
+        """Combined packet count across both directions."""
+        return self.t_to_r.sent_count + self.r_to_t.sent_count

@@ -1,0 +1,44 @@
+"""Correctness-condition checkers for Section 2.6, evaluated on traces."""
+
+from repro.checkers.axioms import check_axiom1, check_axiom2, check_axiom3_bounded
+from repro.checkers.liveness import LivenessStats, check_liveness, progress_gaps
+from repro.checkers.serialize import (
+    dump_trace,
+    event_from_dict,
+    event_to_dict,
+    load_trace,
+)
+from repro.checkers.safety import (
+    CheckReport,
+    SafetyReport,
+    Violation,
+    check_all_safety,
+    check_causality,
+    check_no_duplication,
+    check_no_replay,
+    check_order,
+)
+from repro.checkers.trace import MessageOutcome, Trace
+
+__all__ = [
+    "CheckReport",
+    "LivenessStats",
+    "MessageOutcome",
+    "SafetyReport",
+    "Trace",
+    "Violation",
+    "check_all_safety",
+    "check_axiom1",
+    "check_axiom2",
+    "check_axiom3_bounded",
+    "check_causality",
+    "check_liveness",
+    "check_no_duplication",
+    "check_no_replay",
+    "check_order",
+    "dump_trace",
+    "event_from_dict",
+    "event_to_dict",
+    "load_trace",
+    "progress_gaps",
+]

@@ -1,0 +1,90 @@
+"""The liveness condition (Theorem 9), operationalised for bounded runs.
+
+The paper's liveness statement: if the adversary is fair and a message is
+pending, then eventually one of ``crash^T``, ``crash^R``, ``OK`` or
+``receive_msg`` occurs.  In a bounded simulation "eventually" becomes
+"within the step budget"; :func:`check_liveness` verifies that no message
+sat unresolved with no intervening progress event once the run ended, and
+:func:`progress_gaps` measures the *longest* stretch any message waited —
+the quantitative series for experiment E5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.checkers.safety import CheckReport, Violation
+from repro.checkers.trace import Trace
+from repro.core.events import CrashR, CrashT, Ok, ReceiveMsg, SendMsg
+
+__all__ = ["check_liveness", "progress_gaps", "LivenessStats"]
+
+_PROGRESS = (Ok, ReceiveMsg, CrashT, CrashR)
+
+
+def check_liveness(trace: Trace, run_completed: bool) -> CheckReport:
+    """Verify that every pending message eventually saw a progress event.
+
+    ``run_completed`` is the simulator's verdict that the run ended because
+    the workload finished (rather than the step budget).  If the run was
+    truncated *and* the tail of the trace holds a send_msg with no
+    subsequent progress event, liveness failed within the budget.
+    """
+    violations: List[Violation] = []
+    trials = trace.count(SendMsg)
+    last_send: Optional[int] = None
+    for index, event in enumerate(trace):
+        if isinstance(event, SendMsg):
+            last_send = index
+        elif isinstance(event, _PROGRESS) and last_send is not None:
+            last_send = None
+    if last_send is not None and not run_completed:
+        violations.append(
+            Violation(
+                condition="liveness",
+                event_index=last_send,
+                detail=(
+                    "send_msg at end of truncated run with no subsequent "
+                    "OK/receive_msg/crash before the step budget expired"
+                ),
+            )
+        )
+    return CheckReport(condition="liveness", trials=trials, violations=violations)
+
+
+@dataclass(frozen=True)
+class LivenessStats:
+    """Distribution of waiting times between send_msg and first progress."""
+
+    gaps: List[int]
+
+    @property
+    def worst(self) -> int:
+        return max(self.gaps) if self.gaps else 0
+
+    @property
+    def mean(self) -> float:
+        return sum(self.gaps) / len(self.gaps) if self.gaps else 0.0
+
+    @property
+    def resolved_count(self) -> int:
+        return len(self.gaps)
+
+
+def progress_gaps(trace: Trace) -> LivenessStats:
+    """Event-count gaps between each send_msg and its first progress event.
+
+    The unit is trace events (a proxy for adversary turns); Theorem 9 says
+    these gaps are finite for every fair adversary, and experiment E5 shows
+    how they scale with adversarial stalling.
+    """
+    gaps: List[int] = []
+    last_send: Optional[int] = None
+    for index, event in enumerate(trace):
+        if isinstance(event, SendMsg):
+            last_send = index
+        elif isinstance(event, _PROGRESS) and last_send is not None:
+            gaps.append(index - last_send)
+            last_send = None
+    return LivenessStats(gaps=gaps)

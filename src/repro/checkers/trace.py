@@ -1,0 +1,166 @@
+"""Recorded executions of ``D(A, ADV)``.
+
+A :class:`Trace` is the concrete form of the paper's *execution*: the
+ordered sequence of external actions, as defined in Section 2 via the I/O
+automata model.  The checkers evaluate the Section 2.6 correctness
+conditions on traces, and the metrics pipeline summarises them, so the
+trace API provides exactly the projections those consumers need (message
+events, crash boundaries, per-message segments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Type, TypeVar
+
+from repro.core.events import (
+    CrashR,
+    CrashT,
+    Event,
+    Ok,
+    PktDelivered,
+    PktSent,
+    ReceiveMsg,
+    Retry,
+    SendMsg,
+)
+
+__all__ = ["Trace", "MessageOutcome"]
+
+E = TypeVar("E", bound=Event)
+
+
+@dataclass(frozen=True)
+class MessageOutcome:
+    """What ultimately happened to one ``send_msg`` (for metrics & checks).
+
+    ``resolution`` is one of ``"ok"`` (an OK followed), ``"crash"``
+    (a crash^T intervened before any OK), or ``"pending"`` (the execution
+    ended mid-handshake).
+    """
+
+    message: bytes
+    send_index: int
+    resolution: str
+    resolution_index: Optional[int]
+    delivered_before_resolution: bool
+
+
+class Trace:
+    """An append-only execution record with query helpers."""
+
+    def __init__(self, events: Optional[Sequence[Event]] = None) -> None:
+        self._events: List[Event] = list(events) if events else []
+
+    # -- recording -------------------------------------------------------------
+
+    def append(self, event: Event) -> None:
+        """Record the next event of the execution."""
+        if not isinstance(event, Event):
+            raise TypeError(f"traces hold Event instances, got {type(event).__name__}")
+        self._events.append(event)
+
+    # -- generic access ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index):
+        return self._events[index]
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> Sequence[Event]:
+        """The raw event sequence (read-only view by convention)."""
+        return self._events
+
+    def of_type(self, event_type: Type[E]) -> List[E]:
+        """All events of one type, in execution order."""
+        return [e for e in self._events if isinstance(e, event_type)]
+
+    def indexes_of(self, event_type: Type[Event]) -> List[int]:
+        """Positions of all events of one type."""
+        return [i for i, e in enumerate(self._events) if isinstance(e, event_type)]
+
+    def count(self, event_type: Type[Event]) -> int:
+        """Number of events of one type."""
+        return sum(1 for e in self._events if isinstance(e, event_type))
+
+    # -- protocol-level projections --------------------------------------------------
+
+    def sent_messages(self) -> List[bytes]:
+        """Payloads of every ``send_msg``, in order."""
+        return [e.message for e in self.of_type(SendMsg)]
+
+    def received_messages(self) -> List[bytes]:
+        """Payloads of every ``receive_msg``, in order."""
+        return [e.message for e in self.of_type(ReceiveMsg)]
+
+    def ok_count(self) -> int:
+        """Number of OK notifications."""
+        return self.count(Ok)
+
+    def crash_count(self) -> int:
+        """Total crashes of either station."""
+        return self.count(CrashT) + self.count(CrashR)
+
+    def message_outcomes(self) -> List[MessageOutcome]:
+        """Resolve every send_msg to ok / crash / pending.
+
+        Axiom 1 guarantees at most one message is in flight, so scanning
+        forward from each send_msg to the first OK or crash^T suffices.
+        """
+        outcomes: List[MessageOutcome] = []
+        for send_index in self.indexes_of(SendMsg):
+            message = self._events[send_index].message
+            resolution = "pending"
+            resolution_index: Optional[int] = None
+            delivered = False
+            for i in range(send_index + 1, len(self._events)):
+                event = self._events[i]
+                if isinstance(event, ReceiveMsg) and event.message == message:
+                    delivered = True
+                elif isinstance(event, Ok):
+                    resolution, resolution_index = "ok", i
+                    break
+                elif isinstance(event, CrashT):
+                    resolution, resolution_index = "crash", i
+                    break
+                elif isinstance(event, SendMsg):
+                    break  # Axiom 1 would forbid this; be defensive anyway
+            outcomes.append(
+                MessageOutcome(
+                    message=message,
+                    send_index=send_index,
+                    resolution=resolution,
+                    resolution_index=resolution_index,
+                    delivered_before_resolution=delivered,
+                )
+            )
+        return outcomes
+
+    def packets_sent(self) -> int:
+        """Total send_pkt actions on both channels."""
+        return self.count(PktSent)
+
+    def packets_delivered(self) -> int:
+        """Total deliver_pkt actions on both channels."""
+        return self.count(PktDelivered)
+
+    def retries(self) -> int:
+        """Total RETRY internal actions."""
+        return self.count(Retry)
+
+    def summary(self) -> str:
+        """One-line human-readable digest, useful in failure messages."""
+        return (
+            f"Trace(events={len(self._events)}, sends={self.count(SendMsg)}, "
+            f"oks={self.ok_count()}, delivered={self.count(ReceiveMsg)}, "
+            f"crashT={self.count(CrashT)}, crashR={self.count(CrashR)}, "
+            f"pkts={self.packets_sent()}/{self.packets_delivered()})"
+        )
+
+    def __repr__(self) -> str:
+        return self.summary()

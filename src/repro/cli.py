@@ -1,0 +1,248 @@
+"""Command-line interface: drive the protocol and experiments from a shell.
+
+Three subcommands cover the common workflows::
+
+    python -m repro simulate --messages 25 --loss 0.3 --duplicate 0.3 \\
+        --reorder 0.5 --crash-rate 0.002 --epsilon-bits 16 --seed 7
+
+    python -m repro attack --protocol fixed:5 --harvest 80 --runs 10
+    python -m repro attack --protocol paper --harvest 80 --runs 10
+
+    python -m repro sweep-loss --losses 0,0.2,0.4,0.6 --runs 5
+
+``simulate`` runs one execution of ``D(A, ADV)`` and prints metrics plus
+the Section 2.6 checker verdicts; ``attack`` stages the Section 3
+crash-then-replay attack against either the fixed-nonce strawman
+(``fixed:<bits>``) or the real protocol (``paper``); ``sweep-loss``
+reproduces the E7 cost curve.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.adversary.random_faults import FaultProfile, RandomFaultAdversary
+from repro.adversary.replay import ReplayAttacker
+from repro.analysis.bounds import expected_handshake_packets
+from repro.baselines.naive_handshake import make_naive_handshake_link
+from repro.checkers.safety import check_all_safety
+from repro.core.protocol import make_data_link
+from repro.sim.runner import RunSpec, monte_carlo
+from repro.sim.simulator import Simulator
+from repro.sim.workload import SequentialWorkload
+from repro.util.stats import wilson_interval
+from repro.util.tables import render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument grammar (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Goldreich-Herzberg-Mansour (PODC 1989) randomized data link: "
+            "simulate, attack, and sweep."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one execution of D(A, ADV)")
+    sim.add_argument("--messages", type=int, default=25)
+    sim.add_argument("--epsilon-bits", type=int, default=16,
+                     help="security parameter as epsilon = 2^-BITS")
+    sim.add_argument("--loss", type=float, default=0.0)
+    sim.add_argument("--duplicate", type=float, default=0.0)
+    sim.add_argument("--reorder", type=float, default=0.0)
+    sim.add_argument("--crash-rate", type=float, default=0.0,
+                     help="per-turn crash probability for each station")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--max-steps", type=int, default=200_000)
+
+    atk = sub.add_parser("attack", help="stage the Section 3 replay attack")
+    atk.add_argument("--protocol", default="paper",
+                     help='"paper" or "fixed:<nonce-bits>"')
+    atk.add_argument("--harvest", type=int, default=80)
+    atk.add_argument("--rounds", type=int, default=6)
+    atk.add_argument("--runs", type=int, default=10)
+    atk.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser("sweep-loss", help="packets/message vs loss rate")
+    sweep.add_argument("--losses", default="0,0.2,0.4,0.6",
+                       help="comma-separated loss rates")
+    sweep.add_argument("--runs", type=int, default=5)
+    sweep.add_argument("--messages", type=int, default=20)
+    sweep.add_argument("--epsilon-bits", type=int, default=16)
+
+    scenario = sub.add_parser("scenario", help="run a named scenario")
+    scenario.add_argument("name", nargs="?", default=None,
+                          help="scenario name (omit to list all)")
+    scenario.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    link = make_data_link(epsilon=2.0 ** -args.epsilon_bits, seed=args.seed)
+    adversary = RandomFaultAdversary(
+        FaultProfile(
+            loss=args.loss,
+            duplicate=args.duplicate,
+            reorder=args.reorder,
+            crash_t=args.crash_rate,
+            crash_r=args.crash_rate,
+        )
+    )
+    simulator = Simulator(
+        link,
+        adversary,
+        SequentialWorkload(args.messages),
+        seed=args.seed,
+        max_steps=args.max_steps,
+    )
+    result = simulator.run()
+    report = check_all_safety(result.trace)
+
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["completed", result.completed],
+            ["messages OK", f"{result.metrics.messages_ok}/{result.metrics.messages_submitted}"],
+            ["packets sent", result.metrics.packets_sent],
+            ["packets/message", result.metrics.per_message_packets],
+            ["bits/message", result.metrics.per_message_bits],
+            ["crashes (T/R)", f"{result.metrics.crashes_t}/{result.metrics.crashes_r}"],
+            ["nonce extensions", result.metrics.transmitter_extensions
+             + result.metrics.receiver_extensions],
+            ["peak storage bits", result.metrics.storage_peak_bits],
+            ["steps", result.steps],
+        ],
+        title="simulation",
+    ))
+    print()
+    print(render_table(
+        ["condition", "verdict", "trials"],
+        [[c.condition, "OK" if c.passed else "VIOLATED", c.trials]
+         for c in report.all_reports],
+        title="Section 2.6 conditions",
+    ))
+    return 0 if (result.completed and report.passed) else 1
+
+
+def _parse_protocol(spec: str):
+    if spec == "paper":
+        return lambda seed: make_data_link(epsilon=2.0 ** -12, seed=seed)
+    if spec.startswith("fixed:"):
+        bits = int(spec.split(":", 1)[1])
+        return lambda seed: make_naive_handshake_link(nonce_bits=bits, seed=seed)
+    raise SystemExit(f'unknown protocol {spec!r}: use "paper" or "fixed:<bits>"')
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    factory = _parse_protocol(args.protocol)
+    broken = 0
+    for run in range(args.runs):
+        seed = args.seed + run
+        link = factory(seed)
+        attacker = ReplayAttacker(
+            harvest_messages=args.harvest, replay_rounds=args.rounds
+        )
+        simulator = Simulator(
+            link,
+            attacker,
+            SequentialWorkload(args.harvest * 3),
+            seed=seed,
+            max_steps=60_000,
+        )
+        result = simulator.run()
+        report = check_all_safety(result.trace)
+        if not (report.no_replay.passed and report.no_duplication.passed):
+            broken += 1
+    estimate = wilson_interval(broken, args.runs)
+    print(render_table(
+        ["protocol", "broken", "runs", "rate", "95% interval"],
+        [[args.protocol, broken, args.runs, estimate.point,
+          f"[{estimate.low:.3g}, {estimate.high:.3g}]"]],
+        title="Section 3 crash-then-replay attack",
+    ))
+    return 0
+
+
+def _cmd_sweep_loss(args: argparse.Namespace) -> int:
+    losses = [float(x) for x in args.losses.split(",") if x.strip()]
+    rows = []
+    for loss in losses:
+        spec = RunSpec(
+            link_factory=lambda seed: make_data_link(
+                epsilon=2.0 ** -args.epsilon_bits, seed=seed
+            ),
+            adversary_factory=lambda loss=loss: RandomFaultAdversary(
+                FaultProfile(loss=loss)
+            ),
+            workload_factory=lambda seed: SequentialWorkload(args.messages),
+            max_steps=300_000,
+        )
+        mc = monte_carlo(spec, runs=args.runs, base_seed=int(loss * 1000))
+        rows.append([
+            loss,
+            mc.mean_packets_per_message,
+            expected_handshake_packets(loss),
+            mc.completion_rate,
+        ])
+    print(render_table(
+        ["loss", "pkts/msg", "analytic 2/(1-p)", "completion"],
+        rows,
+        title="packets per message vs loss",
+    ))
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.sim.scenarios import get_scenario, list_scenarios
+
+    if args.name is None:
+        print(render_table(
+            ["scenario", "description"],
+            [[s.name, s.description] for s in list_scenarios()],
+            title="available scenarios",
+        ))
+        return 0
+    try:
+        scenario = get_scenario(args.name)
+    except KeyError as error:
+        raise SystemExit(str(error))
+    outcome = scenario.run(seed=args.seed)
+    sim = outcome.simulation
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["scenario", scenario.name],
+            ["completed", sim.completed],
+            ["messages OK", f"{sim.metrics.messages_ok}/{sim.metrics.messages_submitted}"],
+            ["packets/message", sim.metrics.per_message_packets],
+            ["crashes (T/R)", f"{sim.metrics.crashes_t}/{sim.metrics.crashes_r}"],
+            ["safety", "all OK" if outcome.safety.passed else "VIOLATED"],
+        ],
+        title=scenario.description,
+    ))
+    return 0 if outcome.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "attack":
+        return _cmd_attack(args)
+    if args.command == "sweep-loss":
+        return _cmd_sweep_loss(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
+    raise SystemExit(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""The paper's primary contribution: the randomized data-link protocol.
+
+Public surface:
+
+* :class:`~repro.core.bitstrings.BitString` — the nonce value type;
+* :class:`~repro.core.random_source.RandomSource` — deterministic tapes;
+* :mod:`~repro.core.params` — ε and the size/bound policies;
+* :mod:`~repro.core.packets` — the two wire packet shapes;
+* :class:`~repro.core.transmitter.Transmitter` /
+  :class:`~repro.core.receiver.Receiver` — the station automata;
+* :func:`~repro.core.protocol.make_data_link` — convenience factory.
+"""
+
+from repro.core.bitstrings import BitString, EMPTY, TAU_CRASH, TAU_PRIME_CRASH
+from repro.core.events import (
+    ChannelId,
+    CrashR,
+    CrashT,
+    EmitOk,
+    EmitPacket,
+    EmitReceiveMsg,
+    Event,
+    Ok,
+    PktDelivered,
+    PktSent,
+    ReceiveMsg,
+    Retry,
+    SendMsg,
+    StationOutput,
+)
+from repro.core.exceptions import (
+    AxiomViolationError,
+    ChannelError,
+    CheckFailure,
+    CodecError,
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    UnknownPacketError,
+)
+from repro.core.packets import DataPacket, Packet, PollPacket, decode_packet, encode_packet
+from repro.core.params import (
+    AggressivePolicy,
+    FixedPolicy,
+    PrintedPaperPolicy,
+    ProtocolParams,
+    SizeBoundPolicy,
+    SoundPolicy,
+)
+from repro.core.protocol import DataLink, make_data_link
+from repro.core.random_source import RandomSource, split_seed
+from repro.core.receiver import Receiver, ReceiverStats
+from repro.core.transmitter import Transmitter, TransmitterStats
+
+__all__ = [
+    "AggressivePolicy",
+    "AxiomViolationError",
+    "BitString",
+    "ChannelError",
+    "ChannelId",
+    "CheckFailure",
+    "CodecError",
+    "ConfigurationError",
+    "CrashR",
+    "CrashT",
+    "DataLink",
+    "DataPacket",
+    "EMPTY",
+    "EmitOk",
+    "EmitPacket",
+    "EmitReceiveMsg",
+    "Event",
+    "FixedPolicy",
+    "Ok",
+    "Packet",
+    "PktDelivered",
+    "PktSent",
+    "PollPacket",
+    "PrintedPaperPolicy",
+    "ProtocolError",
+    "ProtocolParams",
+    "ReceiveMsg",
+    "Receiver",
+    "ReceiverStats",
+    "RandomSource",
+    "ReproError",
+    "Retry",
+    "SendMsg",
+    "SimulationError",
+    "SizeBoundPolicy",
+    "SoundPolicy",
+    "StationOutput",
+    "TAU_CRASH",
+    "TAU_PRIME_CRASH",
+    "Transmitter",
+    "TransmitterStats",
+    "UnknownPacketError",
+    "decode_packet",
+    "encode_packet",
+    "make_data_link",
+    "split_seed",
+]

@@ -1,0 +1,194 @@
+"""Immutable bit strings and the prefix algebra used by the protocol.
+
+The protocol of Appendix A manipulates random strings with exactly four
+operations (Figure 3): ``random(l)``, ``concat(s, r)``, ``prefix(s, r)`` and
+length inspection.  :class:`BitString` packages those operations behind an
+immutable, hashable value type so that protocol state can never be mutated
+in place by accident — an important property when traces of past states are
+recorded for the correctness checkers.
+
+Bits are stored as a Python ``int`` plus an explicit length, which keeps
+concatenation and prefix tests O(1)-ish for the string sizes the protocol
+uses while preserving leading zeros (``"0010"`` and ``"10"`` are different
+strings of different lengths).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+__all__ = ["BitString", "EMPTY", "TAU_CRASH", "TAU_PRIME_CRASH"]
+
+
+class BitString:
+    """An immutable sequence of bits.
+
+    Instances compare equal iff they have the same length and the same bit
+    values.  The class supports the operations of Figure 3 of the paper:
+
+    * :meth:`concat` — ``concat(s, r)``;
+    * :meth:`is_prefix_of` — ``prefix(s, r)``;
+    * ``len(s)`` — ``length(s)``.
+
+    Examples
+    --------
+    >>> s = BitString("0101")
+    >>> len(s)
+    4
+    >>> s.concat(BitString("1")).to01()
+    '01011'
+    >>> BitString("01").is_prefix_of(s)
+    True
+    """
+
+    __slots__ = ("_value", "_length")
+
+    def __init__(self, bits: Union[str, "BitString", None] = None) -> None:
+        if bits is None:
+            self._value = 0
+            self._length = 0
+        elif isinstance(bits, BitString):
+            self._value = bits._value
+            self._length = bits._length
+        elif isinstance(bits, str):
+            if bits and any(c not in "01" for c in bits):
+                raise ValueError(f"bit string may contain only 0/1: {bits!r}")
+            self._value = int(bits, 2) if bits else 0
+            self._length = len(bits)
+        else:
+            raise TypeError(f"cannot build BitString from {type(bits).__name__}")
+
+    @classmethod
+    def from_int(cls, value: int, length: int) -> "BitString":
+        """Build a bit string of exactly ``length`` bits from an integer.
+
+        The integer supplies the low ``length`` bits, most significant first.
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        if value < 0:
+            raise ValueError("value must be non-negative")
+        if value >> length:
+            raise ValueError(f"value {value} does not fit in {length} bits")
+        out = cls.__new__(cls)
+        out._value = value
+        out._length = length
+        return out
+
+    # -- Figure 3 operations -------------------------------------------------
+
+    def concat(self, other: "BitString") -> "BitString":
+        """Return the concatenation ``self || other`` (Figure 3 ``concat``)."""
+        if not isinstance(other, BitString):
+            raise TypeError("can only concat BitString with BitString")
+        return BitString.from_int(
+            (self._value << other._length) | other._value,
+            self._length + other._length,
+        )
+
+    def is_prefix_of(self, other: "BitString") -> bool:
+        """Return True iff ``self`` is a prefix of ``other`` (Figure 3 ``prefix``).
+
+        Every string is a prefix of itself; the empty string is a prefix of
+        everything.
+        """
+        if not isinstance(other, BitString):
+            raise TypeError("prefix comparison requires a BitString")
+        if self._length > other._length:
+            return False
+        return (other._value >> (other._length - self._length)) == self._value
+
+    def is_proper_prefix_of(self, other: "BitString") -> bool:
+        """Return True iff ``self`` is a strictly shorter prefix of ``other``."""
+        return self._length < len(other) and self.is_prefix_of(other)
+
+    def is_comparable_with(self, other: "BitString") -> bool:
+        """Return True iff one string is a prefix of the other.
+
+        The receiver of Figure 5 delivers a message exactly when the incoming
+        τ is *not* comparable with its stored τ — comparability means "same
+        handshake", incomparability means "new message".
+        """
+        return self.is_prefix_of(other) or other.is_prefix_of(self)
+
+    # -- derived helpers ------------------------------------------------------
+
+    def prefix(self, length: int) -> "BitString":
+        """Return the first ``length`` bits of this string."""
+        if not 0 <= length <= self._length:
+            raise ValueError(f"prefix length {length} out of range 0..{self._length}")
+        return BitString.from_int(self._value >> (self._length - length), length)
+
+    def suffix(self, length: int) -> "BitString":
+        """Return the last ``length`` bits of this string.
+
+        Lemma 2 of the paper reasons about "the last size(t, ε) bits of ρ";
+        this is that operation.
+        """
+        if not 0 <= length <= self._length:
+            raise ValueError(f"suffix length {length} out of range 0..{self._length}")
+        mask = (1 << length) - 1
+        return BitString.from_int(self._value & mask, length)
+
+    def to01(self) -> str:
+        """Render as a string of '0'/'1' characters (MSB first)."""
+        if self._length == 0:
+            return ""
+        return format(self._value, f"0{self._length}b")
+
+    def bits(self) -> Iterator[int]:
+        """Iterate over the bits, most significant first."""
+        for shift in range(self._length - 1, -1, -1):
+            yield (self._value >> shift) & 1
+
+    @property
+    def value(self) -> int:
+        """The bits interpreted as a big-endian integer."""
+        return self._value
+
+    # -- dunder protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitString):
+            return NotImplemented
+        return self._length == other._length and self._value == other._value
+
+    def __hash__(self) -> int:
+        return hash((self._length, self._value))
+
+    def __add__(self, other: "BitString") -> "BitString":
+        return self.concat(other)
+
+    def __getitem__(self, index: int) -> int:
+        if isinstance(index, slice):
+            raise TypeError("use .prefix()/.suffix() instead of slicing")
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError("bit index out of range")
+        return (self._value >> (self._length - 1 - index)) & 1
+
+    def __repr__(self) -> str:
+        shown = self.to01()
+        if len(shown) > 40:
+            shown = f"{shown[:18]}...{shown[-18:]}"
+        return f"BitString({shown!r}, len={self._length})"
+
+
+#: The empty bit string.
+EMPTY = BitString("")
+
+#: Sentinel value the receiver assigns to τ^R after a crash (Figure 3:
+#: "τ_crash returns some predefined string, e.g. 0").
+TAU_CRASH = BitString("0")
+
+#: The leading bit forced onto every transmitter nonce so that τ_crash is
+#: never a prefix of τ^T (Figure 3: "τ'_crash returns a string different
+#: from τ_crash, e.g. 1").
+TAU_PRIME_CRASH = BitString("1")

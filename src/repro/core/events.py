@@ -1,0 +1,137 @@
+"""Event vocabulary for executions of ``D(A, ADV)``.
+
+Section 2 of the paper describes the system as I/O automata whose external
+actions form an *execution*.  The simulator records executions as sequences
+of the event types defined here; the checkers in :mod:`repro.checkers`
+evaluate the Section 2.6 correctness conditions directly on these
+sequences, so every event carries exactly the information the definitions
+mention (messages, packet identifiers, channel directions).
+
+Two channel directions exist, named after the paper's superscripts:
+``T_TO_R`` (``C^{T→R}``) and ``R_TO_T`` (``C^{R→T}``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "ChannelId",
+    "Event",
+    "SendMsg",
+    "Ok",
+    "ReceiveMsg",
+    "CrashT",
+    "CrashR",
+    "Retry",
+    "PktSent",
+    "PktDelivered",
+    "StationOutput",
+    "EmitPacket",
+    "EmitOk",
+    "EmitReceiveMsg",
+]
+
+
+class ChannelId(str, enum.Enum):
+    """The two unidirectional channels of Figure 1."""
+
+    T_TO_R = "T->R"
+    R_TO_T = "R->T"
+
+    def __str__(self) -> str:  # keeps traces readable
+        return self.value
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for all recorded execution events."""
+
+
+@dataclass(frozen=True)
+class SendMsg(Event):
+    """``send_msg(m)``: the higher layer hands message ``m`` to the TM."""
+
+    message: bytes
+
+
+@dataclass(frozen=True)
+class Ok(Event):
+    """``OK``: the TM notifies the higher layer the last message arrived."""
+
+
+@dataclass(frozen=True)
+class ReceiveMsg(Event):
+    """``receive_msg(m)``: the RM delivers ``m`` to the higher layer."""
+
+    message: bytes
+
+
+@dataclass(frozen=True)
+class CrashT(Event):
+    """``crash^T``: the transmitting station loses its entire memory."""
+
+
+@dataclass(frozen=True)
+class CrashR(Event):
+    """``crash^R``: the receiving station loses its entire memory."""
+
+
+@dataclass(frozen=True)
+class Retry(Event):
+    """The RM's internal RETRY action (assumed to recur forever)."""
+
+
+@dataclass(frozen=True)
+class PktSent(Event):
+    """``send_pkt``/``new_pkt``: a packet entered a channel.
+
+    ``packet_id`` and ``length_bits`` are exactly what ``new_pkt(id, l)``
+    exposes to the adversary — never the contents.
+    """
+
+    channel: ChannelId
+    packet_id: int
+    length_bits: int
+
+
+@dataclass(frozen=True)
+class PktDelivered(Event):
+    """``deliver_pkt``/``receive_pkt``: the adversary delivered a packet."""
+
+    channel: ChannelId
+    packet_id: int
+
+
+# ---------------------------------------------------------------------------
+# Station outputs.  The station automata are pure transition functions that
+# return lists of these; the simulator turns them into channel operations and
+# trace events.  Keeping them distinct from Event keeps the automata
+# decoupled from the harness.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StationOutput:
+    """Base class for outputs produced by a station transition."""
+
+
+@dataclass(frozen=True)
+class EmitPacket(StationOutput):
+    """The station asks for ``send_pkt(packet)`` on its outgoing channel."""
+
+    packet: object  # DataPacket or PollPacket; typed loosely to avoid cycles
+
+
+@dataclass(frozen=True)
+class EmitOk(StationOutput):
+    """The transmitter performs its ``OK`` output action."""
+
+
+@dataclass(frozen=True)
+class EmitReceiveMsg(StationOutput):
+    """The receiver performs ``receive_msg(message)``."""
+
+    message: bytes

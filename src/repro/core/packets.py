@@ -1,0 +1,172 @@
+"""Packet types and their wire codec.
+
+The protocol exchanges two packet shapes (Section 3 / Appendix A):
+
+* **data packets** ``(m, ρ, τ)`` from transmitter to receiver, carrying the
+  message ``m``, the echoed receiver challenge ρ, and the transmitter
+  nonce τ;
+* **poll/ack packets** ``(ρ, τ, i)`` from receiver to transmitter, carrying
+  the receiver's current challenge ρ, the τ of the last accepted message,
+  and the retry counter ``i``.
+
+The model of Section 2.3 defines packets as elements of {0,1}* with a
+``length`` function, and the adversary observes *only* identifiers and
+lengths.  We therefore give every packet a canonical wire encoding;
+``wire_length_bits`` is the ``length(p)`` the channel reports to the
+adversary.  Encoding/decoding round-trips exactly, which the property tests
+verify, so simulations may pass packet objects by reference without losing
+fidelity.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.bitstrings import BitString
+from repro.core.exceptions import CodecError
+
+__all__ = ["DataPacket", "PollPacket", "Packet", "encode_packet", "decode_packet"]
+
+_KIND_DATA = 0xD1
+_KIND_POLL = 0xA5
+
+
+def _encode_bitstring(bits: BitString) -> bytes:
+    """Length-prefixed encoding of a bit string: u32 bit count + packed bytes."""
+    n = len(bits)
+    nbytes = (n + 7) // 8
+    value = bits.value << (nbytes * 8 - n) if n else 0
+    return struct.pack(">I", n) + value.to_bytes(nbytes, "big")
+
+
+def _decode_bitstring(data: bytes, offset: int) -> "tuple[BitString, int]":
+    if offset + 4 > len(data):
+        raise CodecError("truncated bit-string length")
+    (n,) = struct.unpack_from(">I", data, offset)
+    offset += 4
+    nbytes = (n + 7) // 8
+    if offset + nbytes > len(data):
+        raise CodecError("truncated bit-string body")
+    raw = int.from_bytes(data[offset : offset + nbytes], "big")
+    value = raw >> (nbytes * 8 - n) if n else 0
+    return BitString.from_int(value, n), offset + nbytes
+
+
+@dataclass(frozen=True)
+class DataPacket:
+    """A transmitter→receiver packet ``(m, ρ, τ)``."""
+
+    message: bytes
+    rho: BitString
+    tau: BitString
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.message, bytes):
+            raise TypeError("message payload must be bytes")
+
+    def encode(self) -> bytes:
+        """Serialise to the canonical wire format."""
+        return (
+            bytes([_KIND_DATA])
+            + struct.pack(">I", len(self.message))
+            + self.message
+            + _encode_bitstring(self.rho)
+            + _encode_bitstring(self.tau)
+        )
+
+    @property
+    def wire_length_bits(self) -> int:
+        """``length(p)`` as reported to the adversary (Section 2.3)."""
+        return len(self.encode()) * 8
+
+    def __repr__(self) -> str:
+        return (
+            f"DataPacket(m={self.message!r}, rho={self.rho.to01()}, "
+            f"tau={self.tau.to01()})"
+        )
+
+
+@dataclass(frozen=True)
+class PollPacket:
+    """A receiver→transmitter packet ``(ρ, τ, i)``.
+
+    Sent on every RETRY; doubles as the acknowledgement once τ names the
+    transmitter's current nonce.
+    """
+
+    rho: BitString
+    tau: BitString
+    retry: int
+
+    def __post_init__(self) -> None:
+        if self.retry < 0:
+            raise ValueError("retry counter must be non-negative")
+
+    def encode(self) -> bytes:
+        """Serialise to the canonical wire format."""
+        return (
+            bytes([_KIND_POLL])
+            + _encode_bitstring(self.rho)
+            + _encode_bitstring(self.tau)
+            + struct.pack(">Q", self.retry)
+        )
+
+    @property
+    def wire_length_bits(self) -> int:
+        """``length(p)`` as reported to the adversary (Section 2.3)."""
+        return len(self.encode()) * 8
+
+    def __repr__(self) -> str:
+        return (
+            f"PollPacket(rho={self.rho.to01()}, tau={self.tau.to01()}, "
+            f"i={self.retry})"
+        )
+
+
+Packet = Union[DataPacket, PollPacket]
+
+
+def encode_packet(packet: Packet) -> bytes:
+    """Serialise either packet kind to bytes."""
+    if isinstance(packet, (DataPacket, PollPacket)):
+        return packet.encode()
+    raise CodecError(f"not a protocol packet: {type(packet).__name__}")
+
+
+def decode_packet(data: bytes) -> Packet:
+    """Parse a packet from its canonical wire format.
+
+    Raises :class:`CodecError` on any malformed input — the channel never
+    corrupts packets (causality axiom), so a decode failure indicates a bug,
+    not a tolerated fault.
+    """
+    if not data:
+        raise CodecError("empty packet")
+    kind, offset = data[0], 1
+    if kind == _KIND_DATA:
+        if offset + 4 > len(data):
+            raise CodecError("truncated message length")
+        (mlen,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        if offset + mlen > len(data):
+            raise CodecError("truncated message body")
+        message = data[offset : offset + mlen]
+        offset += mlen
+        rho, offset = _decode_bitstring(data, offset)
+        tau, offset = _decode_bitstring(data, offset)
+        if offset != len(data):
+            raise CodecError("trailing bytes after data packet")
+        return DataPacket(message=message, rho=rho, tau=tau)
+    if kind == _KIND_POLL:
+        rho, offset = _decode_bitstring(data, offset)
+        tau, offset = _decode_bitstring(data, offset)
+        if offset + 8 > len(data):
+            raise CodecError("truncated retry counter")
+        (retry,) = struct.unpack_from(">Q", data, offset)
+        offset += 8
+        if offset != len(data):
+            raise CodecError("trailing bytes after poll packet")
+        return PollPacket(rho=rho, tau=tau, retry=retry)
+    raise CodecError(f"unknown packet kind byte 0x{kind:02x}")

@@ -1,0 +1,240 @@
+"""Protocol parameters: the ``size`` and ``bound`` functions of Figure 3.
+
+The protocol's defence against replay is *adaptive nonce extension*: a
+station tolerates ``bound(t)`` wrong packets against its current nonce, then
+appends ``size(t+1, ε)`` fresh random bits and resets the counter.  The paper
+leaves the concrete pair as a tunable ("The specific pair of bound and size
+given in Figure 3 is not the only selection that ensures correctness") and
+names choosing good functions an open problem (§5).
+
+We therefore expose the pair as a pluggable :class:`SizeBoundPolicy`.  The
+union bound of Lemmas 4/6 needs, per lemma,
+
+    Σ_{t≥1} bound(t) · 2^(−size(t, ε))  ≤  ε/4 ,
+
+because at generation ``t`` the adversary gets ``bound(t)`` guesses at a
+fresh ``size(t, ε)``-bit suffix.  :class:`SoundPolicy` (the default)
+satisfies this with margin; :class:`PrintedPaperPolicy` implements the
+constants literally as printed in the (OCR-damaged) technical report, and
+:class:`AggressivePolicy` trades longer nonces for fewer extensions.  The
+ablation benchmark (experiment E8) compares them.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = [
+    "SizeBoundPolicy",
+    "SoundPolicy",
+    "PrintedPaperPolicy",
+    "AggressivePolicy",
+    "FixedPolicy",
+    "ProtocolParams",
+    "log2_inverse",
+]
+
+
+def log2_inverse(epsilon: float) -> int:
+    """Return ⌈log2(1/ε)⌉, the number of bits needed to push a uniform
+    guess below ε."""
+    if not 0.0 < epsilon < 1.0:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+    return max(1, math.ceil(math.log2(1.0 / epsilon)))
+
+
+class SizeBoundPolicy(ABC):
+    """A (size, bound) pair governing nonce growth.
+
+    ``size(t, ε)`` is the number of fresh bits appended at generation ``t``
+    (generations are 1-based, matching ``t^R``/``t^T`` in Appendix A);
+    ``bound(t)`` is the number of same-length mismatches tolerated before
+    moving to generation ``t + 1``.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def size(self, t: int, epsilon: float) -> int:
+        """Bits appended at generation ``t`` for security parameter ``ε``."""
+
+    @abstractmethod
+    def bound(self, t: int) -> int:
+        """Wrong packets tolerated at generation ``t`` before extending."""
+
+    # -- analysis helpers -------------------------------------------------------
+
+    def generation_failure_mass(self, t: int, epsilon: float) -> float:
+        """Upper bound on P[adversary hits the generation-``t`` suffix].
+
+        ``bound(t)`` guesses at a uniform ``size(t, ε)``-bit string.
+        """
+        return self.bound(t) * 2.0 ** (-self.size(t, epsilon))
+
+    def total_failure_mass(self, epsilon: float, horizon: int = 64) -> float:
+        """Σ_t bound(t)·2^(−size(t, ε)) up to ``horizon`` generations.
+
+        For a policy to support the paper's Theorem 3 accounting this must
+        be ≤ ε/4 (each of the four lemmas spends ε/4).
+        """
+        return sum(self.generation_failure_mass(t, epsilon) for t in range(1, horizon + 1))
+
+    def is_sound(self, epsilon: float, horizon: int = 64) -> bool:
+        """True iff the union bound telescopes to at most ε/4."""
+        return self.total_failure_mass(epsilon, horizon) <= epsilon / 4.0
+
+    def cumulative_size(self, t: int, epsilon: float) -> int:
+        """Total nonce length after ``t`` generations (storage metric)."""
+        return sum(self.size(s, epsilon) for s in range(1, t + 1))
+
+    def validate(self, epsilon: float) -> None:
+        """Raise :class:`ConfigurationError` on degenerate parameters."""
+        for t in (1, 2, 8):
+            if self.size(t, epsilon) < 1:
+                raise ConfigurationError(f"{self.name}: size({t}) must be >= 1")
+            if self.bound(t) < 1:
+                raise ConfigurationError(f"{self.name}: bound({t}) must be >= 1")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SoundPolicy(SizeBoundPolicy):
+    """Default policy: ``size(t, ε) = 2t + 4 + ⌈log2(1/ε)⌉``, ``bound(t) = 2^t``.
+
+    Per-generation failure mass is ``2^t · ε · 2^(−2t−4) = ε/2^(t+4)``, so the
+    total over all generations is at most ε/16 < ε/4 — the accounting
+    Theorem 3 requires, with room to spare.
+    """
+
+    name = "sound"
+
+    def size(self, t: int, epsilon: float) -> int:
+        if t < 1:
+            raise ValueError("generations are 1-based")
+        return 2 * t + 4 + log2_inverse(epsilon)
+
+    def bound(self, t: int) -> int:
+        if t < 1:
+            raise ValueError("generations are 1-based")
+        return 2 ** t
+
+
+class PrintedPaperPolicy(SizeBoundPolicy):
+    """The constants literally as printed in TR #563 Figure 3.
+
+    ``size(t, ε) = t + 4 − ⌊log2 ε⌋`` and ``bound(t) = ⌊2^t / 4⌋`` (reading
+    the garbled "⌊2t/4⌋" as the exponential the analysis needs; the linear
+    reading makes ``bound(1) = 0``, which deadlocks generation 1).  Each
+    generation's failure mass is a constant ε/64, so the infinite-horizon
+    union bound does not telescope — usable in practice (few generations
+    ever happen) but included mainly for the E8 ablation.
+    """
+
+    name = "printed"
+
+    def size(self, t: int, epsilon: float) -> int:
+        if t < 1:
+            raise ValueError("generations are 1-based")
+        return t + 4 + log2_inverse(epsilon)
+
+    def bound(self, t: int) -> int:
+        if t < 1:
+            raise ValueError("generations are 1-based")
+        return max(1, 2 ** t // 4)
+
+
+class AggressivePolicy(SizeBoundPolicy):
+    """Fast-growing nonces: ``size(t, ε) = 4t + 2 + ⌈log2(1/ε)⌉``, ``bound(t) = 4^t``.
+
+    Tolerates many more wrong packets per generation (fewer, larger
+    extensions), at the cost of longer packets once faults do occur.
+    Per-generation failure mass is ``ε·2^(−2t−2)``, total ≤ ε/12 < ε/4.
+    """
+
+    name = "aggressive"
+
+    def size(self, t: int, epsilon: float) -> int:
+        if t < 1:
+            raise ValueError("generations are 1-based")
+        return 4 * t + 2 + log2_inverse(epsilon)
+
+    def bound(self, t: int) -> int:
+        if t < 1:
+            raise ValueError("generations are 1-based")
+        return 4 ** t
+
+
+class FixedPolicy(SizeBoundPolicy):
+    """A *non-adaptive* policy: constant size, effectively infinite bound.
+
+    This is the "first modification" protocol of Section 3 — a single random
+    string per message that is never extended.  The paper's replay-attack
+    scenario defeats exactly this; we keep it to reproduce that scenario
+    (experiment E2) inside the same machinery.
+    """
+
+    name = "fixed"
+
+    def __init__(self, nonce_bits: int = 8) -> None:
+        if nonce_bits < 1:
+            raise ConfigurationError("nonce_bits must be >= 1")
+        self.nonce_bits = nonce_bits
+
+    def size(self, t: int, epsilon: float) -> int:
+        return self.nonce_bits if t == 1 else 0
+
+    def bound(self, t: int) -> int:
+        return 2 ** 62  # never reached in any finite execution
+
+    def validate(self, epsilon: float) -> None:
+        # size(t>1) == 0 is intentional here; skip the generic check.
+        if self.nonce_bits < 1:
+            raise ConfigurationError("nonce_bits must be >= 1")
+
+    def __repr__(self) -> str:
+        return f"FixedPolicy(nonce_bits={self.nonce_bits})"
+
+
+@dataclass(frozen=True)
+class ProtocolParams:
+    """Bundle of everything a station pair needs agreed up front.
+
+    Attributes
+    ----------
+    epsilon:
+        The security parameter ε of Section 2.6: per-message error
+        probability the protocol may not exceed.
+    policy:
+        The (size, bound) pair governing nonce extension.
+    require_sound_policy:
+        If True (default), reject policies whose union bound does not
+        telescope to ε/4 — set False to run the E8 ablation or the broken
+        baseline of experiment E2.
+    """
+
+    epsilon: float = 2.0 ** -20
+    policy: SizeBoundPolicy = field(default_factory=SoundPolicy)
+    require_sound_policy: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epsilon < 1.0:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        self.policy.validate(self.epsilon)
+        if self.require_sound_policy and not self.policy.is_sound(self.epsilon):
+            raise ConfigurationError(
+                f"policy {self.policy.name!r} does not satisfy the epsilon/4 union "
+                f"bound; pass require_sound_policy=False to use it anyway"
+            )
+
+    def size(self, t: int) -> int:
+        """``size(t, ε)`` with this configuration's ε baked in."""
+        return self.policy.size(t, self.epsilon)
+
+    def bound(self, t: int) -> int:
+        """``bound(t)`` of the configured policy."""
+        return self.policy.bound(t)

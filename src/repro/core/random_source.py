@@ -1,0 +1,127 @@
+"""Deterministic randomness for protocol stations and adversaries.
+
+Every random choice in the system — the stations' nonces and the adversary's
+coin tosses — flows through a :class:`RandomSource`.  This gives three things
+the paper's analysis needs and a reproduction must preserve:
+
+* **Independent tapes.**  Section 4 fixes "the random tape of the adversary
+  and the transmitting station" while quantifying over the receiver's tape.
+  Distinct sources seeded independently model exactly those tapes.
+* **Reproducibility.**  Experiments and failing property tests can be
+  replayed bit-for-bit from a seed.
+* **Crash semantics.**  A crash erases a station's *memory* but not its
+  entropy supply; the source survives crashes, exactly as a hardware RNG
+  would, while all protocol state is re-initialised.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.core.bitstrings import BitString
+
+__all__ = ["RandomSource", "split_seed"]
+
+
+def split_seed(seed: int, *labels: object) -> int:
+    """Derive an independent child seed from ``seed`` and a label path.
+
+    Used to give each component of a simulation (transmitter, receiver,
+    adversary, workload) its own deterministic tape from one experiment seed.
+    The derivation is stable across runs and platforms.
+    """
+    h = 0x811C9DC5
+    for token in (seed,) + labels:
+        for byte in repr(token).encode("utf-8"):
+            h ^= byte
+            h = (h * 0x01000193) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+class RandomSource:
+    """A seeded stream of random bits and standard sampling helpers.
+
+    Implements ``random(l)`` of Figure 3 as :meth:`random_bits`, plus the
+    sampling primitives adversaries and workload generators need.  Wraps
+    :class:`random.Random` (Mersenne Twister), which is more than adequate
+    for simulation — the oblivious-adversary assumption is enforced
+    structurally, not cryptographically (see DESIGN.md §5).
+    """
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._bits_drawn = 0
+
+    @property
+    def seed(self) -> Optional[int]:
+        """The seed this source was created with (None = OS entropy)."""
+        return self._seed
+
+    @property
+    def bits_drawn(self) -> int:
+        """Total number of random bits handed out so far (for metrics)."""
+        return self._bits_drawn
+
+    def fork(self, *labels: object) -> "RandomSource":
+        """Create an independently-seeded child source.
+
+        The child's tape is a deterministic function of this source's seed
+        and the labels, so forking does not perturb this source's stream.
+        """
+        base = self._seed if self._seed is not None else self._rng.getrandbits(64)
+        return RandomSource(split_seed(base, *labels))
+
+    # -- bit-level primitives (Figure 3 `random`) ------------------------------
+
+    def random_bits(self, length: int) -> BitString:
+        """Return a uniformly random :class:`BitString` of ``length`` bits."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        self._bits_drawn += length
+        if length == 0:
+            return BitString("")
+        return BitString.from_int(self._rng.getrandbits(length), length)
+
+    # -- generic sampling helpers ----------------------------------------------
+
+    def random_float(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._rng.random()
+
+    def bernoulli(self, probability: float) -> bool:
+        """Return True with the given probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability {probability} outside [0, 1]")
+        return self._rng.random() < probability
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range [low, high]."""
+        return self._rng.randint(low, high)
+
+    def choice(self, items: Sequence):
+        """Uniformly choose one element of a non-empty sequence."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return self._rng.choice(items)
+
+    def sample(self, items: Sequence, k: int) -> list:
+        """Choose ``k`` distinct elements without replacement."""
+        return self._rng.sample(list(items), k)
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle a list in place."""
+        self._rng.shuffle(items)
+
+    def geometric(self, probability: float) -> int:
+        """Number of Bernoulli(p) trials up to and including the first success."""
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        count = 1
+        while not self.bernoulli(probability):
+            count += 1
+        return count
+
+    def __repr__(self) -> str:
+        return f"RandomSource(seed={self._seed!r})"

@@ -1,0 +1,196 @@
+"""The receiving module (RM) of Appendix A, Figure 5.
+
+The receiver owns the pace of the protocol: its internal RETRY action
+(assumed to occur infinitely often) retransmits the current poll packet
+``(ρ^R, τ^R, i^R)`` until progress happens.  On an incoming data packet
+``(m, ρ, τ)`` it applies Figure 5's decision tree:
+
+* ``ρ = ρ^R`` and ``τ^R`` a prefix of ``τ``  →  same handshake, the
+  transmitter merely extended its nonce: adopt the longer τ, do **not**
+  deliver again;
+* ``ρ = ρ^R`` and τ incomparable with ``τ^R``  →  a new message: deliver
+  it, remember its τ, draw a fresh challenge ρ, reset all counters;
+* ``ρ = ρ^R`` and τ a proper prefix of ``τ^R``  →  stale packet, ignore;
+* ``ρ ≠ ρ^R`` of the *same length* (and not the previous handshake's ρ)
+  →  count toward ``num^R`` and extend ρ^R once ``bound(t^R)`` is hit.
+
+After ``crash^R`` the memory resets with ``τ^R = τ_crash``; since live
+transmitter nonces always start with ``τ'_crash``, the first genuine data
+packet after a receiver crash is always recognised as new — no message is
+lost across a receiver crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.bitstrings import BitString, TAU_CRASH
+from repro.core.events import EmitPacket, EmitReceiveMsg, StationOutput
+from repro.core.exceptions import ProtocolError
+from repro.core.packets import DataPacket, PollPacket
+from repro.core.params import ProtocolParams
+from repro.core.random_source import RandomSource
+
+__all__ = ["Receiver", "ReceiverStats"]
+
+
+@dataclass
+class ReceiverStats:
+    """Counters exposed for the metrics pipeline (not protocol state)."""
+
+    packets_sent: int = 0
+    deliveries: int = 0
+    crashes: int = 0
+    errors_counted: int = 0
+    extensions: int = 0
+    stale_ignored: int = 0
+    tau_updates: int = 0
+    max_rho_bits: int = 0
+
+    def observe_rho(self, rho: BitString) -> None:
+        self.max_rho_bits = max(self.max_rho_bits, len(rho))
+
+
+class Receiver:
+    """The RM automaton: polls the transmitter and delivers new messages.
+
+    Like :class:`~repro.core.transmitter.Transmitter` this is a pure state
+    machine; the simulator calls :meth:`retry` whenever the RETRY internal
+    action is scheduled and :meth:`on_receive_pkt` for channel deliveries.
+    """
+
+    def __init__(self, params: ProtocolParams, rng: RandomSource) -> None:
+        self._params = params
+        self._rng = rng
+        self.stats = ReceiverStats()
+        self._reset_memory()
+        self.stats.crashes = 0
+
+    # -- state inspection -------------------------------------------------------
+
+    @property
+    def rho(self) -> BitString:
+        """The current challenge ρ^R."""
+        return self._rho
+
+    @property
+    def tau(self) -> BitString:
+        """τ^R: the nonce of the last accepted message (or τ_crash)."""
+        return self._tau
+
+    @property
+    def generation(self) -> int:
+        """t^R: how many times ρ^R has been extended for this message."""
+        return self._t
+
+    @property
+    def error_count(self) -> int:
+        """num^R: same-length ρ mismatches seen at the current generation."""
+        return self._num
+
+    @property
+    def retry_counter(self) -> int:
+        """i^R: retries since the last receive_msg or crash."""
+        return self._i
+
+    @property
+    def messages_accepted(self) -> int:
+        """k − 1: how many messages this incarnation has delivered."""
+        return self._k - 1
+
+    @property
+    def storage_bits(self) -> int:
+        """Current volatile-state footprint attributable to nonces."""
+        prev = len(self._prev_rho) if self._prev_rho else 0
+        return len(self._rho) + len(self._tau) + prev
+
+    # -- input actions ------------------------------------------------------------
+
+    def crash(self) -> None:
+        """``crash^R``: erase the entire memory (back to the initial value)."""
+        self._reset_memory()
+
+    def retry(self) -> List[StationOutput]:
+        """The internal RETRY action: (re)send the current poll packet."""
+        packet = PollPacket(rho=self._rho, tau=self._tau, retry=self._i)
+        self._i += 1
+        self.stats.packets_sent += 1
+        return [EmitPacket(packet)]
+
+    def on_receive_pkt(self, packet: DataPacket) -> List[StationOutput]:
+        """``receive_pkt^{T→R}(m, ρ, τ)``: Figure 5's decision tree."""
+        if not isinstance(packet, DataPacket):
+            raise ProtocolError(
+                f"receiver received a {type(packet).__name__}; only "
+                f"DataPacket travels on C^(T->R)"
+            )
+        if packet.rho == self._rho:
+            return self._on_matching_challenge(packet)
+        self._count_rho_error(packet.rho)
+        return []
+
+    # -- internals ------------------------------------------------------------------
+
+    def _on_matching_challenge(self, packet: DataPacket) -> List[StationOutput]:
+        if self._tau.is_prefix_of(packet.tau):
+            # Same handshake, transmitter extended its nonce: keep up so our
+            # next poll acknowledges the full string.  No second delivery.
+            if packet.tau != self._tau:
+                self._tau = packet.tau
+                self.stats.tau_updates += 1
+            return []
+        if packet.tau.is_prefix_of(self._tau):
+            # τ is a proper prefix of τ^R: an old packet from earlier in this
+            # same handshake.  Ignore it.
+            self.stats.stale_ignored += 1
+            return []
+        # τ incomparable with τ^R: a genuinely new message.
+        self._tau = packet.tau
+        self._k += 1
+        self._t = 1
+        self._num = 0
+        self._i = 1
+        self._prev_rho = self._rho
+        self._rho = self._rng.random_bits(self._params.size(1))
+        self.stats.deliveries += 1
+        self.stats.observe_rho(self._rho)
+        return [EmitReceiveMsg(packet.message)]
+
+    def _count_rho_error(self, rho: BitString) -> None:
+        """num^R bookkeeping (the ELSE branch of Figure 5).
+
+        Only packets whose ρ has the *same length* as ρ^R burn error budget:
+        shorter ρ values are necessarily from before our latest extension,
+        and the previous handshake's ρ (``ρ_{k−1}`` in Figure 5) is a benign
+        duplicate of a message we already accepted.
+        """
+        if len(rho) != len(self._rho):
+            return
+        if self._prev_rho is not None and rho == self._prev_rho:
+            return
+        self._num += 1
+        self.stats.errors_counted += 1
+        if self._num >= self._params.bound(self._t):
+            self._t += 1
+            self._num = 0
+            self._rho = self._rho.concat(self._rng.random_bits(self._params.size(self._t)))
+            self.stats.extensions += 1
+            self.stats.observe_rho(self._rho)
+
+    def _reset_memory(self) -> None:
+        self._k = 1
+        self._t = 1
+        self._num = 0
+        self._i = 1
+        self._tau = TAU_CRASH
+        self._rho = self._rng.random_bits(self._params.size(1))
+        self._prev_rho: Optional[BitString] = None
+        self.stats.crashes += 1
+        self.stats.observe_rho(self._rho)
+
+    def __repr__(self) -> str:
+        return (
+            f"Receiver(k={self._k}, t={self._t}, num={self._num}, "
+            f"|rho|={len(self._rho)}, |tau|={len(self._tau)}, i={self._i})"
+        )

@@ -1,0 +1,38 @@
+"""Extensions beyond the paper's model — its Section 5 open problems.
+
+* :mod:`repro.extensions.forgery` — channels that deliver packets never
+  sent (the causality axiom dropped).  The paper conjectures its protocol
+  keeps all safety conditions but loses liveness in this model; the
+  forgery adversaries here demonstrate exactly that.
+* :mod:`repro.extensions.content_aware` — adversaries that read packet
+  contents (the obliviousness assumption dropped).  With causality intact,
+  content awareness turns the Section 3 attack from probabilistic into
+  surgical against fixed nonces, yet still fails against adaptive
+  extension.
+* :mod:`repro.extensions.striping` — a throughput extension: Axiom 1
+  limits each link to one in-flight message, so this module stripes a
+  message stream over K independent links and resequences at the far end.
+"""
+
+from repro.extensions.content_aware import ContentAwareReplayAttacker
+from repro.extensions.forgery import (
+    ForgeryLivenessAttacker,
+    ForgingSimulator,
+    InjectForgery,
+    PktForged,
+    RandomNoiseForger,
+    RetryFloodAttacker,
+)
+from repro.extensions.striping import StripedLink, StripedSimulator
+
+__all__ = [
+    "ContentAwareReplayAttacker",
+    "ForgeryLivenessAttacker",
+    "ForgingSimulator",
+    "InjectForgery",
+    "PktForged",
+    "RandomNoiseForger",
+    "RetryFloodAttacker",
+    "StripedLink",
+    "StripedSimulator",
+]

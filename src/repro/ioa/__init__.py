@@ -1,0 +1,32 @@
+"""I/O automata substrate: the formal model of Section 2 ([LT87, Lyn87])."""
+
+from repro.ioa.actions import Action, ActionKind, Signature
+from repro.ioa.adapters import (
+    AdversaryAutomaton,
+    ChannelAutomaton,
+    EnvironmentAutomaton,
+    RMAutomaton,
+    TMAutomaton,
+)
+from repro.ioa.automaton import IOAutomaton
+from repro.ioa.composition import Composition, CompositionError
+from repro.ioa.execution import Execution, ExecutionStep
+from repro.ioa.scheduler import SystemScheduler, build_system
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "AdversaryAutomaton",
+    "ChannelAutomaton",
+    "Composition",
+    "CompositionError",
+    "EnvironmentAutomaton",
+    "Execution",
+    "ExecutionStep",
+    "IOAutomaton",
+    "RMAutomaton",
+    "Signature",
+    "SystemScheduler",
+    "TMAutomaton",
+    "build_system",
+]

@@ -1,0 +1,118 @@
+"""Actions and action signatures of the I/O automata model [LT87, Lyn87].
+
+Section 2 of the paper specifies every component (TM, RM, the two channels,
+ADV) as an I/O automaton: a state machine whose interface is a *signature*
+partitioning action names into input, output and internal classes.  This
+module provides the vocabulary; :mod:`repro.ioa.automaton` the machines and
+:mod:`repro.ioa.composition` the composition rules.
+
+Actions are identified by name; parameters ride along as a tuple.  Two
+automata interact when one's output name is another's input name —
+composition synchronises them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+__all__ = ["ActionKind", "Action", "Signature"]
+
+
+class ActionKind(enum.Enum):
+    """The three action classes of the I/O automata model."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INTERNAL = "internal"
+
+
+@dataclass(frozen=True)
+class Action:
+    """One occurrence of an action: a name plus concrete parameters.
+
+    ``Action("send_msg", (b"hello",))`` is the paper's ``send_msg(m)``.
+    """
+
+    name: str
+    params: Tuple = ()
+
+    def __str__(self) -> str:
+        if not self.params:
+            return self.name
+        rendered = ", ".join(repr(p) for p in self.params)
+        return f"{self.name}({rendered})"
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An automaton's interface: disjoint input/output/internal name sets.
+
+    Input actions are controlled by the environment and must be enabled in
+    every state (input-enabledness, the model's defining property); output
+    and internal actions are controlled by the automaton.
+    """
+
+    inputs: FrozenSet[str] = field(default_factory=frozenset)
+    outputs: FrozenSet[str] = field(default_factory=frozenset)
+    internals: FrozenSet[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        overlap = (
+            (self.inputs & self.outputs)
+            | (self.inputs & self.internals)
+            | (self.outputs & self.internals)
+        )
+        if overlap:
+            raise ValueError(
+                f"action classes must be disjoint; shared names: {sorted(overlap)}"
+            )
+
+    @classmethod
+    def of(
+        cls,
+        inputs: Iterable[str] = (),
+        outputs: Iterable[str] = (),
+        internals: Iterable[str] = (),
+    ) -> "Signature":
+        """Convenience constructor from any iterables."""
+        return cls(
+            inputs=frozenset(inputs),
+            outputs=frozenset(outputs),
+            internals=frozenset(internals),
+        )
+
+    @property
+    def external(self) -> FrozenSet[str]:
+        """Externally visible actions: inputs and outputs."""
+        return self.inputs | self.outputs
+
+    @property
+    def all_actions(self) -> FrozenSet[str]:
+        """Every action name in the signature."""
+        return self.inputs | self.outputs | self.internals
+
+    def kind_of(self, name: str) -> ActionKind:
+        """Classify an action name; raises KeyError for foreign names."""
+        if name in self.inputs:
+            return ActionKind.INPUT
+        if name in self.outputs:
+            return ActionKind.OUTPUT
+        if name in self.internals:
+            return ActionKind.INTERNAL
+        raise KeyError(f"action {name!r} not in signature")
+
+    def compatible_with(self, other: "Signature") -> bool:
+        """Composition compatibility per [LT87].
+
+        Output action sets must be disjoint (at most one controller per
+        action) and internal actions must be private to their automaton.
+        """
+        if self.outputs & other.outputs:
+            return False
+        if self.internals & other.all_actions:
+            return False
+        if other.internals & self.all_actions:
+            return False
+        return True

@@ -1,0 +1,282 @@
+"""I/O-automaton adapters for the concrete protocol components.
+
+These wrap the operational classes (:class:`~repro.core.Transmitter`,
+:class:`~repro.core.Receiver`, :class:`~repro.channel.Channel`, any
+:class:`~repro.adversary.Adversary`) in the formal interface of Section 2,
+with the exact action names and signatures the paper lists.  The resulting
+composition *is* ``D(A, ADV)`` as drawn in Figure 1; the integration tests
+run it with :class:`~repro.ioa.scheduler.SystemScheduler` and check the
+same correctness conditions the operational simulator satisfies —
+cross-validating the two harnesses against each other.
+
+Action naming convention (the paper's superscripts become suffixes):
+
+* ``send_msg``, ``OK``, ``crash_T`` — TM interface;
+* ``receive_msg``, ``crash_R``, ``RETRY`` — RM interface;
+* ``send_pkt:T->R``, ``receive_pkt:T->R``, ``new_pkt:T->R``,
+  ``deliver_pkt:T->R`` — the forward channel (same for ``R->T``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.adversary.base import (
+    Adversary,
+    CrashReceiver,
+    CrashTransmitter,
+    Deliver,
+    Move,
+    Pass,
+    TriggerRetry,
+)
+from repro.channel.channel import PacketInfo
+from repro.core.events import ChannelId, EmitOk, EmitPacket, EmitReceiveMsg
+from repro.core.packets import Packet
+from repro.core.receiver import Receiver
+from repro.core.transmitter import Transmitter
+from repro.ioa.actions import Action, Signature
+from repro.ioa.automaton import IOAutomaton
+
+__all__ = [
+    "TMAutomaton",
+    "RMAutomaton",
+    "ChannelAutomaton",
+    "AdversaryAutomaton",
+    "EnvironmentAutomaton",
+]
+
+
+class _OutboxAutomaton(IOAutomaton):
+    """Shared machinery: inputs enqueue output actions; the scheduler
+    flushes them as locally controlled steps (atomically, in order)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._outbox: Deque[Action] = deque()
+
+    def locally_controlled_steps(self) -> List[Action]:
+        return [self._outbox[0]] if self._outbox else []
+
+    def perform(self, action: Action) -> None:
+        if not self._outbox or self._outbox[0] != action:
+            raise ValueError(f"{self.name}: {action} is not the pending step")
+        self._outbox.popleft()
+
+
+class TMAutomaton(_OutboxAutomaton):
+    """The TM of Section 2.1 wrapping an operational Transmitter."""
+
+    signature = Signature.of(
+        inputs=("send_msg", "receive_pkt:R->T", "crash_T"),
+        outputs=("OK", "send_pkt:T->R"),
+    )
+
+    def __init__(self, transmitter: Transmitter, name: str = "TM") -> None:
+        super().__init__(name)
+        self._tm = transmitter
+
+    def handle_input(self, action: Action) -> None:
+        if action.name == "send_msg":
+            outputs = self._tm.send_msg(action.params[0])
+        elif action.name == "receive_pkt:R->T":
+            outputs = self._tm.on_receive_pkt(action.params[0])
+        elif action.name == "crash_T":
+            self._tm.crash()
+            self._outbox.clear()  # a crash erases pending behaviour too
+            return
+        else:
+            raise KeyError(f"TM does not accept {action.name!r}")
+        for output in outputs:
+            if isinstance(output, EmitPacket):
+                self._outbox.append(Action("send_pkt:T->R", (output.packet,)))
+            elif isinstance(output, EmitOk):
+                self._outbox.append(Action("OK"))
+
+
+class RMAutomaton(_OutboxAutomaton):
+    """The RM of Section 2.2 wrapping an operational Receiver.
+
+    RETRY is the receiver's internal action; it is *always* enabled,
+    matching the assumption that it occurs infinitely often in any fair
+    schedule.
+    """
+
+    signature = Signature.of(
+        inputs=("receive_pkt:T->R", "crash_R"),
+        outputs=("receive_msg", "send_pkt:R->T"),
+        internals=("RETRY",),
+    )
+
+    def __init__(self, receiver: Receiver, name: str = "RM") -> None:
+        super().__init__(name)
+        self._rm = receiver
+
+    def handle_input(self, action: Action) -> None:
+        if action.name == "receive_pkt:T->R":
+            outputs = self._rm.on_receive_pkt(action.params[0])
+        elif action.name == "crash_R":
+            self._rm.crash()
+            self._outbox.clear()
+            return
+        else:
+            raise KeyError(f"RM does not accept {action.name!r}")
+        self._enqueue(outputs)
+
+    def locally_controlled_steps(self) -> List[Action]:
+        steps = super().locally_controlled_steps()
+        return steps + [Action("RETRY")]
+
+    def perform(self, action: Action) -> None:
+        if action.name == "RETRY":
+            self._enqueue(self._rm.retry())
+            return
+        super().perform(action)
+
+    def _enqueue(self, outputs) -> None:
+        for output in outputs:
+            if isinstance(output, EmitPacket):
+                self._outbox.append(Action("send_pkt:R->T", (output.packet,)))
+            elif isinstance(output, EmitReceiveMsg):
+                self._outbox.append(Action("receive_msg", (output.message,)))
+
+
+class ChannelAutomaton(_OutboxAutomaton):
+    """The CC of Section 2.3: stores packets, announces new_pkt, replays
+    deliver_pkt requests as receive_pkt outputs."""
+
+    def __init__(self, channel_id: ChannelId, name: Optional[str] = None) -> None:
+        direction = channel_id.value
+        super().__init__(name or f"C[{direction}]")
+        self.channel_id = channel_id
+        self.signature = Signature.of(
+            inputs=(f"send_pkt:{direction}", f"deliver_pkt:{direction}"),
+            outputs=(f"receive_pkt:{direction}", f"new_pkt:{direction}"),
+        )
+        self._direction = direction
+        self._store: Dict[int, Packet] = {}
+        self._next_id = 0
+
+    def handle_input(self, action: Action) -> None:
+        if action.name == f"send_pkt:{self._direction}":
+            packet = action.params[0]
+            packet_id = self._next_id
+            self._next_id += 1
+            self._store[packet_id] = packet
+            self._outbox.append(
+                Action(
+                    f"new_pkt:{self._direction}",
+                    (packet_id, packet.wire_length_bits),
+                )
+            )
+        elif action.name == f"deliver_pkt:{self._direction}":
+            packet_id = action.params[0]
+            packet = self._store[packet_id]  # KeyError = causality bug
+            self._outbox.append(
+                Action(f"receive_pkt:{self._direction}", (packet,))
+            )
+        else:
+            raise KeyError(f"{self.name} does not accept {action.name!r}")
+
+
+class AdversaryAutomaton(IOAutomaton):
+    """The ADV of Section 2.4 wrapping an operational Adversary.
+
+    The adversary's moves become its locally controlled output actions;
+    the one-move-at-a-time protocol of the operational API is preserved by
+    caching the pending move until the scheduler performs it.
+    """
+
+    signature = Signature.of(
+        inputs=("new_pkt:T->R", "new_pkt:R->T"),
+        outputs=(
+            "deliver_pkt:T->R",
+            "deliver_pkt:R->T",
+            "crash_T",
+            "crash_R",
+        ),
+        internals=("adv_pass", "adv_retry_request"),
+    )
+
+    def __init__(self, adversary: Adversary, name: str = "ADV") -> None:
+        super().__init__(name)
+        self._adv = adversary
+        self._pending: Optional[Action] = None
+        self.retry_requested = False
+
+    def handle_input(self, action: Action) -> None:
+        packet_id, length = action.params
+        channel = (
+            ChannelId.T_TO_R if action.name.endswith("T->R") else ChannelId.R_TO_T
+        )
+        self._adv.on_new_pkt(
+            PacketInfo(channel=channel, packet_id=packet_id, length_bits=length)
+        )
+
+    def locally_controlled_steps(self) -> List[Action]:
+        if self._pending is None:
+            self._pending = self._move_to_action(self._adv.next_move())
+        return [self._pending]
+
+    def perform(self, action: Action) -> None:
+        if action != self._pending:
+            raise ValueError(f"{self.name}: {action} is not the pending move")
+        if action.name == "adv_retry_request":
+            self.retry_requested = True
+        self._pending = None
+
+    @staticmethod
+    def _move_to_action(move: Move) -> Action:
+        if isinstance(move, Deliver):
+            return Action(f"deliver_pkt:{move.channel.value}", (move.packet_id,))
+        if isinstance(move, CrashTransmitter):
+            return Action("crash_T")
+        if isinstance(move, CrashReceiver):
+            return Action("crash_R")
+        if isinstance(move, TriggerRetry):
+            return Action("adv_retry_request")
+        if isinstance(move, Pass):
+            return Action("adv_pass")
+        raise TypeError(f"unknown adversary move {move!r}")
+
+
+class EnvironmentAutomaton(IOAutomaton):
+    """The higher layer: submits the workload respecting Axiom 1."""
+
+    signature = Signature.of(
+        inputs=("OK", "crash_T", "receive_msg"),
+        outputs=("send_msg",),
+    )
+
+    def __init__(self, payloads, name: str = "ENV") -> None:
+        super().__init__(name)
+        self._queue: Deque[bytes] = deque(payloads)
+        self._in_flight = False
+        self.delivered: List[bytes] = []
+        self.oks = 0
+
+    def handle_input(self, action: Action) -> None:
+        if action.name == "OK":
+            self._in_flight = False
+            self.oks += 1
+        elif action.name == "crash_T":
+            self._in_flight = False
+        elif action.name == "receive_msg":
+            self.delivered.append(action.params[0])
+
+    def locally_controlled_steps(self) -> List[Action]:
+        if not self._in_flight and self._queue:
+            return [Action("send_msg", (self._queue[0],))]
+        return []
+
+    def perform(self, action: Action) -> None:
+        if action.name != "send_msg" or not self._queue:
+            raise ValueError(f"{self.name}: cannot perform {action}")
+        self._queue.popleft()
+        self._in_flight = True
+
+    @property
+    def done(self) -> bool:
+        """True when every payload has been submitted and acknowledged."""
+        return not self._queue and not self._in_flight

@@ -1,0 +1,74 @@
+"""The I/O automaton base class.
+
+An I/O automaton couples a :class:`~repro.ioa.actions.Signature` with a
+transition relation.  We use the standard executable specialisation:
+
+* inputs are *input-enabled* — :meth:`handle_input` must accept any input
+  action in any state;
+* the automaton volunteers its locally controlled (output/internal) steps
+  through :meth:`locally_controlled_steps`, each of which, when chosen by
+  the scheduler, is performed by :meth:`perform`.
+
+State lives in the subclass; the framework never inspects it, matching the
+model's view of states as opaque.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+from repro.ioa.actions import Action, ActionKind, Signature
+
+__all__ = ["IOAutomaton"]
+
+
+class IOAutomaton(ABC):
+    """Base class for executable I/O automata.
+
+    Subclasses define ``signature`` (a class or instance attribute) and the
+    two transition hooks.  The scheduler in :mod:`repro.ioa.scheduler`
+    drives instances; :mod:`repro.ioa.composition` synchronises them.
+    """
+
+    signature: Signature
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    # -- transition relation -----------------------------------------------------
+
+    @abstractmethod
+    def handle_input(self, action: Action) -> None:
+        """Apply an input action.  Must succeed in every state."""
+
+    def locally_controlled_steps(self) -> List[Action]:
+        """Actions (output or internal) enabled in the current state.
+
+        Default: none.  Purely reactive automata (e.g. the stations, whose
+        outputs fire synchronously with their inputs in our atomic-step
+        modelling) can leave this empty.
+        """
+        return []
+
+    def perform(self, action: Action) -> None:
+        """Execute one locally controlled action previously offered.
+
+        Default: raise — subclasses that offer steps must implement it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} offered no locally controlled actions"
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def accepts(self, action: Action) -> bool:
+        """True iff the action name is an input of this automaton."""
+        return action.name in self.signature.inputs
+
+    def classify(self, action: Action) -> ActionKind:
+        """Classify an action against this automaton's signature."""
+        return self.signature.kind_of(action.name)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

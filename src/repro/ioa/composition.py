@@ -1,0 +1,123 @@
+"""Composition of I/O automata per [LT87].
+
+The composition of compatible automata is itself an automaton: an output
+action of one component synchronises with the equally named input actions
+of every other component, in one indivisible step.  The paper's system
+``D(A, ADV)`` is exactly such a composition (Figure 1); the test suite
+builds it with the adapters in :mod:`repro.ioa.adapters` and cross-checks
+it against the operational simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.ioa.actions import Action, ActionKind, Signature
+from repro.ioa.automaton import IOAutomaton
+
+__all__ = ["Composition", "CompositionError"]
+
+
+class CompositionError(ValueError):
+    """The components cannot legally be composed."""
+
+
+class Composition:
+    """A compatible set of automata acting as one system.
+
+    Raises :class:`CompositionError` unless every pair of component
+    signatures is compatible (disjoint outputs, private internals).
+    """
+
+    def __init__(self, components: Sequence[IOAutomaton]) -> None:
+        if not components:
+            raise CompositionError("a composition needs at least one component")
+        names = [c.name for c in components]
+        if len(set(names)) != len(names):
+            raise CompositionError(f"component names must be unique: {names}")
+        for i, left in enumerate(components):
+            for right in components[i + 1 :]:
+                if not left.signature.compatible_with(right.signature):
+                    raise CompositionError(
+                        f"{left.name} and {right.name} have incompatible signatures"
+                    )
+        self._components: List[IOAutomaton] = list(components)
+        self._by_name: Dict[str, IOAutomaton] = {c.name: c for c in components}
+        self.signature = self._composite_signature()
+
+    def _composite_signature(self) -> Signature:
+        """Composite signature: outputs stay outputs; inputs that some
+        component outputs become internal to the composition's environment
+        view — here we keep them as outputs per the classical definition
+        (an output of any component is an output of the composition)."""
+        inputs = set()
+        outputs = set()
+        internals = set()
+        for component in self._components:
+            outputs |= component.signature.outputs
+            internals |= component.signature.internals
+        for component in self._components:
+            inputs |= component.signature.inputs
+        # Inputs matched by some component's output are no longer inputs of
+        # the composition (they are driven internally).
+        inputs -= outputs
+        return Signature(
+            inputs=frozenset(inputs),
+            outputs=frozenset(outputs),
+            internals=frozenset(internals),
+        )
+
+    # -- access ------------------------------------------------------------------
+
+    @property
+    def components(self) -> Sequence[IOAutomaton]:
+        return self._components
+
+    def component(self, name: str) -> IOAutomaton:
+        """Look up one component by name."""
+        return self._by_name[name]
+
+    # -- execution steps -------------------------------------------------------------
+
+    def apply(self, actor: IOAutomaton, action: Action) -> None:
+        """Execute one action controlled by ``actor`` and synchronise it.
+
+        ``actor`` performs the action; if it is an output, every component
+        whose signature lists the name as an input receives it in the same
+        step (atomic, matching the paper's atomicity assumption).
+        """
+        kind = actor.classify(action)
+        if kind == ActionKind.INPUT:
+            raise CompositionError(
+                f"{actor.name} does not control input action {action.name!r}"
+            )
+        actor.perform(action)
+        if kind == ActionKind.OUTPUT:
+            self.broadcast(action, exclude=actor)
+
+    def inject(self, action: Action) -> None:
+        """Feed an environment input of the composition to its takers."""
+        if action.name not in self.signature.inputs:
+            raise CompositionError(
+                f"{action.name!r} is not an input of the composition"
+            )
+        self.broadcast(action, exclude=None)
+
+    def broadcast(self, action: Action, exclude: IOAutomaton = None) -> None:
+        """Deliver ``action`` to every component that lists it as input."""
+        for component in self._components:
+            if component is exclude:
+                continue
+            if component.accepts(action):
+                component.handle_input(action)
+
+    def enabled_steps(self) -> List:
+        """All (component, action) pairs currently offered for scheduling."""
+        steps = []
+        for component in self._components:
+            for action in component.locally_controlled_steps():
+                steps.append((component, action))
+        return steps
+
+    def __repr__(self) -> str:
+        return f"Composition({[c.name for c in self._components]})"

@@ -1,0 +1,69 @@
+"""Executions of I/O automata systems.
+
+An *execution* in the model is an alternating sequence of states and
+actions; since states are opaque here, we record the action sequence (the
+*schedule*) plus which component controlled each action.  The external
+subsequence (inputs/outputs only) is the *behavior*, which is what the
+paper's correctness conditions constrain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.ioa.actions import Action, ActionKind
+
+__all__ = ["ExecutionStep", "Execution"]
+
+
+@dataclass(frozen=True)
+class ExecutionStep:
+    """One action occurrence: who controlled it and what kind it was.
+
+    ``actor`` is None for environment inputs injected from outside the
+    composition.
+    """
+
+    action: Action
+    actor: Optional[str]
+    kind: ActionKind
+
+
+class Execution:
+    """An append-only record of a composition's run."""
+
+    def __init__(self) -> None:
+        self._steps: List[ExecutionStep] = []
+
+    def record(self, action: Action, actor: Optional[str], kind: ActionKind) -> None:
+        """Append one step."""
+        self._steps.append(ExecutionStep(action=action, actor=actor, kind=kind))
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __iter__(self) -> Iterator[ExecutionStep]:
+        return iter(self._steps)
+
+    def __getitem__(self, index: int) -> ExecutionStep:
+        return self._steps[index]
+
+    def schedule(self) -> List[Action]:
+        """The full action sequence."""
+        return [step.action for step in self._steps]
+
+    def behavior(self) -> List[Action]:
+        """The externally visible subsequence (no internal actions)."""
+        return [
+            step.action
+            for step in self._steps
+            if step.kind in (ActionKind.INPUT, ActionKind.OUTPUT)
+        ]
+
+    def actions_named(self, name: str) -> List[Action]:
+        """All occurrences of one action name, in order."""
+        return [step.action for step in self._steps if step.action.name == name]
+
+    def __repr__(self) -> str:
+        return f"Execution(steps={len(self._steps)})"

@@ -1,0 +1,159 @@
+"""A scheduler for compositions: turns enabled steps into executions.
+
+The I/O automata model leaves scheduling to an abstract "fair" oracle; the
+paper folds that indeterminism into the adversary.  This scheduler mirrors
+that: outbox flushes (pending synchronous outputs) run eagerly — they model
+the paper's atomicity assumption that a module's outputs follow its input
+with no intervening event — then the environment may submit, RETRY fires on
+its cadence, and the adversary takes its move.
+
+:func:`build_system` assembles the full ``D(A, ADV)`` composition of
+Figure 1 from the operational components, and :class:`SystemScheduler`
+runs it while recording both the formal :class:`~repro.ioa.execution.Execution`
+and a :class:`~repro.checkers.trace.Trace` so the Section 2.6 checkers can
+judge the run exactly as they judge the operational simulator's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.adversary.base import Adversary
+from repro.checkers.trace import Trace
+from repro.core.events import (
+    ChannelId,
+    CrashR,
+    CrashT,
+    Ok,
+    PktDelivered,
+    PktSent,
+    ReceiveMsg,
+    Retry,
+    SendMsg,
+)
+from repro.core.protocol import DataLink
+from repro.ioa.actions import Action, ActionKind
+from repro.ioa.adapters import (
+    AdversaryAutomaton,
+    ChannelAutomaton,
+    EnvironmentAutomaton,
+    RMAutomaton,
+    TMAutomaton,
+)
+from repro.ioa.composition import Composition
+from repro.ioa.execution import Execution
+
+__all__ = ["build_system", "SystemScheduler"]
+
+
+def build_system(
+    link: DataLink, adversary: Adversary, payloads: Sequence[bytes]
+) -> Composition:
+    """Compose ``D(A, ADV)`` plus the higher-layer environment (Figure 1)."""
+    return Composition(
+        [
+            EnvironmentAutomaton(payloads),
+            TMAutomaton(link.transmitter),
+            RMAutomaton(link.receiver),
+            ChannelAutomaton(ChannelId.T_TO_R),
+            ChannelAutomaton(ChannelId.R_TO_T),
+            AdversaryAutomaton(adversary),
+        ]
+    )
+
+
+class SystemScheduler:
+    """Drives a :func:`build_system` composition to completion or budget."""
+
+    def __init__(self, system: Composition, retry_every: int = 4) -> None:
+        if retry_every < 1:
+            raise ValueError("retry_every must be >= 1")
+        self._system = system
+        self._retry_every = retry_every
+        self.execution = Execution()
+        self.trace = Trace()
+        self._env: EnvironmentAutomaton = system.component("ENV")
+        self._rm: RMAutomaton = system.component("RM")
+        self._adv: AdversaryAutomaton = system.component("ADV")
+        self._rounds = 0
+
+    def run(self, max_rounds: int = 100_000) -> bool:
+        """Run scheduler rounds until the environment is done.
+
+        Returns True on completion, False when the budget expired.
+        """
+        while self._rounds < max_rounds:
+            if self._env.done:
+                return True
+            self.round()
+        return self._env.done
+
+    def round(self) -> None:
+        """One scheduling round: env, RETRY cadence, adversary, flushes."""
+        self._rounds += 1
+        self._flush_outboxes()
+        for component, action in self._steps_of(self._env):
+            self._perform(component, action)
+            self._flush_outboxes()
+        if self._rounds % self._retry_every == 0 or self._adv.retry_requested:
+            self._adv.retry_requested = False
+            self._perform(self._rm, Action("RETRY"))
+            self._flush_outboxes()
+        for component, action in self._steps_of(self._adv):
+            self._perform(component, action)
+            self._flush_outboxes()
+
+    # -- internals ------------------------------------------------------------------
+
+    def _steps_of(self, target) -> List:
+        return [
+            (component, action)
+            for component, action in self._system.enabled_steps()
+            if component is target
+        ]
+
+    def _flush_outboxes(self) -> None:
+        """Eagerly perform pending synchronous outputs (atomicity)."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for component, action in self._system.enabled_steps():
+                if component in (self._env, self._adv):
+                    continue
+                if action.name == "RETRY":
+                    continue  # RETRY only on its cadence / adversary request
+                self._perform(component, action)
+                progressed = True
+                break
+
+    def _perform(self, component, action: Action) -> None:
+        kind = component.classify(action)
+        self._system.apply(component, action)
+        self.execution.record(action, actor=component.name, kind=kind)
+        self._record_trace(action)
+
+    def _record_trace(self, action: Action) -> None:
+        name = action.name
+        if name == "send_msg":
+            self.trace.append(SendMsg(message=action.params[0]))
+        elif name == "OK":
+            self.trace.append(Ok())
+        elif name == "receive_msg":
+            self.trace.append(ReceiveMsg(message=action.params[0]))
+        elif name == "crash_T":
+            self.trace.append(CrashT())
+        elif name == "crash_R":
+            self.trace.append(CrashR())
+        elif name == "RETRY":
+            self.trace.append(Retry())
+        elif name.startswith("new_pkt:"):
+            channel = ChannelId(name.split(":", 1)[1])
+            packet_id, length = action.params
+            self.trace.append(
+                PktSent(channel=channel, packet_id=packet_id, length_bits=length)
+            )
+        elif name.startswith("deliver_pkt:"):
+            channel = ChannelId(name.split(":", 1)[1])
+            self.trace.append(
+                PktDelivered(channel=channel, packet_id=action.params[0])
+            )

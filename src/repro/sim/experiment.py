@@ -1,0 +1,103 @@
+"""Parameter-sweep framework: turn Monte-Carlo results into table rows.
+
+Every experiment in EXPERIMENTS.md is a sweep over one axis (ε, loss rate,
+crash rate, policy, ...) with a fixed row schema.  :class:`Sweep` runs the
+axis points, collects one :class:`SweepRow` per point, and renders the
+table the corresponding benchmark prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.sim.runner import MonteCarloResult, RunSpec, monte_carlo
+from repro.util.tables import render_table
+
+__all__ = ["SweepRow", "SweepResult", "Sweep"]
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One axis point's aggregated measurements."""
+
+    point: object
+    values: Dict[str, object]
+
+
+@dataclass
+class SweepResult:
+    """All rows of one sweep, renderable as the experiment's table."""
+
+    axis_name: str
+    columns: Sequence[str]
+    rows: List[SweepRow] = field(default_factory=list)
+    title: str = ""
+
+    def render(self) -> str:
+        """Fixed-width table: axis column followed by the value columns."""
+        headers = [self.axis_name] + list(self.columns)
+        body = [
+            [row.point] + [row.values.get(col, "") for col in self.columns]
+            for row in self.rows
+        ]
+        return render_table(headers, body, title=self.title)
+
+    def column(self, name: str) -> List[object]:
+        """Extract one column as a list (for assertions in benches/tests)."""
+        return [row.values.get(name) for row in self.rows]
+
+    def points(self) -> List[object]:
+        """The axis points, in order."""
+        return [row.point for row in self.rows]
+
+
+class Sweep:
+    """Runs a Monte-Carlo batch per axis point and tabulates the results.
+
+    Parameters
+    ----------
+    axis_name:
+        Label of the swept parameter (becomes the first table column).
+    spec_for:
+        Maps an axis point to the :class:`RunSpec` to run there.
+    row_for:
+        Maps the point's :class:`MonteCarloResult` to a column→value dict.
+    runs_per_point:
+        Independent simulations per axis point.
+    """
+
+    def __init__(
+        self,
+        axis_name: str,
+        spec_for: Callable[[object], RunSpec],
+        row_for: Callable[[object, MonteCarloResult], Dict[str, object]],
+        runs_per_point: int = 20,
+        base_seed: int = 0,
+        title: str = "",
+    ) -> None:
+        if runs_per_point < 1:
+            raise ValueError("runs_per_point must be >= 1")
+        self._axis_name = axis_name
+        self._spec_for = spec_for
+        self._row_for = row_for
+        self._runs_per_point = runs_per_point
+        self._base_seed = base_seed
+        self._title = title
+
+    def run(self, points: Sequence[object]) -> SweepResult:
+        """Execute the sweep over the given axis points."""
+        rows: List[SweepRow] = []
+        columns: List[str] = []
+        for index, point in enumerate(points):
+            spec = self._spec_for(point)
+            result = monte_carlo(
+                spec, runs=self._runs_per_point, base_seed=self._base_seed + index
+            )
+            values = self._row_for(point, result)
+            if not columns:
+                columns = list(values.keys())
+            rows.append(SweepRow(point=point, values=values))
+        return SweepResult(
+            axis_name=self._axis_name, columns=columns, rows=rows, title=self._title
+        )

@@ -1,0 +1,122 @@
+"""Metrics extracted from simulations.
+
+The paper makes three quantitative claims the experiments measure:
+
+* communication cost — three packets per message when fault-free, growing
+  linearly with the number of errors during the message (Section 1);
+* storage — nonce lengths depend only on faults during the *current*
+  message and reset after OK / receive_msg / crash (Section 1);
+* error probability — at most ε per message (Section 2.6).
+
+:class:`MetricsCollector` samples the live system as the simulator runs;
+:class:`SimulationMetrics` is the frozen summary attached to results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.channel.channel import ChannelPair
+from repro.core.protocol import DataLink
+
+__all__ = ["SimulationMetrics", "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class SimulationMetrics:
+    """Frozen per-run summary.
+
+    ``storage_peak_bits`` / ``storage_samples`` track the combined nonce
+    footprint of both stations; ``per_message_packets`` divides total
+    packets by *resolved* messages (the paper's communication-cost unit).
+    """
+
+    steps: int
+    messages_submitted: int
+    messages_ok: int
+    messages_delivered: int
+    packets_sent: int
+    packets_delivered: int
+    bits_sent: int
+    retries: int
+    crashes_t: int
+    crashes_r: int
+    transmitter_extensions: int
+    receiver_extensions: int
+    transmitter_errors_counted: int
+    receiver_errors_counted: int
+    storage_peak_bits: int
+    storage_final_bits: int
+    storage_samples: List[int] = field(repr=False, default_factory=list)
+
+    @property
+    def per_message_packets(self) -> float:
+        """Packets sent per OK'd message (inf if nothing completed)."""
+        if self.messages_ok == 0:
+            return float("inf")
+        return self.packets_sent / self.messages_ok
+
+    @property
+    def per_message_bits(self) -> float:
+        """Wire bits per OK'd message (inf if nothing completed)."""
+        if self.messages_ok == 0:
+            return float("inf")
+        return self.bits_sent / self.messages_ok
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of packet deliveries to packet sends (loss visibility)."""
+        if self.packets_sent == 0:
+            return 0.0
+        return self.packets_delivered / self.packets_sent
+
+
+class MetricsCollector:
+    """Accumulates counters during a run and freezes them at the end."""
+
+    def __init__(self, link: DataLink, channels: ChannelPair) -> None:
+        self._link = link
+        self._channels = channels
+        self._storage_samples: List[int] = []
+        self._storage_peak = 0
+        self.messages_submitted = 0
+        self.messages_ok = 0
+        self.messages_delivered = 0
+        self.retries = 0
+        self.crashes_t = 0
+        self.crashes_r = 0
+
+    def sample_storage(self) -> None:
+        """Record the current combined nonce footprint (call per step)."""
+        bits = self._link.total_storage_bits()
+        self._storage_samples.append(bits)
+        if bits > self._storage_peak:
+            self._storage_peak = bits
+
+    def freeze(self, steps: int) -> SimulationMetrics:
+        """Produce the immutable summary for a finished run."""
+        t_stats = self._link.transmitter.stats
+        r_stats = self._link.receiver.stats
+        return SimulationMetrics(
+            steps=steps,
+            messages_submitted=self.messages_submitted,
+            messages_ok=self.messages_ok,
+            messages_delivered=self.messages_delivered,
+            packets_sent=self._channels.total_packets_sent,
+            packets_delivered=(
+                self._channels.t_to_r.delivered_count
+                + self._channels.r_to_t.delivered_count
+            ),
+            bits_sent=self._channels.total_bits_sent,
+            retries=self.retries,
+            crashes_t=self.crashes_t,
+            crashes_r=self.crashes_r,
+            transmitter_extensions=t_stats.extensions,
+            receiver_extensions=r_stats.extensions,
+            transmitter_errors_counted=t_stats.errors_counted,
+            receiver_errors_counted=r_stats.errors_counted,
+            storage_peak_bits=self._storage_peak,
+            storage_final_bits=self._link.total_storage_bits(),
+            storage_samples=self._storage_samples,
+        )

@@ -1,0 +1,187 @@
+"""Monte-Carlo experiment runner.
+
+The probabilistic conditions of Section 2.6 are statements about
+distributions over executions; estimating them takes many independent runs
+with fresh random tapes.  :func:`monte_carlo` repeats a configurable run
+specification across seeds, evaluates every safety checker on every trace,
+and aggregates Bernoulli estimates (with Wilson intervals) per condition —
+the raw material for experiments E1, E3 and E6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.adversary.base import Adversary
+from repro.checkers.liveness import check_liveness, progress_gaps
+from repro.checkers.safety import SafetyReport, check_all_safety
+from repro.core.protocol import DataLink, make_data_link
+from repro.core.random_source import split_seed
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.workload import SequentialWorkload, Workload
+from repro.util.stats import BernoulliEstimate, wilson_interval
+
+__all__ = ["RunSpec", "RunOutcome", "MonteCarloResult", "run_once", "monte_carlo"]
+
+
+@dataclass
+class RunSpec:
+    """Everything needed to launch one independent simulation.
+
+    Factories (rather than instances) are stored so every run gets fresh,
+    independently seeded components.
+    """
+
+    link_factory: Callable[[int], DataLink]
+    adversary_factory: Callable[[], Adversary]
+    workload_factory: Callable[[int], Workload] = (
+        lambda seed: SequentialWorkload(20)
+    )
+    retry_every: int = 4
+    max_steps: int = 100_000
+    enforce_fairness: bool = True
+    fairness_patience: int = 32
+    label: str = ""
+
+    @classmethod
+    def default(
+        cls,
+        epsilon: float = 2.0 ** -16,
+        adversary_factory: Callable[[], Adversary] = None,
+        messages: int = 20,
+        **overrides,
+    ) -> "RunSpec":
+        """Convenience spec: standard link + sequential workload."""
+        if adversary_factory is None:
+            from repro.adversary.benign import ReliableAdversary
+
+            adversary_factory = ReliableAdversary
+        return cls(
+            link_factory=lambda seed: make_data_link(epsilon=epsilon, seed=seed),
+            adversary_factory=adversary_factory,
+            workload_factory=lambda seed: SequentialWorkload(messages),
+            **overrides,
+        )
+
+
+@dataclass
+class RunOutcome:
+    """One run's simulation result plus its checker verdicts."""
+
+    seed: int
+    result: SimulationResult
+    safety: SafetyReport
+    liveness_passed: bool
+
+    @property
+    def metrics(self) -> SimulationMetrics:
+        return self.result.metrics
+
+
+def run_once(spec: RunSpec, seed: int) -> RunOutcome:
+    """Execute one independent run of the spec and check its trace."""
+    link = spec.link_factory(split_seed(seed, "link"))
+    adversary = spec.adversary_factory()
+    workload = spec.workload_factory(split_seed(seed, "workload"))
+    simulator = Simulator(
+        link=link,
+        adversary=adversary,
+        workload=workload,
+        seed=split_seed(seed, "adversary"),
+        retry_every=spec.retry_every,
+        max_steps=spec.max_steps,
+        enforce_fairness=spec.enforce_fairness,
+        fairness_patience=spec.fairness_patience,
+    )
+    result = simulator.run()
+    safety = check_all_safety(result.trace)
+    liveness = check_liveness(result.trace, run_completed=result.completed)
+    return RunOutcome(
+        seed=seed, result=result, safety=safety, liveness_passed=liveness.passed
+    )
+
+
+@dataclass
+class MonteCarloResult:
+    """Aggregated verdicts across many independent runs.
+
+    The per-condition estimates are over *trials*, not runs: e.g. the order
+    estimate pools every OK'd message of every run as one Bernoulli trial,
+    matching the theorem's per-message quantification.
+    """
+
+    spec: RunSpec
+    runs: int
+    outcomes: List[RunOutcome] = field(repr=False, default_factory=list)
+
+    def _pool(self, picker: Callable[[SafetyReport], Tuple[int, int]]) -> BernoulliEstimate:
+        failures = 0
+        trials = 0
+        for outcome in self.outcomes:
+            f, t = picker(outcome.safety)
+            failures += f
+            trials += t
+        return wilson_interval(failures, trials)
+
+    @property
+    def order_violation_rate(self) -> BernoulliEstimate:
+        """Per-OK'd-message rate of Theorem 3 (order) violations."""
+        return self._pool(lambda s: (s.order.failure_count, s.order.trials))
+
+    @property
+    def duplication_violation_rate(self) -> BernoulliEstimate:
+        """Per-delivery rate of Theorem 8 (no duplication) violations."""
+        return self._pool(
+            lambda s: (s.no_duplication.failure_count, s.no_duplication.trials)
+        )
+
+    @property
+    def replay_violation_rate(self) -> BernoulliEstimate:
+        """Per-delivery rate of Theorem 7 (no replay) violations."""
+        return self._pool(lambda s: (s.no_replay.failure_count, s.no_replay.trials))
+
+    @property
+    def causality_violations(self) -> int:
+        """Absolute count — Theorem 1 allows exactly zero."""
+        return sum(o.safety.causality.failure_count for o in self.outcomes)
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of runs that finished their workload within budget."""
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.result.completed) / len(self.outcomes)
+
+    @property
+    def any_safety_violation(self) -> bool:
+        """True iff any run violated any safety condition."""
+        return any(not o.safety.passed for o in self.outcomes)
+
+    @property
+    def mean_packets_per_message(self) -> float:
+        """Mean over runs of packets-per-OK'd-message."""
+        values = [
+            o.metrics.per_message_packets
+            for o in self.outcomes
+            if o.metrics.messages_ok > 0
+        ]
+        return sum(values) / len(values) if values else float("inf")
+
+    @property
+    def mean_storage_peak_bits(self) -> float:
+        """Mean over runs of the peak combined nonce footprint."""
+        if not self.outcomes:
+            return 0.0
+        return sum(o.metrics.storage_peak_bits for o in self.outcomes) / len(
+            self.outcomes
+        )
+
+
+def monte_carlo(spec: RunSpec, runs: int, base_seed: int = 0) -> MonteCarloResult:
+    """Run ``runs`` independent simulations of ``spec`` and aggregate."""
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    outcomes = [run_once(spec, split_seed(base_seed, "run", i)) for i in range(runs)]
+    return MonteCarloResult(spec=spec, runs=runs, outcomes=outcomes)

@@ -1,0 +1,286 @@
+"""The execution harness: composes ``D(A, ADV)`` and runs it.
+
+This is the operational form of Figure 1.  One :class:`Simulator` owns:
+
+* a :class:`~repro.core.protocol.DataLink` (the pair ``A = (A^t, A^r)``);
+* a :class:`~repro.channel.ChannelPair` (``C^{T→R}`` and ``C^{R→T}``);
+* an :class:`~repro.adversary.Adversary` (optionally wrapped in a
+  :class:`~repro.adversary.FairnessEnforcer` so Axiom 3 holds);
+* a :class:`~repro.sim.workload.Workload` standing in for the higher layer.
+
+Each simulation *step* is: (1) the higher layer submits the next message if
+the transmitter is idle (Axiom 1), (2) the receiver's RETRY internal action
+fires on its cadence (the "infinitely many RETRY events" assumption), and
+(3) the adversary makes one move.  The full execution is recorded as a
+:class:`~repro.checkers.trace.Trace` for the correctness checkers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.adversary.base import (
+    Adversary,
+    CrashReceiver,
+    CrashTransmitter,
+    Deliver,
+    Move,
+    Pass,
+    TriggerRetry,
+)
+from repro.adversary.fairness import FairnessEnforcer
+from repro.channel.channel import ChannelPair
+from repro.checkers.trace import Trace
+from repro.core.events import (
+    ChannelId,
+    CrashR,
+    CrashT,
+    EmitOk,
+    EmitPacket,
+    EmitReceiveMsg,
+    Ok,
+    PktDelivered,
+    PktSent,
+    ReceiveMsg,
+    Retry,
+    SendMsg,
+    StationOutput,
+)
+from repro.core.exceptions import AxiomViolationError, SimulationError
+from repro.core.protocol import DataLink
+from repro.core.random_source import RandomSource
+from repro.sim.metrics import MetricsCollector, SimulationMetrics
+from repro.sim.workload import Workload
+
+__all__ = ["SimulationResult", "Simulator"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished run produced."""
+
+    trace: Trace
+    metrics: SimulationMetrics
+    completed: bool
+    steps: int
+    link: DataLink
+    adversary: Adversary
+
+    @property
+    def all_messages_ok(self) -> bool:
+        """True iff every submitted message was acknowledged with OK."""
+        return (
+            self.metrics.messages_submitted > 0
+            and self.metrics.messages_ok == self.metrics.messages_submitted
+        )
+
+
+class Simulator:
+    """Drives one execution of ``D(A, ADV)`` to completion or step budget.
+
+    Parameters
+    ----------
+    link:
+        The protocol pair under test.
+    adversary:
+        The fault/scheduling strategy.  Wrapped in a
+        :class:`FairnessEnforcer` unless ``enforce_fairness=False``.
+    workload:
+        The higher layer's message stream (Axioms 1–2 are enforced here).
+    seed:
+        Tape for the adversary (the stations carry their own tapes).
+    retry_every:
+        A RETRY internal action is forced at least every this many steps;
+        adversaries may trigger additional ones.
+    max_steps:
+        Hard stop — bounded stand-in for "eventually".
+    enforce_fairness:
+        Disable only to demonstrate what an unfair adversary can do
+        (the theorems then promise liveness nothing).
+    fairness_patience:
+        Forwarded to the :class:`FairnessEnforcer`.
+    """
+
+    def __init__(
+        self,
+        link: DataLink,
+        adversary: Adversary,
+        workload: Workload,
+        seed: Optional[int] = None,
+        retry_every: int = 4,
+        max_steps: int = 100_000,
+        enforce_fairness: bool = True,
+        fairness_patience: int = 32,
+    ) -> None:
+        if retry_every < 1:
+            raise ValueError("retry_every must be >= 1")
+        if max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        self._link = link
+        self._workload = workload
+        self._retry_every = retry_every
+        self._max_steps = max_steps
+        if enforce_fairness and not isinstance(adversary, FairnessEnforcer):
+            adversary = FairnessEnforcer(adversary, patience=fairness_patience)
+        self._adversary = adversary
+        self._adversary.bind(RandomSource(seed).fork("adversary"))
+        self._channels = ChannelPair(on_new_pkt=self._on_new_pkt)
+        self._trace = Trace()
+        self._metrics = MetricsCollector(link, self._channels)
+        self._message_iter: Iterator[bytes] = iter(workload)
+        self._next_message: Optional[bytes] = None
+        self._workload_exhausted = False
+        self._submitted_payloads = set()
+        self._steps = 0
+        self._advance_workload()
+
+    # -- channel callback -------------------------------------------------------------
+
+    def _on_new_pkt(self, info) -> None:
+        self._trace.append(
+            PktSent(
+                channel=info.channel,
+                packet_id=info.packet_id,
+                length_bits=info.length_bits,
+            )
+        )
+        self._adversary.on_new_pkt(info)
+
+    # -- run loop -----------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute until the workload is fully acknowledged or budget runs out."""
+        while self._steps < self._max_steps:
+            if self._finished():
+                break
+            self.step()
+        return SimulationResult(
+            trace=self._trace,
+            metrics=self._metrics.freeze(self._steps),
+            completed=self._finished(),
+            steps=self._steps,
+            link=self._link,
+            adversary=self._adversary,
+        )
+
+    def step(self) -> None:
+        """One simulation step: higher layer, RETRY cadence, adversary move."""
+        self._steps += 1
+        self._maybe_submit_message()
+        if self._steps % self._retry_every == 0:
+            self._fire_retry()
+        move = self._adversary.next_move()
+        self._execute_move(move)
+        self._metrics.sample_storage()
+
+    # -- step phases ------------------------------------------------------------------------
+
+    def _maybe_submit_message(self) -> None:
+        if self._link.transmitter.busy or self._next_message is None:
+            return
+        message = self._next_message
+        if message in self._submitted_payloads:
+            raise AxiomViolationError(
+                f"Axiom 2 violated: payload {message!r} submitted twice"
+            )
+        self._submitted_payloads.add(message)
+        self._advance_workload()
+        self._trace.append(SendMsg(message=message))
+        self._metrics.messages_submitted += 1
+        outputs = self._link.transmitter.send_msg(message)
+        self._apply_outputs(outputs, source="transmitter")
+
+    def _fire_retry(self) -> None:
+        self._trace.append(Retry())
+        self._metrics.retries += 1
+        outputs = self._link.receiver.retry()
+        self._apply_outputs(outputs, source="receiver")
+
+    def _execute_move(self, move: Move) -> None:
+        if isinstance(move, Deliver):
+            self._deliver(move)
+        elif isinstance(move, CrashTransmitter):
+            self._trace.append(CrashT())
+            self._metrics.crashes_t += 1
+            self._link.transmitter.crash()
+        elif isinstance(move, CrashReceiver):
+            self._trace.append(CrashR())
+            self._metrics.crashes_r += 1
+            self._link.receiver.crash()
+        elif isinstance(move, TriggerRetry):
+            self._fire_retry()
+        elif isinstance(move, Pass):
+            pass
+        else:
+            raise SimulationError(f"adversary produced unknown move {move!r}")
+
+    def _deliver(self, move: Deliver) -> None:
+        channel = self._channels.by_id(move.channel)
+        packet = channel.deliver_pkt(move.packet_id)
+        self._trace.append(PktDelivered(channel=move.channel, packet_id=move.packet_id))
+        if move.channel == ChannelId.T_TO_R:
+            outputs = self._link.receiver.on_receive_pkt(packet)
+            self._apply_outputs(outputs, source="receiver")
+        else:
+            outputs = self._link.transmitter.on_receive_pkt(packet)
+            self._apply_outputs(outputs, source="transmitter")
+
+    def _apply_outputs(self, outputs: List[StationOutput], source: str) -> None:
+        for output in outputs:
+            if isinstance(output, EmitPacket):
+                channel = (
+                    self._channels.t_to_r
+                    if source == "transmitter"
+                    else self._channels.r_to_t
+                )
+                channel.send_pkt(output.packet)
+            elif isinstance(output, EmitOk):
+                self._trace.append(Ok())
+                self._metrics.messages_ok += 1
+            elif isinstance(output, EmitReceiveMsg):
+                self._trace.append(ReceiveMsg(message=output.message))
+                self._metrics.messages_delivered += 1
+            else:
+                raise SimulationError(f"unknown station output {output!r}")
+
+    # -- bookkeeping ----------------------------------------------------------------------------
+
+    def _advance_workload(self) -> None:
+        try:
+            self._next_message = next(self._message_iter)
+        except StopIteration:
+            self._next_message = None
+            self._workload_exhausted = True
+
+    def _finished(self) -> bool:
+        return (
+            self._workload_exhausted
+            and self._next_message is None
+            and not self._link.transmitter.busy
+        )
+
+    @property
+    def trace(self) -> Trace:
+        """The execution recorded so far (grows while stepping)."""
+        return self._trace
+
+    @property
+    def channels(self) -> ChannelPair:
+        """The underlying channel pair (for inspection in tests)."""
+        return self._channels
+
+    @property
+    def steps_taken(self) -> int:
+        """Number of steps executed so far."""
+        return self._steps
+
+    @property
+    def finished(self) -> bool:
+        """True once the whole workload has been acknowledged."""
+        return self._finished()
+
+    @property
+    def max_steps(self) -> int:
+        """The step budget this simulator was configured with."""
+        return self._max_steps

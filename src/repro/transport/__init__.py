@@ -1,0 +1,24 @@
+"""Transport-layer substrate: the data link over a relayed network (§1)."""
+
+from repro.transport.endtoend import NetworkRelay
+from repro.transport.network import (
+    LinkState,
+    Network,
+    line_network,
+    mesh_network,
+    ring_network,
+)
+from repro.transport.routing import Arrival, FloodingRelay, PathRelay, RelayStrategy
+
+__all__ = [
+    "Arrival",
+    "FloodingRelay",
+    "LinkState",
+    "Network",
+    "NetworkRelay",
+    "PathRelay",
+    "RelayStrategy",
+    "line_network",
+    "mesh_network",
+    "ring_network",
+]

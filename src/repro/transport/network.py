@@ -1,0 +1,170 @@
+"""Multi-node network model for the transport-layer application.
+
+Section 1 of the paper proposes running the protocol in the source and
+destination processors of a *network*, with the intermediate processors
+running any semi-reliable relay ("a trivial implementation ... is by
+flooding each packet; a more efficient method is to try to find a reliable
+path ... replacing the path only when an error is detected [HK89]").
+
+:class:`Network` wraps a :mod:`networkx` graph whose edges carry dynamic
+up/down state (a two-state Markov chain per link) and a latency.  The relay
+strategies in :mod:`repro.transport.routing` propagate packets across it,
+producing the loss, duplication and reordering the end-to-end data link
+must survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.random_source import RandomSource
+
+__all__ = ["LinkState", "Network", "line_network", "ring_network", "mesh_network"]
+
+Edge = Tuple[object, object]
+
+
+def _normalize(edge: Edge) -> Edge:
+    a, b = edge
+    return (a, b) if repr(a) <= repr(b) else (b, a)
+
+
+@dataclass
+class LinkState:
+    """One link's dynamic state: up/down plus the Markov toggle rates."""
+
+    up: bool = True
+    fail_rate: float = 0.0
+    repair_rate: float = 0.2
+    latency: int = 1
+
+    def tick(self, rng: RandomSource) -> None:
+        """Advance the two-state Markov chain by one time step."""
+        if self.up:
+            if self.fail_rate and rng.bernoulli(self.fail_rate):
+                self.up = False
+        else:
+            if rng.bernoulli(self.repair_rate):
+                self.up = True
+
+
+class Network:
+    """An undirected network with per-link failure dynamics.
+
+    Parameters
+    ----------
+    graph:
+        Any connected undirected :class:`networkx.Graph`.
+    source / destination:
+        The two endpoints running the data-link protocol.
+    fail_rate / repair_rate / latency:
+        Defaults applied to every link (overridable per edge via
+        :meth:`configure_link`).
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        source,
+        destination,
+        fail_rate: float = 0.0,
+        repair_rate: float = 0.2,
+        latency: int = 1,
+    ) -> None:
+        if source not in graph or destination not in graph:
+            raise ConfigurationError("source and destination must be graph nodes")
+        if source == destination:
+            raise ConfigurationError("source and destination must differ")
+        if not nx.is_connected(graph):
+            raise ConfigurationError("the network graph must be connected")
+        self.graph = graph
+        self.source = source
+        self.destination = destination
+        self._links: Dict[Edge, LinkState] = {
+            _normalize(edge): LinkState(
+                fail_rate=fail_rate, repair_rate=repair_rate, latency=latency
+            )
+            for edge in graph.edges()
+        }
+
+    # -- link management ------------------------------------------------------------
+
+    def link(self, a, b) -> LinkState:
+        """The dynamic state of the link between two adjacent nodes."""
+        try:
+            return self._links[_normalize((a, b))]
+        except KeyError:
+            raise ConfigurationError(f"no link between {a!r} and {b!r}") from None
+
+    def configure_link(self, a, b, **attrs) -> None:
+        """Override fail_rate / repair_rate / latency / up on one link."""
+        state = self.link(a, b)
+        for key, value in attrs.items():
+            if not hasattr(state, key):
+                raise ConfigurationError(f"LinkState has no attribute {key!r}")
+            setattr(state, key, value)
+
+    def tick(self, rng: RandomSource) -> None:
+        """Advance every link's failure process by one step."""
+        for state in self._links.values():
+            state.tick(rng)
+
+    def link_up(self, a, b) -> bool:
+        """True iff the link between two adjacent nodes is currently up."""
+        return self.link(a, b).up
+
+    def up_subgraph(self) -> nx.Graph:
+        """The graph restricted to currently-up links."""
+        up_edges = [
+            edge for edge, state in self._links.items() if state.up
+        ]
+        sub = nx.Graph()
+        sub.add_nodes_from(self.graph.nodes())
+        sub.add_edges_from(up_edges)
+        return sub
+
+    def shortest_up_path(self) -> Optional[List]:
+        """Shortest source→destination path over up links, or None."""
+        try:
+            return nx.shortest_path(self.up_subgraph(), self.source, self.destination)
+        except nx.NetworkXNoPath:
+            return None
+
+    @property
+    def edge_count(self) -> int:
+        """|E| — the unit of flooding's per-packet cost."""
+        return self.graph.number_of_edges()
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(nodes={self.graph.number_of_nodes()}, "
+            f"edges={self.edge_count}, {self.source!r}->{self.destination!r})"
+        )
+
+
+def line_network(hops: int, **kwargs) -> Network:
+    """A path graph of ``hops`` links: the minimal multi-hop topology."""
+    if hops < 1:
+        raise ConfigurationError("hops must be >= 1")
+    graph = nx.path_graph(hops + 1)
+    return Network(graph, source=0, destination=hops, **kwargs)
+
+
+def ring_network(nodes: int, **kwargs) -> Network:
+    """A cycle of ``nodes`` nodes: two disjoint source→destination paths."""
+    if nodes < 3:
+        raise ConfigurationError("a ring needs at least 3 nodes")
+    graph = nx.cycle_graph(nodes)
+    return Network(graph, source=0, destination=nodes // 2, **kwargs)
+
+
+def mesh_network(side: int, **kwargs) -> Network:
+    """A side×side grid: rich path diversity for the flooding relay."""
+    if side < 2:
+        raise ConfigurationError("a mesh needs side >= 2")
+    graph = nx.grid_2d_graph(side, side)
+    return Network(graph, source=(0, 0), destination=(side - 1, side - 1), **kwargs)

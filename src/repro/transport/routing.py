@@ -1,0 +1,158 @@
+"""Semi-reliable relay strategies: flooding and path maintenance.
+
+A relay strategy answers one question per injected packet: *when, and how
+many times, does a copy reach the far end?*  That is all the end-to-end
+data link can observe, and it is exactly the semi-reliable contract of
+Section 1 — copies may be lost (no up path / path broke mid-flight),
+duplicated (flooding finds several routes), and reordered (different
+latencies), but contents are never modified.
+
+* :class:`FloodingRelay` — "a trivial implementation ... is by flooding
+  each packet": breadth-first propagation over up links; a copy arrives per
+  loop-free entry route into the destination (capped), costing
+  Θ(|E|) transmissions per packet.
+* :class:`PathRelay` — the [HK89] approach: keep one current path, send
+  along it, and only when a transit link is down (an "error is detected")
+  recompute from the live topology.  Costs path-length transmissions per
+  packet when quiet; loses the packet (and repairs the route) on failure.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.core.random_source import RandomSource
+from repro.transport.network import Network
+
+__all__ = ["Arrival", "RelayStrategy", "FloodingRelay", "PathRelay"]
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One copy of an injected packet reaching the destination side."""
+
+    token: object
+    arrive_at: int
+
+
+class RelayStrategy(ABC):
+    """Common interface: inject a token now, receive arrivals later."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.transmissions = 0  # per-hop copies sent (communication cost)
+
+    @abstractmethod
+    def inject(self, token: object, now: int, direction: str, rng: RandomSource) -> List[Arrival]:
+        """Relay one packet submitted at time ``now``.
+
+        ``direction`` is ``"fwd"`` (source→destination) or ``"rev"``;
+        the returned arrivals say when copies reach the other side.
+        """
+
+    def endpoints(self, direction: str) -> Tuple[object, object]:
+        """(origin, target) nodes for a direction."""
+        if direction == "fwd":
+            return self.network.source, self.network.destination
+        if direction == "rev":
+            return self.network.destination, self.network.source
+        raise ValueError(f"direction must be 'fwd' or 'rev', got {direction!r}")
+
+
+class FloodingRelay(RelayStrategy):
+    """Breadth-first flooding over currently-up links.
+
+    Every node forwards the first copy it sees to all neighbours; the
+    destination registers one arrival per distinct neighbour that hands it
+    a copy (bounded duplication, the way real flooding behaves with
+    per-node duplicate suppression).  Cost accounting charges one
+    transmission per traversed up link.
+    """
+
+    def __init__(self, network: Network, max_duplicates: int = 4) -> None:
+        super().__init__(network)
+        if max_duplicates < 1:
+            raise ValueError("max_duplicates must be >= 1")
+        self._max_duplicates = max_duplicates
+
+    def inject(self, token, now, direction, rng) -> List[Arrival]:
+        origin, target = self.endpoints(direction)
+        up = self.network.up_subgraph()
+        # BFS wavefront with duplicate suppression at every node except the
+        # target, which registers each incoming copy (up to the cap).
+        seen: Set[object] = {origin}
+        frontier = [(origin, 0)]
+        arrivals: List[Arrival] = []
+        while frontier:
+            next_frontier: List[Tuple[object, int]] = []
+            for node, depth in frontier:
+                for neighbour in up.neighbors(node):
+                    self.transmissions += 1
+                    latency = self.network.link(node, neighbour).latency
+                    if neighbour == target:
+                        if len(arrivals) < self._max_duplicates:
+                            arrivals.append(
+                                Arrival(token=token, arrive_at=now + depth + latency)
+                            )
+                        continue
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        next_frontier.append((neighbour, depth + latency))
+            frontier = next_frontier
+        return arrivals
+
+
+class PathRelay(RelayStrategy):
+    """[HK89]-style path maintenance: one cached route per direction.
+
+    A packet travels its direction's current path hop by hop; if any hop is
+    down when the packet would cross it, the packet is lost there and the
+    route is recomputed from the live topology (the "error detected" case).
+    When no up path exists the packet is simply lost — the data link's
+    retransmission machinery is what recovers, exactly the division of
+    labour the paper describes.
+    """
+
+    def __init__(self, network: Network) -> None:
+        super().__init__(network)
+        self._paths: Dict[str, Optional[List]] = {"fwd": None, "rev": None}
+        self.path_repairs = 0
+        self.losses = 0
+
+    def current_path(self, direction: str) -> Optional[List]:
+        """The cached route for a direction (None until first use)."""
+        return self._paths.get(direction)
+
+    def inject(self, token, now, direction, rng) -> List[Arrival]:
+        origin, target = self.endpoints(direction)
+        path = self._paths[direction]
+        if path is None:
+            path = self._recompute(origin, target)
+        if path is None:
+            self.losses += 1
+            return []
+        elapsed = 0
+        for hop_from, hop_to in zip(path, path[1:]):
+            self.transmissions += 1
+            if not self.network.link_up(hop_from, hop_to):
+                # Error detected mid-route: drop the packet, repair the path.
+                self.losses += 1
+                self._paths[direction] = self._recompute(origin, target)
+                return []
+            elapsed += self.network.link(hop_from, hop_to).latency
+        self._paths[direction] = path
+        return [Arrival(token=token, arrive_at=now + elapsed)]
+
+    def _recompute(self, origin, target) -> Optional[List]:
+        self.path_repairs += 1
+        try:
+            path = nx.shortest_path(self.network.up_subgraph(), origin, target)
+        except nx.NetworkXNoPath:
+            return None
+        key = "fwd" if origin == self.network.source else "rev"
+        self._paths[key] = path
+        return path

@@ -1,0 +1,13 @@
+"""Shared utilities: statistics and table rendering."""
+
+from repro.util.stats import BernoulliEstimate, SeriesSummary, summarize, wilson_interval
+from repro.util.tables import format_cell, render_table
+
+__all__ = [
+    "BernoulliEstimate",
+    "SeriesSummary",
+    "format_cell",
+    "render_table",
+    "summarize",
+    "wilson_interval",
+]

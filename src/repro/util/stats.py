@@ -1,0 +1,147 @@
+"""Small statistics helpers for the Monte-Carlo experiments.
+
+The experiments estimate per-message error probabilities that the theorems
+bound by ε.  Point estimates of rare events are noisy, so every reported
+rate carries a Wilson score interval, and comparisons against ε use the
+interval's upper bound (a conservative "consistent with the theorem"
+verdict).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["BernoulliEstimate", "wilson_interval", "summarize", "SeriesSummary"]
+
+
+@dataclass(frozen=True)
+class BernoulliEstimate:
+    """Estimated probability with a Wilson confidence interval."""
+
+    successes: int
+    trials: int
+    low: float
+    high: float
+
+    @property
+    def point(self) -> float:
+        """The maximum-likelihood estimate successes/trials."""
+        return self.successes / self.trials if self.trials else 0.0
+
+    def consistent_with_bound(self, bound: float) -> bool:
+        """True iff the interval does not rule out a true rate ≤ ``bound``.
+
+        This is the check the theorem-validation benches use: a measured
+        violation rate is *consistent* with Theorem 3's ε bound when the
+        lower end of the interval is at or below ε.
+        """
+        return self.low <= bound
+
+    def __str__(self) -> str:
+        return f"{self.point:.3g} [{self.low:.3g}, {self.high:.3g}] ({self.successes}/{self.trials})"
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> BernoulliEstimate:
+    """Wilson score interval for a binomial proportion.
+
+    Well behaved at zero successes (unlike the normal approximation), which
+    matters here: the expected number of safety violations is usually 0.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError("need 0 <= successes <= trials")
+    if trials == 0:
+        return BernoulliEstimate(successes=0, trials=0, low=0.0, high=1.0)
+    # Two-sided z for the given confidence; 1.959964 at 95%.
+    z = _z_score(confidence)
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    margin = (
+        z * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials)) / denom
+    )
+    return BernoulliEstimate(
+        successes=successes,
+        trials=trials,
+        low=max(0.0, center - margin),
+        high=min(1.0, center + margin),
+    )
+
+
+def _z_score(confidence: float) -> float:
+    """Inverse normal CDF at (1+confidence)/2 via Acklam's approximation."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    p = (1.0 + confidence) / 2.0
+    # Peter Acklam's rational approximation; |relative error| < 1.15e-9.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p <= 1 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+        )
+    q = math.sqrt(-2 * math.log(1 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+        (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+    )
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Five-number-ish summary of a numeric series."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3g} min={self.minimum:.3g} "
+            f"p50={self.p50:.3g} p95={self.p95:.3g} max={self.maximum:.3g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> SeriesSummary:
+    """Summary statistics of a non-empty numeric sequence."""
+    if not values:
+        return SeriesSummary(count=0, mean=0.0, minimum=0.0, maximum=0.0, p50=0.0, p95=0.0)
+    ordered = sorted(float(v) for v in values)
+    n = len(ordered)
+
+    def percentile(q: float) -> float:
+        if n == 1:
+            return ordered[0]
+        pos = q * (n - 1)
+        lower = int(math.floor(pos))
+        upper = min(lower + 1, n - 1)
+        frac = pos - lower
+        return ordered[lower] * (1 - frac) + ordered[upper] * frac
+
+    return SeriesSummary(
+        count=n,
+        mean=sum(ordered) / n,
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        p50=percentile(0.50),
+        p95=percentile(0.95),
+    )

@@ -1,0 +1,65 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmarks print the rows/series the paper's claims translate into
+(EXPERIMENTS.md records them); a tiny fixed-width renderer keeps that
+output dependency-free and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: object) -> str:
+    """Render one table value compactly and deterministically."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width table with a rule under the header.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    text_rows: List[List[str]] = [[format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip()
+    )
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(
+            " | ".join(
+                cell.ljust(widths[i]) for i, cell in enumerate(row)
+            ).rstrip()
+        )
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Unit tests for the benign adversaries."""
+
+from __future__ import annotations
+
+from repro.adversary.base import Deliver, Pass, TriggerRetry
+from repro.adversary.benign import DelayedFifoAdversary, ReliableAdversary
+from repro.channel.channel import PacketInfo
+from repro.core.events import ChannelId
+from repro.core.random_source import RandomSource
+
+
+def info(pid, channel=ChannelId.T_TO_R, length=64):
+    return PacketInfo(channel=channel, packet_id=pid, length_bits=length)
+
+
+class TestReliableAdversary:
+    def test_fifo_exactly_once(self):
+        adv = ReliableAdversary()
+        adv.bind(RandomSource(0))
+        for pid in range(3):
+            adv.on_new_pkt(info(pid))
+        moves = [adv.next_move() for __ in range(4)]
+        assert [m.packet_id for m in moves[:3]] == [0, 1, 2]
+        assert isinstance(moves[3], Pass)
+
+    def test_interleaves_channels_in_arrival_order(self):
+        adv = ReliableAdversary()
+        adv.bind(RandomSource(0))
+        adv.on_new_pkt(info(0, ChannelId.T_TO_R))
+        adv.on_new_pkt(info(0, ChannelId.R_TO_T))
+        first, second = adv.next_move(), adv.next_move()
+        assert first.channel == ChannelId.T_TO_R
+        assert second.channel == ChannelId.R_TO_T
+
+    def test_passes_when_idle(self):
+        adv = ReliableAdversary()
+        adv.bind(RandomSource(0))
+        assert isinstance(adv.next_move(), Pass)
+
+    def test_moves_counter(self):
+        adv = ReliableAdversary()
+        adv.bind(RandomSource(0))
+        adv.next_move()
+        adv.next_move()
+        assert adv.moves_made == 2
+
+
+class TestDelayedFifoAdversary:
+    def test_holds_packets_for_delay(self):
+        adv = DelayedFifoAdversary(delay_turns=3)
+        adv.bind(RandomSource(0))
+        adv.on_new_pkt(info(0))
+        kinds = []
+        for __ in range(6):
+            kinds.append(adv.next_move())
+        delivered_at = next(
+            i for i, m in enumerate(kinds) if isinstance(m, Deliver)
+        )
+        assert delivered_at >= 2  # not before the delay matured
+
+    def test_zero_delay_behaves_like_fifo(self):
+        adv = DelayedFifoAdversary(delay_turns=0)
+        adv.bind(RandomSource(0))
+        adv.on_new_pkt(info(7))
+        move = adv.next_move()
+        assert isinstance(move, Deliver)
+        assert move.packet_id == 7
+
+    def test_requests_retry_while_waiting(self):
+        adv = DelayedFifoAdversary(delay_turns=10)
+        adv.bind(RandomSource(0))
+        adv.on_new_pkt(info(0))
+        assert isinstance(adv.next_move(), TriggerRetry)
+
+    def test_preserves_order(self):
+        adv = DelayedFifoAdversary(delay_turns=1)
+        adv.bind(RandomSource(0))
+        adv.on_new_pkt(info(0))
+        adv.on_new_pkt(info(1))
+        delivered = []
+        for __ in range(10):
+            move = adv.next_move()
+            if isinstance(move, Deliver):
+                delivered.append(move.packet_id)
+        assert delivered == [0, 1]
+
+    def test_rejects_negative_delay(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            DelayedFifoAdversary(delay_turns=-1)

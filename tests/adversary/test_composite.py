@@ -1,0 +1,83 @@
+"""Unit tests for phased and mixture adversary composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import Deliver, Pass
+from repro.adversary.benign import ReliableAdversary
+from repro.adversary.composite import MixtureAdversary, PhasedAdversary
+from repro.adversary.fairness import StallingAdversary
+from repro.channel.channel import PacketInfo
+from repro.core.events import ChannelId
+from repro.core.random_source import RandomSource
+
+
+def info(pid):
+    return PacketInfo(channel=ChannelId.T_TO_R, packet_id=pid, length_bits=64)
+
+
+class TestPhasedAdversary:
+    def test_switches_after_budget(self):
+        adv = PhasedAdversary([(StallingAdversary(), 3), (ReliableAdversary(), 1)])
+        adv.bind(RandomSource(0))
+        adv.on_new_pkt(info(0))
+        moves = [adv.next_move() for __ in range(5)]
+        assert all(isinstance(m, Pass) for m in moves[:3])
+        assert any(isinstance(m, Deliver) for m in moves[3:])
+
+    def test_all_phases_observe_new_pkts(self):
+        # A packet announced during phase 1 must be deliverable by phase 2.
+        adv = PhasedAdversary([(StallingAdversary(), 2), (ReliableAdversary(), 1)])
+        adv.bind(RandomSource(0))
+        adv.on_new_pkt(info(42))
+        adv.next_move()
+        adv.next_move()
+        move = adv.next_move()
+        assert isinstance(move, Deliver)
+        assert move.packet_id == 42
+
+    def test_final_phase_runs_forever(self):
+        adv = PhasedAdversary([(ReliableAdversary(), 1)])
+        adv.bind(RandomSource(0))
+        for __ in range(50):
+            adv.next_move()
+        assert adv.current_phase is adv._phases[0][0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhasedAdversary([])
+        with pytest.raises(ValueError):
+            PhasedAdversary([(StallingAdversary(), 0), (ReliableAdversary(), 1)])
+
+    def test_describe_chains(self):
+        adv = PhasedAdversary([(StallingAdversary(), 1), (ReliableAdversary(), 1)])
+        assert "->" in adv.describe()
+
+
+class TestMixtureAdversary:
+    def test_single_component_is_passthrough(self):
+        adv = MixtureAdversary([(ReliableAdversary(), 1.0)])
+        adv.bind(RandomSource(0))
+        adv.on_new_pkt(info(0))
+        assert isinstance(adv.next_move(), Deliver)
+
+    def test_weights_normalised(self):
+        stall = StallingAdversary()
+        deliver = ReliableAdversary()
+        adv = MixtureAdversary([(stall, 3.0), (deliver, 1.0)])
+        adv.bind(RandomSource(1))
+        for pid in range(1000):
+            adv.on_new_pkt(info(pid))
+        passes = sum(isinstance(adv.next_move(), Pass) for __ in range(1000))
+        assert 650 < passes < 850  # ~75% stalling
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MixtureAdversary([])
+        with pytest.raises(ValueError):
+            MixtureAdversary([(StallingAdversary(), 0.0)])
+
+    def test_describe_lists_weights(self):
+        adv = MixtureAdversary([(StallingAdversary(), 1.0)])
+        assert "1.00" in adv.describe()

@@ -1,0 +1,99 @@
+"""Unit tests for fairness enforcement (Axiom 3) and stalling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import Deliver, Pass
+from repro.adversary.benign import ReliableAdversary
+from repro.adversary.fairness import FairnessEnforcer, StallingAdversary
+from repro.channel.channel import PacketInfo
+from repro.core.events import ChannelId
+from repro.core.random_source import RandomSource
+
+
+def info(pid):
+    return PacketInfo(channel=ChannelId.T_TO_R, packet_id=pid, length_bits=64)
+
+
+class TestStallingAdversary:
+    def test_always_passes(self):
+        adv = StallingAdversary()
+        adv.bind(RandomSource(0))
+        adv.on_new_pkt(info(0))
+        assert all(isinstance(adv.next_move(), Pass) for __ in range(10))
+
+
+class TestFairnessEnforcer:
+    def test_forces_delivery_after_patience(self):
+        adv = FairnessEnforcer(StallingAdversary(), patience=5)
+        adv.bind(RandomSource(0))
+        adv.on_new_pkt(info(0))
+        moves = [adv.next_move() for __ in range(5)]
+        assert isinstance(moves[-1], Deliver)
+        assert all(isinstance(m, Pass) for m in moves[:-1])
+        assert adv.forced_deliveries == 1
+
+    def test_forces_most_recent_packet(self):
+        # The weakest fair choice: the newest pending packet goes through,
+        # older ones may be starved forever.
+        adv = FairnessEnforcer(StallingAdversary(), patience=3)
+        adv.bind(RandomSource(0))
+        adv.on_new_pkt(info(0))
+        adv.on_new_pkt(info(1))
+        forced = None
+        for __ in range(3):
+            move = adv.next_move()
+            if isinstance(move, Deliver):
+                forced = move
+        assert forced is not None and forced.packet_id == 1
+
+    def test_passthrough_when_inner_delivers(self):
+        adv = FairnessEnforcer(ReliableAdversary(), patience=5)
+        adv.bind(RandomSource(0))
+        adv.on_new_pkt(info(0))
+        move = adv.next_move()
+        assert isinstance(move, Deliver)
+        assert adv.forced_deliveries == 0
+
+    def test_no_forcing_without_pending_packets(self):
+        adv = FairnessEnforcer(StallingAdversary(), patience=2)
+        adv.bind(RandomSource(0))
+        moves = [adv.next_move() for __ in range(10)]
+        assert all(isinstance(m, Pass) for m in moves)
+
+    def test_patience_resets_after_delivery(self):
+        adv = FairnessEnforcer(StallingAdversary(), patience=4)
+        adv.bind(RandomSource(0))
+        adv.on_new_pkt(info(0))
+        adv.on_new_pkt(info(1))
+        deliveries = []
+        for turn in range(8):
+            move = adv.next_move()
+            if isinstance(move, Deliver):
+                deliveries.append(turn)
+        assert deliveries == [3, 7]  # one per patience window
+
+    def test_forced_packet_not_redelivered(self):
+        adv = FairnessEnforcer(StallingAdversary(), patience=2)
+        adv.bind(RandomSource(0))
+        adv.on_new_pkt(info(0))
+        delivered = []
+        for __ in range(10):
+            move = adv.next_move()
+            if isinstance(move, Deliver):
+                delivered.append(move.packet_id)
+        assert delivered == [0]  # forced once, then nothing left to force
+
+    def test_rejects_bad_patience(self):
+        with pytest.raises(ValueError):
+            FairnessEnforcer(StallingAdversary(), patience=0)
+
+    def test_inner_tape_bound(self):
+        adv = FairnessEnforcer(ReliableAdversary(), patience=2)
+        adv.bind(RandomSource(0))
+        assert adv.inner.rng is not None
+
+    def test_describe_nests(self):
+        adv = FairnessEnforcer(StallingAdversary(), patience=3)
+        assert "StallingAdversary" in adv.describe()

@@ -1,0 +1,154 @@
+"""Unit tests for randomized fault adversaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import CrashReceiver, CrashTransmitter, Deliver, Pass
+from repro.adversary.random_faults import (
+    DuplicateFloodAdversary,
+    FaultProfile,
+    RandomFaultAdversary,
+    ReorderAdversary,
+)
+from repro.channel.channel import PacketInfo
+from repro.core.events import ChannelId
+from repro.core.random_source import RandomSource
+
+
+def info(pid, channel=ChannelId.T_TO_R):
+    return PacketInfo(channel=channel, packet_id=pid, length_bits=64)
+
+
+class TestFaultProfile:
+    def test_validates_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultProfile(loss=1.5)
+        with pytest.raises(ValueError):
+            FaultProfile(duplicate=-0.1)
+
+    def test_total_loss_rejected(self):
+        # loss=1 disconnects the stations, violating Axiom 3.
+        with pytest.raises(ValueError):
+            FaultProfile(loss=1.0)
+
+    def test_defaults_are_faultless(self):
+        profile = FaultProfile()
+        assert profile.loss == 0.0
+        assert profile.crash_t == 0.0
+
+
+class TestRandomFaultAdversary:
+    def test_faultless_profile_is_reliable(self):
+        adv = RandomFaultAdversary(FaultProfile())
+        adv.bind(RandomSource(1))
+        for pid in range(4):
+            adv.on_new_pkt(info(pid))
+        delivered = [adv.next_move().packet_id for __ in range(4)]
+        assert delivered == [0, 1, 2, 3]
+
+    def test_loss_rate_approximate(self):
+        adv = RandomFaultAdversary(FaultProfile(loss=0.5))
+        adv.bind(RandomSource(2))
+        for pid in range(2000):
+            adv.on_new_pkt(info(pid))
+        assert 850 < adv.dropped < 1150
+
+    def test_duplication_requeues(self):
+        adv = RandomFaultAdversary(FaultProfile(duplicate=0.9))
+        adv.bind(RandomSource(3))
+        adv.on_new_pkt(info(0))
+        deliveries = 0
+        for __ in range(50):
+            if isinstance(adv.next_move(), Deliver):
+                deliveries += 1
+        assert deliveries > 1  # the same packet delivered repeatedly
+        assert adv.duplicated > 0
+
+    def test_crash_rates(self):
+        adv = RandomFaultAdversary(FaultProfile(crash_t=0.5, crash_r=0.5))
+        adv.bind(RandomSource(4))
+        moves = [adv.next_move() for __ in range(100)]
+        assert any(isinstance(m, CrashTransmitter) for m in moves)
+        assert any(isinstance(m, CrashReceiver) for m in moves)
+
+    def test_passes_when_empty(self):
+        adv = RandomFaultAdversary(FaultProfile())
+        adv.bind(RandomSource(5))
+        assert isinstance(adv.next_move(), Pass)
+
+    def test_describe_mentions_rates(self):
+        adv = RandomFaultAdversary(FaultProfile(loss=0.25))
+        assert "0.25" in adv.describe()
+
+
+class TestReorderAdversary:
+    def test_delivers_each_exactly_once(self):
+        adv = ReorderAdversary(window=8)
+        adv.bind(RandomSource(6))
+        for pid in range(20):
+            adv.on_new_pkt(info(pid))
+        delivered = []
+        for __ in range(20):
+            move = adv.next_move()
+            assert isinstance(move, Deliver)
+            delivered.append(move.packet_id)
+        assert sorted(delivered) == list(range(20))
+
+    def test_actually_reorders(self):
+        adv = ReorderAdversary(window=8)
+        adv.bind(RandomSource(7))
+        for pid in range(20):
+            adv.on_new_pkt(info(pid))
+        delivered = [adv.next_move().packet_id for __ in range(20)]
+        assert delivered != sorted(delivered)
+
+    def test_window_bounds_starvation(self):
+        adv = ReorderAdversary(window=2)
+        adv.bind(RandomSource(8))
+        for pid in range(50):
+            adv.on_new_pkt(info(pid))
+        delivered = [adv.next_move().packet_id for __ in range(50)]
+        # With window 2, packet k is delivered within k+2 deliveries.
+        for position, pid in enumerate(delivered):
+            assert pid <= position + 2
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ReorderAdversary(window=0)
+
+
+class TestDuplicateFloodAdversary:
+    def test_first_pass_delivers_everything(self):
+        adv = DuplicateFloodAdversary(flood=0.0)
+        adv.bind(RandomSource(9))
+        for pid in range(5):
+            adv.on_new_pkt(info(pid))
+        delivered = [adv.next_move().packet_id for __ in range(5)]
+        assert delivered == [0, 1, 2, 3, 4]
+
+    def test_floods_archive(self):
+        adv = DuplicateFloodAdversary(flood=1.0)
+        adv.bind(RandomSource(10))
+        adv.on_new_pkt(info(0))
+        first = adv.next_move()
+        assert isinstance(first, Deliver)
+        for __ in range(10):
+            move = adv.next_move()
+            assert isinstance(move, Deliver)
+            assert move.packet_id == 0
+        assert adv.redeliveries == 10
+
+    def test_channel_bias(self):
+        adv = DuplicateFloodAdversary(flood=1.0, flood_t_to_r_only=True)
+        adv.bind(RandomSource(11))
+        adv.on_new_pkt(info(0, ChannelId.T_TO_R))
+        adv.on_new_pkt(info(0, ChannelId.R_TO_T))
+        adv.next_move()
+        adv.next_move()
+        floods = [adv.next_move() for __ in range(20)]
+        assert all(m.channel == ChannelId.T_TO_R for m in floods)
+
+    def test_rejects_bad_flood(self):
+        with pytest.raises(ValueError):
+            DuplicateFloodAdversary(flood=1.5)

@@ -1,0 +1,114 @@
+"""Unit tests for the Section 3 replay attacker's staging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import (
+    CrashReceiver,
+    CrashTransmitter,
+    Deliver,
+    TriggerRetry,
+)
+from repro.adversary.replay import AttackPhase, ReplayAttacker
+from repro.channel.channel import PacketInfo
+from repro.core.events import ChannelId
+from repro.core.random_source import RandomSource
+
+
+def info(pid, channel=ChannelId.T_TO_R):
+    return PacketInfo(channel=channel, packet_id=pid, length_bits=64)
+
+
+def make(harvest=3, rounds=2, polls=0):
+    adv = ReplayAttacker(
+        harvest_messages=harvest,
+        replay_rounds=rounds,
+        polls_between_replays=polls,
+    )
+    adv.bind(RandomSource(0))
+    return adv
+
+
+class TestHarvestPhase:
+    def test_starts_harvesting(self):
+        adv = make()
+        assert adv.phase == AttackPhase.HARVEST
+
+    def test_faithful_fifo_during_harvest(self):
+        adv = make(harvest=10)
+        adv.on_new_pkt(info(0))
+        adv.on_new_pkt(info(1, ChannelId.R_TO_T))
+        first, second = adv.next_move(), adv.next_move()
+        assert isinstance(first, Deliver) and first.packet_id == 0
+        assert isinstance(second, Deliver) and second.channel == ChannelId.R_TO_T
+
+    def test_archives_only_data_direction(self):
+        adv = make(harvest=10)
+        adv.on_new_pkt(info(0, ChannelId.T_TO_R))
+        adv.on_new_pkt(info(1, ChannelId.R_TO_T))
+        assert adv.archive_size == 1
+
+
+class TestCrashPhase:
+    def test_crashes_both_stations_after_harvest(self):
+        adv = make(harvest=2)
+        adv.on_new_pkt(info(0))
+        adv.on_new_pkt(info(1))
+        adv.next_move()  # harvest notices target reached, still faithful
+        moves = [adv.next_move() for __ in range(3)]
+        assert any(isinstance(m, CrashTransmitter) for m in moves)
+        assert any(isinstance(m, CrashReceiver) for m in moves)
+        crash_t_index = next(
+            i for i, m in enumerate(moves) if isinstance(m, CrashTransmitter)
+        )
+        crash_r_index = next(
+            i for i, m in enumerate(moves) if isinstance(m, CrashReceiver)
+        )
+        assert crash_t_index < crash_r_index  # "crash^T followed by crash^R"
+
+
+class TestReplayPhase:
+    def _drive_to_replay(self, adv, archived=2):
+        for pid in range(archived):
+            adv.on_new_pkt(info(pid))
+        while adv.phase != AttackPhase.REPLAY:
+            adv.next_move()
+
+    def test_replays_archive_cyclically(self):
+        adv = make(harvest=2, rounds=2)
+        self._drive_to_replay(adv)
+        replayed = []
+        for __ in range(4):
+            move = adv.next_move()
+            assert isinstance(move, Deliver)
+            replayed.append(move.packet_id)
+        assert replayed == [0, 1, 0, 1]
+        assert adv.replays_sent == 4
+
+    def test_interleaves_polls_when_configured(self):
+        adv = make(harvest=1, rounds=2, polls=2)
+        self._drive_to_replay(adv, archived=1)
+        moves = [adv.next_move() for __ in range(6)]
+        retries = sum(isinstance(m, TriggerRetry) for m in moves)
+        delivers = sum(isinstance(m, Deliver) for m in moves)
+        assert retries == 4 and delivers == 2
+
+    def test_drains_to_faithful(self):
+        adv = make(harvest=1, rounds=1)
+        self._drive_to_replay(adv, archived=1)
+        adv.next_move()  # the single replay
+        adv.next_move()
+        assert adv.phase == AttackPhase.DRAINED
+
+
+class TestValidation:
+    def test_rejects_degenerate_configs(self):
+        with pytest.raises(ValueError):
+            ReplayAttacker(harvest_messages=0)
+        with pytest.raises(ValueError):
+            ReplayAttacker(replay_rounds=0)
+
+    def test_describe_reports_phase(self):
+        adv = make()
+        assert "harvest" in adv.describe()

@@ -1,0 +1,112 @@
+"""Unit tests for the analytic formulas of Section 4."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import (
+    expected_handshake_packets,
+    fixed_nonce_replay_probability,
+    generation_after_errors,
+    nonce_bits_after_errors,
+    replay_attack_curve,
+    theorem3_budget,
+    union_bound,
+)
+from repro.core.params import PrintedPaperPolicy, SoundPolicy
+
+
+class TestTheorem3Budget:
+    def test_four_equal_quarters(self):
+        budget = theorem3_budget(2.0 ** -10)
+        assert budget.duplicate_delivery == budget.epsilon / 4
+        assert budget.total == pytest.approx(budget.epsilon)
+
+
+class TestUnionBound:
+    def test_sound_policy_under_quarter(self):
+        eps = 2.0 ** -10
+        assert union_bound(SoundPolicy(), eps) <= eps / 4
+
+    def test_printed_policy_exceeds_quarter_over_long_horizon(self):
+        eps = 2.0 ** -10
+        assert union_bound(PrintedPaperPolicy(), eps, horizon=64) > eps / 4
+
+    def test_matches_policy_method(self):
+        eps = 2.0 ** -8
+        policy = SoundPolicy()
+        assert union_bound(policy, eps) == policy.total_failure_mass(eps)
+
+
+class TestGenerationGrowth:
+    def test_zero_errors_stay_generation_one(self):
+        assert generation_after_errors(SoundPolicy(), 0) == 1
+
+    def test_below_bound_stays(self):
+        policy = SoundPolicy()  # bound(1) = 2
+        assert generation_after_errors(policy, 1) == 1
+
+    def test_at_bound_advances(self):
+        policy = SoundPolicy()
+        assert generation_after_errors(policy, 2) == 2
+        # bound(1)+bound(2) = 6 errors exhaust generation 2.
+        assert generation_after_errors(policy, 6) == 3
+
+    def test_growth_is_logarithmic(self):
+        policy = SoundPolicy()
+        # 2+4+...+2^t absorbs ~2^(t+1) errors: 1000 errors < generation 10.
+        assert generation_after_errors(policy, 1000) <= 10
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            generation_after_errors(SoundPolicy(), -1)
+
+    def test_nonce_bits_monotone_in_errors(self):
+        eps = 2.0 ** -10
+        policy = SoundPolicy()
+        sizes = [nonce_bits_after_errors(policy, eps, n) for n in (0, 2, 6, 14, 30)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] == policy.size(1, eps)
+
+
+class TestHandshakeCost:
+    def test_lossless(self):
+        assert expected_handshake_packets(0.0) == 2.0
+        assert expected_handshake_packets(0.0, steady_state=False) == 3.0
+
+    def test_half_loss_doubles(self):
+        assert expected_handshake_packets(0.5) == 4.0
+
+    def test_monotone_in_loss(self):
+        costs = [expected_handshake_packets(p) for p in (0.0, 0.2, 0.5, 0.8)]
+        assert costs == sorted(costs)
+
+    def test_rejects_certain_loss(self):
+        with pytest.raises(ValueError):
+            expected_handshake_packets(1.0)
+
+
+class TestReplayProbability:
+    def test_empty_archive_never_wins(self):
+        assert fixed_nonce_replay_probability(8, 0) == 0.0
+
+    def test_monotone_in_archive(self):
+        probs = replay_attack_curve(6, [0, 16, 64, 256])
+        assert probs == sorted(probs)
+
+    def test_approaches_one(self):
+        assert fixed_nonce_replay_probability(4, 1000) > 0.99
+
+    def test_larger_nonce_is_safer(self):
+        assert fixed_nonce_replay_probability(16, 64) < fixed_nonce_replay_probability(
+            4, 64
+        )
+
+    def test_single_packet_single_guess(self):
+        assert fixed_nonce_replay_probability(8, 1) == pytest.approx(2.0 ** -8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fixed_nonce_replay_probability(0, 5)
+        with pytest.raises(ValueError):
+            fixed_nonce_replay_probability(8, -1)

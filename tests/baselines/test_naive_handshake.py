@@ -1,0 +1,77 @@
+"""Tests for the Section 3 fixed-nonce strawman."""
+
+from __future__ import annotations
+
+from repro.adversary.benign import ReliableAdversary
+from repro.adversary.replay import ReplayAttacker
+from repro.baselines.naive_handshake import make_naive_handshake_link
+from repro.checkers.safety import check_all_safety
+from repro.core.params import FixedPolicy
+from repro.sim.simulator import Simulator
+from repro.sim.workload import SequentialWorkload
+
+
+class TestConstruction:
+    def test_uses_fixed_policy(self):
+        link = make_naive_handshake_link(nonce_bits=6, seed=1)
+        assert isinstance(link.params.policy, FixedPolicy)
+        assert link.params.policy.nonce_bits == 6
+
+    def test_receiver_challenge_has_fixed_size(self):
+        link = make_naive_handshake_link(nonce_bits=6, seed=1)
+        assert len(link.receiver.rho) == 6
+
+
+class TestBehaviour:
+    def test_correct_under_benign_conditions(self):
+        link = make_naive_handshake_link(nonce_bits=8, seed=2)
+        sim = Simulator(link, ReliableAdversary(), SequentialWorkload(20), seed=2)
+        result = sim.run()
+        assert result.all_messages_ok
+        assert check_all_safety(result.trace).passed
+
+    def test_never_extends_nonce(self):
+        link = make_naive_handshake_link(nonce_bits=8, seed=3)
+        sim = Simulator(
+            link,
+            ReplayAttacker(harvest_messages=30, replay_rounds=3),
+            SequentialWorkload(100),
+            seed=3,
+            max_steps=30_000,
+        )
+        sim.run()
+        assert link.receiver.stats.extensions == 0
+
+    def test_replay_attack_usually_succeeds_on_small_nonce(self):
+        # The Section 3 scenario: with a 5-bit fixed challenge and an
+        # archive of ~80 packets, most runs end in a no-replay violation.
+        violated = 0
+        for seed in range(12):
+            link = make_naive_handshake_link(nonce_bits=5, seed=seed)
+            attacker = ReplayAttacker(harvest_messages=80, replay_rounds=6)
+            sim = Simulator(
+                link, attacker, SequentialWorkload(200), seed=seed, max_steps=30_000
+            )
+            result = sim.run()
+            report = check_all_safety(result.trace)
+            if not (report.no_replay.passed and report.no_duplication.passed):
+                violated += 1
+        assert violated >= 6  # overwhelmingly broken
+
+    def test_attack_weakens_with_nonce_size(self):
+        def violation_count(bits):
+            violated = 0
+            for seed in range(10):
+                link = make_naive_handshake_link(nonce_bits=bits, seed=seed)
+                attacker = ReplayAttacker(harvest_messages=60, replay_rounds=4)
+                sim = Simulator(
+                    link, attacker, SequentialWorkload(150), seed=seed,
+                    max_steps=30_000,
+                )
+                result = sim.run()
+                report = check_all_safety(result.trace)
+                if not (report.no_replay.passed and report.no_duplication.passed):
+                    violated += 1
+            return violated
+
+        assert violation_count(4) > violation_count(12)

@@ -1,0 +1,132 @@
+"""Unit tests for the communication channel (Section 2.3 semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.channel import Channel, ChannelPair, PacketInfo
+from repro.core.bitstrings import BitString
+from repro.core.events import ChannelId
+from repro.core.exceptions import UnknownPacketError
+from repro.core.packets import DataPacket, PollPacket
+
+
+def data(m=b"x"):
+    return DataPacket(message=m, rho=BitString("01"), tau=BitString("10"))
+
+
+class TestSend:
+    def test_ids_unique_and_sequential(self):
+        channel = Channel(ChannelId.T_TO_R)
+        infos = [channel.send_pkt(data(b"%d" % i)) for i in range(5)]
+        assert [i.packet_id for i in infos] == [0, 1, 2, 3, 4]
+
+    def test_new_pkt_announcement(self):
+        seen = []
+        channel = Channel(ChannelId.T_TO_R, on_new_pkt=seen.append)
+        packet = data(b"hello")
+        info = channel.send_pkt(packet)
+        assert seen == [info]
+        assert info.channel == ChannelId.T_TO_R
+        assert info.length_bits == packet.wire_length_bits
+
+    def test_announcement_reveals_only_id_and_length(self):
+        seen = []
+        channel = Channel(ChannelId.T_TO_R, on_new_pkt=seen.append)
+        channel.send_pkt(data(b"secret"))
+        info = seen[0]
+        assert isinstance(info, PacketInfo)
+        assert set(info.__dataclass_fields__) == {
+            "channel",
+            "packet_id",
+            "length_bits",
+        }
+
+    def test_counters(self):
+        channel = Channel(ChannelId.R_TO_T)
+        channel.send_pkt(PollPacket(rho=BitString("0"), tau=BitString("1"), retry=1))
+        assert channel.sent_count == 1
+        assert channel.bits_sent > 0
+
+
+class TestDeliver:
+    def test_delivers_exact_packet(self):
+        channel = Channel(ChannelId.T_TO_R)
+        packet = data(b"payload")
+        info = channel.send_pkt(packet)
+        assert channel.deliver_pkt(info.packet_id) is packet
+
+    def test_any_number_of_deliveries(self):
+        # "A packet that was sent can be delivered any number of times."
+        channel = Channel(ChannelId.T_TO_R)
+        info = channel.send_pkt(data())
+        for __ in range(10):
+            channel.deliver_pkt(info.packet_id)
+        assert channel.delivered_count == 10
+
+    def test_unknown_id_is_causality_violation(self):
+        channel = Channel(ChannelId.T_TO_R)
+        with pytest.raises(UnknownPacketError):
+            channel.deliver_pkt(0)
+        channel.send_pkt(data())
+        with pytest.raises(UnknownPacketError):
+            channel.deliver_pkt(99)
+
+    def test_zero_deliveries_allowed(self):
+        channel = Channel(ChannelId.T_TO_R)
+        channel.send_pkt(data())
+        assert channel.delivered_count == 0  # loss = never delivering
+
+
+class TestInspection:
+    def test_has_packet(self):
+        channel = Channel(ChannelId.T_TO_R)
+        info = channel.send_pkt(data())
+        assert channel.has_packet(info.packet_id)
+        assert not channel.has_packet(info.packet_id + 1)
+
+    def test_packet_length(self):
+        channel = Channel(ChannelId.T_TO_R)
+        packet = data(b"abc")
+        info = channel.send_pkt(packet)
+        assert channel.packet_length_bits(info.packet_id) == packet.wire_length_bits
+        with pytest.raises(UnknownPacketError):
+            channel.packet_length_bits(42)
+
+    def test_all_packet_ids(self):
+        channel = Channel(ChannelId.T_TO_R)
+        for i in range(3):
+            channel.send_pkt(data(b"%d" % i))
+        assert channel.all_packet_ids() == [0, 1, 2]
+
+
+class TestChannelPair:
+    def test_directions(self):
+        pair = ChannelPair()
+        assert pair.by_id(ChannelId.T_TO_R) is pair.t_to_r
+        assert pair.by_id(ChannelId.R_TO_T) is pair.r_to_t
+
+    def test_by_id_rejects_garbage(self):
+        pair = ChannelPair()
+        with pytest.raises(ValueError):
+            pair.by_id("sideways")  # type: ignore[arg-type]
+
+    def test_shared_listener(self):
+        seen = []
+        pair = ChannelPair(on_new_pkt=seen.append)
+        pair.t_to_r.send_pkt(data())
+        pair.r_to_t.send_pkt(PollPacket(rho=BitString("0"), tau=BitString("1"), retry=1))
+        assert [i.channel for i in seen] == [ChannelId.T_TO_R, ChannelId.R_TO_T]
+
+    def test_totals(self):
+        pair = ChannelPair()
+        pair.t_to_r.send_pkt(data())
+        pair.r_to_t.send_pkt(PollPacket(rho=BitString("0"), tau=BitString("1"), retry=1))
+        assert pair.total_packets_sent == 2
+        assert pair.total_bits_sent == pair.t_to_r.bits_sent + pair.r_to_t.bits_sent
+
+    def test_independent_id_spaces(self):
+        pair = ChannelPair()
+        a = pair.t_to_r.send_pkt(data())
+        b = pair.r_to_t.send_pkt(PollPacket(rho=BitString("0"), tau=BitString("1"), retry=1))
+        assert a.packet_id == 0 and b.packet_id == 0  # per-channel ids

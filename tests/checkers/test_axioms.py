@@ -1,0 +1,75 @@
+"""Unit tests for the environment-axiom validators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkers.axioms import check_axiom1, check_axiom2, check_axiom3_bounded
+from repro.checkers.trace import Trace
+from repro.core.events import (
+    ChannelId,
+    CrashT,
+    Ok,
+    PktDelivered,
+    PktSent,
+    SendMsg,
+)
+
+
+def pkt_sent(pid):
+    return PktSent(channel=ChannelId.T_TO_R, packet_id=pid, length_bits=64)
+
+
+class TestAxiom1:
+    def test_ok_between_sends(self):
+        trace = Trace([SendMsg(b"a"), Ok(), SendMsg(b"b")])
+        assert check_axiom1(trace).passed
+
+    def test_crash_between_sends(self):
+        trace = Trace([SendMsg(b"a"), CrashT(), SendMsg(b"b")])
+        assert check_axiom1(trace).passed
+
+    def test_back_to_back_sends_violate(self):
+        trace = Trace([SendMsg(b"a"), SendMsg(b"b")])
+        report = check_axiom1(trace)
+        assert not report.passed
+        assert report.trials == 2
+
+    def test_single_send_fine(self):
+        assert check_axiom1(Trace([SendMsg(b"a")])).passed
+
+
+class TestAxiom2:
+    def test_unique_payloads(self):
+        trace = Trace([SendMsg(b"a"), Ok(), SendMsg(b"b")])
+        assert check_axiom2(trace).passed
+
+    def test_repeated_payload_violates(self):
+        trace = Trace([SendMsg(b"a"), Ok(), SendMsg(b"a")])
+        report = check_axiom2(trace)
+        assert not report.passed
+        assert "repeated" in report.violations[0].detail
+
+
+class TestAxiom3Bounded:
+    def test_deliveries_keep_window_clean(self):
+        events = []
+        for pid in range(10):
+            events.append(pkt_sent(pid))
+            events.append(PktDelivered(channel=ChannelId.T_TO_R, packet_id=pid))
+        assert check_axiom3_bounded(Trace(events), window=5).passed
+
+    def test_starvation_flagged(self):
+        events = [pkt_sent(pid) for pid in range(10)]
+        report = check_axiom3_bounded(Trace(events), window=5)
+        assert not report.passed
+
+    def test_window_resets_on_delivery(self):
+        events = [pkt_sent(0), pkt_sent(1), pkt_sent(2)]
+        events.append(PktDelivered(channel=ChannelId.T_TO_R, packet_id=0))
+        events += [pkt_sent(3), pkt_sent(4), pkt_sent(5)]
+        assert check_axiom3_bounded(Trace(events), window=4).passed
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            check_axiom3_bounded(Trace(), window=0)

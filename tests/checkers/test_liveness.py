@@ -1,0 +1,62 @@
+"""Unit tests for the liveness checker and progress-gap statistics."""
+
+from __future__ import annotations
+
+from repro.checkers.liveness import check_liveness, progress_gaps
+from repro.checkers.trace import Trace
+from repro.core.events import CrashT, Ok, ReceiveMsg, Retry, SendMsg
+
+
+class TestCheckLiveness:
+    def test_resolved_messages_pass(self):
+        trace = Trace([SendMsg(b"a"), ReceiveMsg(b"a"), Ok()])
+        assert check_liveness(trace, run_completed=True).passed
+
+    def test_truncated_run_with_stuck_message_fails(self):
+        trace = Trace([SendMsg(b"a"), Retry(), Retry()])
+        report = check_liveness(trace, run_completed=False)
+        assert not report.passed
+
+    def test_completed_run_passes_even_with_trailing_send(self):
+        # A completed run by definition resolved its workload; a trailing
+        # send in the trace means the progress event simply fell outside
+        # the window we're judging.
+        trace = Trace([SendMsg(b"a")])
+        assert check_liveness(trace, run_completed=True).passed
+
+    def test_crash_counts_as_progress(self):
+        trace = Trace([SendMsg(b"a"), CrashT()])
+        assert check_liveness(trace, run_completed=False).passed
+
+    def test_trials_count_sends(self):
+        trace = Trace([SendMsg(b"a"), Ok(), SendMsg(b"b"), Ok()])
+        assert check_liveness(trace, run_completed=True).trials == 2
+
+
+class TestProgressGaps:
+    def test_gap_measurement(self):
+        trace = Trace([SendMsg(b"a"), Retry(), Retry(), ReceiveMsg(b"a"), Ok()])
+        stats = progress_gaps(trace)
+        assert stats.gaps == [3]
+        assert stats.worst == 3
+
+    def test_multiple_messages(self):
+        trace = Trace(
+            [
+                SendMsg(b"a"),
+                ReceiveMsg(b"a"),
+                Ok(),
+                SendMsg(b"b"),
+                Retry(),
+                ReceiveMsg(b"b"),
+            ]
+        )
+        stats = progress_gaps(trace)
+        assert stats.gaps == [1, 2]
+        assert stats.mean == 1.5
+        assert stats.resolved_count == 2
+
+    def test_empty(self):
+        stats = progress_gaps(Trace())
+        assert stats.worst == 0
+        assert stats.mean == 0.0

@@ -1,0 +1,225 @@
+"""Unit tests for the Section 2.6 safety checkers on hand-crafted traces.
+
+Each condition gets a matrix of traces: the canonical good execution, the
+canonical violation, and the boundary cases the formal definitions carve
+out (crash^R excusing duplication, the receive-extension boundary for
+no-replay, crash^T dissolving the in-flight message for order).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkers.safety import (
+    check_all_safety,
+    check_causality,
+    check_no_duplication,
+    check_no_replay,
+    check_order,
+)
+from repro.checkers.trace import Trace
+from repro.core.events import CrashR, CrashT, Ok, ReceiveMsg, SendMsg
+from repro.core.exceptions import CheckFailure
+
+
+class TestCausality:
+    def test_clean(self):
+        trace = Trace([SendMsg(b"a"), ReceiveMsg(b"a")])
+        report = check_causality(trace)
+        assert report.passed
+        assert report.trials == 1
+
+    def test_delivery_of_never_sent_message(self):
+        trace = Trace([SendMsg(b"a"), ReceiveMsg(b"ghost")])
+        report = check_causality(trace)
+        assert not report.passed
+        assert "ghost" in report.violations[0].detail
+
+    def test_delivery_before_send(self):
+        trace = Trace([ReceiveMsg(b"a"), SendMsg(b"a")])
+        assert not check_causality(trace).passed
+
+    def test_empty_trace(self):
+        report = check_causality(Trace())
+        assert report.passed
+        assert report.trials == 0
+
+
+class TestOrder:
+    def test_clean(self):
+        trace = Trace([SendMsg(b"a"), ReceiveMsg(b"a"), Ok()])
+        report = check_order(trace)
+        assert report.passed
+        assert report.trials == 1
+
+    def test_ok_without_delivery(self):
+        trace = Trace([SendMsg(b"a"), Ok()])
+        report = check_order(trace)
+        assert not report.passed
+        assert report.trials == 1
+
+    def test_ok_preceded_by_wrong_delivery(self):
+        trace = Trace([SendMsg(b"a"), ReceiveMsg(b"other"), Ok()])
+        assert not check_order(trace).passed
+
+    def test_delivery_from_before_send_does_not_count(self):
+        trace = Trace([ReceiveMsg(b"a"), SendMsg(b"a"), Ok()])
+        assert not check_order(trace).passed
+
+    def test_crash_dissolves_pending(self):
+        # crash^T ends the message's OK-extension window: no trial, no
+        # violation even though the message was never delivered.
+        trace = Trace([SendMsg(b"a"), CrashT(), SendMsg(b"b"), ReceiveMsg(b"b"), Ok()])
+        report = check_order(trace)
+        assert report.passed
+        assert report.trials == 1
+
+    def test_spurious_ok_with_nothing_in_flight(self):
+        trace = Trace([Ok()])
+        report = check_order(trace)
+        assert not report.passed
+
+    def test_two_messages_independent(self):
+        trace = Trace(
+            [
+                SendMsg(b"a"),
+                ReceiveMsg(b"a"),
+                Ok(),
+                SendMsg(b"b"),
+                Ok(),  # b was never delivered
+            ]
+        )
+        report = check_order(trace)
+        assert report.trials == 2
+        assert report.failure_count == 1
+
+
+class TestNoDuplication:
+    def test_clean(self):
+        trace = Trace([SendMsg(b"a"), ReceiveMsg(b"a"), Ok()])
+        assert check_no_duplication(trace).passed
+
+    def test_double_delivery(self):
+        trace = Trace([SendMsg(b"a"), ReceiveMsg(b"a"), ReceiveMsg(b"a"), Ok()])
+        report = check_no_duplication(trace)
+        assert not report.passed
+        assert report.trials == 2
+
+    def test_crash_r_excuses_duplication(self):
+        # "excluding those which follow a crash^R event"
+        trace = Trace(
+            [SendMsg(b"a"), ReceiveMsg(b"a"), CrashR(), ReceiveMsg(b"a"), Ok()]
+        )
+        assert check_no_duplication(trace).passed
+
+    def test_duplication_after_crash_window_still_counts(self):
+        trace = Trace(
+            [
+                SendMsg(b"a"),
+                CrashR(),
+                ReceiveMsg(b"a"),
+                ReceiveMsg(b"a"),  # both after the crash: second is a dup
+            ]
+        )
+        assert not check_no_duplication(trace).passed
+
+    def test_distinct_messages_are_fine(self):
+        trace = Trace(
+            [
+                SendMsg(b"a"),
+                ReceiveMsg(b"a"),
+                Ok(),
+                SendMsg(b"b"),
+                ReceiveMsg(b"b"),
+                Ok(),
+            ]
+        )
+        assert check_no_duplication(trace).passed
+
+
+class TestNoReplay:
+    def test_clean_sequence(self):
+        trace = Trace(
+            [
+                SendMsg(b"a"),
+                ReceiveMsg(b"a"),
+                Ok(),
+                SendMsg(b"b"),
+                ReceiveMsg(b"b"),
+                Ok(),
+            ]
+        )
+        assert check_no_replay(trace).passed
+
+    def test_resolved_message_resurfaces(self):
+        # a was OK'd, b was delivered (boundary), then a reappears: replay.
+        trace = Trace(
+            [
+                SendMsg(b"a"),
+                ReceiveMsg(b"a"),
+                Ok(),
+                SendMsg(b"b"),
+                ReceiveMsg(b"b"),
+                ReceiveMsg(b"a"),
+            ]
+        )
+        report = check_no_replay(trace)
+        assert not report.passed
+        assert "replayed" in report.violations[0].detail
+
+    def test_crashed_message_may_arrive_next(self):
+        # send a, crash^T (resolution), then a arrives as the *very next*
+        # delivery: no boundary separates resolution from delivery, so this
+        # is legitimate late arrival, not replay.
+        trace = Trace([SendMsg(b"a"), CrashT(), ReceiveMsg(b"a")])
+        assert check_no_replay(trace).passed
+
+    def test_crashed_message_after_boundary_is_replay(self):
+        trace = Trace(
+            [
+                SendMsg(b"a"),
+                CrashT(),
+                SendMsg(b"b"),
+                ReceiveMsg(b"b"),  # boundary after a's resolution
+                ReceiveMsg(b"a"),
+            ]
+        )
+        assert not check_no_replay(trace).passed
+
+    def test_crash_r_is_a_boundary(self):
+        trace = Trace(
+            [
+                SendMsg(b"a"),
+                ReceiveMsg(b"a"),
+                Ok(),
+                CrashR(),
+                ReceiveMsg(b"a"),
+            ]
+        )
+        assert not check_no_replay(trace).passed
+
+    def test_unresolved_message_redelivery_is_not_replay(self):
+        # Duplication, yes (separate condition) — but not replay, because
+        # the send was never resolved by OK or crash^T.
+        trace = Trace([SendMsg(b"a"), ReceiveMsg(b"a"), ReceiveMsg(b"a")])
+        assert check_no_replay(trace).passed
+
+
+class TestSafetyReport:
+    def test_aggregates_all_four(self):
+        trace = Trace([SendMsg(b"a"), ReceiveMsg(b"a"), Ok()])
+        report = check_all_safety(trace)
+        assert report.passed
+        assert len(report.all_reports) == 4
+
+    def test_raise_on_failure(self):
+        trace = Trace([SendMsg(b"a"), Ok()])
+        report = check_all_safety(trace)
+        assert not report.passed
+        with pytest.raises(CheckFailure) as exc:
+            report.raise_on_failure()
+        assert "order" in str(exc.value)
+
+    def test_passing_report_does_not_raise(self):
+        trace = Trace([SendMsg(b"a"), ReceiveMsg(b"a"), Ok()])
+        check_all_safety(trace).raise_on_failure()

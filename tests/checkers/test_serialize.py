@@ -1,0 +1,100 @@
+"""Unit tests for trace serialization."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.checkers.serialize import (
+    dump_trace,
+    event_from_dict,
+    event_to_dict,
+    load_trace,
+)
+from repro.checkers.trace import Trace
+from repro.core.events import (
+    ChannelId,
+    CrashR,
+    CrashT,
+    Ok,
+    PktDelivered,
+    PktSent,
+    ReceiveMsg,
+    Retry,
+    SendMsg,
+)
+from repro.core.exceptions import CodecError
+
+ALL_EVENTS = [
+    SendMsg(b"payload \x00\xff"),
+    PktSent(ChannelId.R_TO_T, 3, 128),
+    PktDelivered(ChannelId.R_TO_T, 3),
+    ReceiveMsg(b"payload \x00\xff"),
+    Ok(),
+    Retry(),
+    CrashT(),
+    CrashR(),
+]
+
+
+class TestEventRoundtrip:
+    @pytest.mark.parametrize("event", ALL_EVENTS, ids=lambda e: type(e).__name__)
+    def test_roundtrip(self, event):
+        assert event_from_dict(event_to_dict(event)) == event
+
+    def test_binary_payload_survives(self):
+        event = SendMsg(bytes(range(256)))
+        assert event_from_dict(event_to_dict(event)) == event
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(CodecError):
+            event_from_dict({"type": "warp_drive"})
+        with pytest.raises(CodecError):
+            event_from_dict({"no_type": True})
+
+
+class TestTraceRoundtrip:
+    def test_dump_load(self):
+        trace = Trace(ALL_EVENTS)
+        buffer = io.StringIO()
+        dump_trace(trace, buffer)
+        buffer.seek(0)
+        loaded = load_trace(buffer)
+        assert list(loaded) == list(trace)
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO('{"type": "ok"}\n\n{"type": "retry"}\n')
+        loaded = load_trace(buffer)
+        assert len(loaded) == 2
+
+    def test_bad_json_reported_with_line(self):
+        buffer = io.StringIO('{"type": "ok"}\nnot-json\n')
+        with pytest.raises(CodecError) as exc:
+            load_trace(buffer)
+        assert "line 2" in str(exc.value)
+
+    def test_simulation_trace_roundtrips(self):
+        from repro.adversary.benign import ReliableAdversary
+        from repro.core.protocol import make_data_link
+        from repro.sim.simulator import Simulator
+        from repro.sim.workload import SequentialWorkload
+
+        link = make_data_link(seed=1)
+        result = Simulator(
+            link, ReliableAdversary(), SequentialWorkload(4), seed=1
+        ).run()
+        buffer = io.StringIO()
+        dump_trace(result.trace, buffer)
+        buffer.seek(0)
+        loaded = load_trace(buffer)
+        assert list(loaded) == list(result.trace)
+
+    def test_checkers_agree_on_loaded_trace(self):
+        from repro.checkers.safety import check_all_safety
+
+        trace = Trace([SendMsg(b"a"), ReceiveMsg(b"a"), Ok()])
+        buffer = io.StringIO()
+        dump_trace(trace, buffer)
+        buffer.seek(0)
+        assert check_all_safety(load_trace(buffer)).passed

@@ -1,0 +1,64 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import ProtocolParams, SoundPolicy
+from repro.core.protocol import DataLink, make_data_link
+from repro.core.random_source import RandomSource
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    """A deterministic random source."""
+    return RandomSource(12345)
+
+
+@pytest.fixture
+def params() -> ProtocolParams:
+    """Standard protocol parameters with a moderate epsilon."""
+    return ProtocolParams(epsilon=2.0 ** -16, policy=SoundPolicy())
+
+
+@pytest.fixture
+def link() -> DataLink:
+    """A seeded, ready-to-run data link."""
+    return make_data_link(epsilon=2.0 ** -16, seed=777)
+
+
+def drive_handshake(link: DataLink, message: bytes):
+    """Run one complete fault-free handshake by hand (no simulator).
+
+    Returns (delivered_message, ok_seen).  Used by unit tests that need a
+    completed message without pulling in the harness.
+    """
+    from repro.core.events import EmitOk, EmitPacket, EmitReceiveMsg
+
+    transmitter, receiver = link.transmitter, link.receiver
+
+    delivered = None
+    ok = False
+    for output in transmitter.send_msg(message):
+        # In steady state the transmitter opens with a data packet.
+        if isinstance(output, EmitPacket):
+            for r_output in receiver.on_receive_pkt(output.packet):
+                if isinstance(r_output, EmitReceiveMsg):
+                    delivered = r_output.message
+    for __ in range(8):  # a fault-free handshake needs at most a few rounds
+        poll_outputs = receiver.retry()
+        poll = next(
+            o.packet for o in poll_outputs if isinstance(o, EmitPacket)
+        )
+        t_outputs = transmitter.on_receive_pkt(poll)
+        for output in t_outputs:
+            if isinstance(output, EmitOk):
+                ok = True
+            elif isinstance(output, EmitPacket):
+                r_outputs = receiver.on_receive_pkt(output.packet)
+                for r_output in r_outputs:
+                    if isinstance(r_output, EmitReceiveMsg):
+                        delivered = r_output.message
+        if ok:
+            break
+    return delivered, ok

@@ -1,0 +1,156 @@
+"""Unit tests for the BitString value type (Figure 3 operations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bitstrings import EMPTY, TAU_CRASH, TAU_PRIME_CRASH, BitString
+
+
+class TestConstruction:
+    def test_from_string(self):
+        s = BitString("0101")
+        assert len(s) == 4
+        assert s.to01() == "0101"
+
+    def test_empty(self):
+        assert len(BitString("")) == 0
+        assert BitString("").to01() == ""
+        assert len(BitString()) == 0
+
+    def test_leading_zeros_preserved(self):
+        assert BitString("0001").to01() == "0001"
+        assert BitString("0001") != BitString("1")
+
+    def test_copy_constructor(self):
+        s = BitString("101")
+        assert BitString(s) == s
+
+    def test_rejects_non_binary_characters(self):
+        with pytest.raises(ValueError):
+            BitString("012")
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            BitString(5)  # type: ignore[arg-type]
+
+    def test_from_int(self):
+        assert BitString.from_int(5, 4).to01() == "0101"
+        assert BitString.from_int(0, 3).to01() == "000"
+
+    def test_from_int_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            BitString.from_int(8, 3)
+
+    def test_from_int_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BitString.from_int(-1, 3)
+        with pytest.raises(ValueError):
+            BitString.from_int(0, -1)
+
+
+class TestConcat:
+    def test_basic(self):
+        assert BitString("01").concat(BitString("10")).to01() == "0110"
+
+    def test_with_empty(self):
+        s = BitString("101")
+        assert s.concat(EMPTY) == s
+        assert EMPTY.concat(s) == s
+
+    def test_operator(self):
+        assert (BitString("1") + BitString("0")).to01() == "10"
+
+    def test_preserves_leading_zeros(self):
+        assert BitString("00").concat(BitString("01")).to01() == "0001"
+
+    def test_rejects_non_bitstring(self):
+        with pytest.raises(TypeError):
+            BitString("1").concat("0")  # type: ignore[arg-type]
+
+
+class TestPrefix:
+    def test_self_prefix(self):
+        s = BitString("0110")
+        assert s.is_prefix_of(s)
+
+    def test_empty_prefixes_everything(self):
+        assert EMPTY.is_prefix_of(BitString("1"))
+        assert EMPTY.is_prefix_of(EMPTY)
+
+    def test_proper_prefix(self):
+        assert BitString("01").is_prefix_of(BitString("0110"))
+        assert BitString("01").is_proper_prefix_of(BitString("0110"))
+        assert not BitString("0110").is_proper_prefix_of(BitString("0110"))
+
+    def test_non_prefix(self):
+        assert not BitString("10").is_prefix_of(BitString("0110"))
+        assert not BitString("01101").is_prefix_of(BitString("0110"))
+
+    def test_leading_zero_discrimination(self):
+        assert not BitString("00").is_prefix_of(BitString("01"))
+
+    def test_comparable(self):
+        assert BitString("01").is_comparable_with(BitString("0110"))
+        assert BitString("0110").is_comparable_with(BitString("01"))
+        assert not BitString("10").is_comparable_with(BitString("0110"))
+
+    def test_tau_crash_never_prefix_of_live_nonce(self):
+        # The Figure 3 invariant: tau'_crash-led strings never extend tau_crash.
+        live = TAU_PRIME_CRASH.concat(BitString("0000"))
+        assert not TAU_CRASH.is_prefix_of(live)
+        assert not live.is_prefix_of(TAU_CRASH)
+
+
+class TestSlices:
+    def test_prefix_method(self):
+        assert BitString("0110").prefix(2).to01() == "01"
+        assert BitString("0110").prefix(0) == EMPTY
+        assert BitString("0110").prefix(4).to01() == "0110"
+
+    def test_suffix_method(self):
+        assert BitString("0110").suffix(2).to01() == "10"
+        assert BitString("0110").suffix(0) == EMPTY
+        assert BitString("0110").suffix(4).to01() == "0110"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            BitString("01").prefix(3)
+        with pytest.raises(ValueError):
+            BitString("01").suffix(3)
+
+    def test_indexing(self):
+        s = BitString("0110")
+        assert [s[i] for i in range(4)] == [0, 1, 1, 0]
+        assert s[-1] == 0
+        assert s[-3] == 1
+        with pytest.raises(IndexError):
+            s[4]
+
+    def test_slicing_rejected(self):
+        with pytest.raises(TypeError):
+            BitString("0110")[1:2]  # type: ignore[index]
+
+    def test_bits_iterator(self):
+        assert list(BitString("0110").bits()) == [0, 1, 1, 0]
+
+
+class TestEqualityHash:
+    def test_equal_same_bits(self):
+        assert BitString("0110") == BitString("0110")
+        assert hash(BitString("0110")) == hash(BitString("0110"))
+
+    def test_unequal_different_lengths(self):
+        assert BitString("01") != BitString("010")
+
+    def test_not_equal_to_strings(self):
+        assert BitString("01") != "01"
+
+    def test_bool(self):
+        assert not EMPTY
+        assert BitString("0")
+
+    def test_repr_truncates_long_strings(self):
+        long = BitString("01" * 50)
+        assert "..." in repr(long)
+        assert "len=100" in repr(long)

@@ -1,0 +1,93 @@
+"""Property-based tests for BitString: the prefix algebra's laws.
+
+The protocol's correctness hangs on prefix/concat interacting properly
+(Figure 5's decision tree and the transmitter's OK test are all prefix
+comparisons), so the algebraic laws get hypothesis coverage.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.bitstrings import EMPTY, BitString
+
+bits = st.text(alphabet="01", max_size=64)
+nonempty_bits = st.text(alphabet="01", min_size=1, max_size=64)
+
+
+@given(bits)
+def test_to01_roundtrip(s):
+    assert BitString(s).to01() == s
+
+
+@given(bits, bits)
+def test_concat_length(a, b):
+    assert len(BitString(a).concat(BitString(b))) == len(a) + len(b)
+
+
+@given(bits, bits, bits)
+def test_concat_associative(a, b, c):
+    x, y, z = BitString(a), BitString(b), BitString(c)
+    assert (x + y) + z == x + (y + z)
+
+
+@given(bits)
+def test_empty_is_identity(a):
+    x = BitString(a)
+    assert x + EMPTY == x
+    assert EMPTY + x == x
+
+
+@given(bits, bits)
+def test_left_operand_prefixes_concat(a, b):
+    x, y = BitString(a), BitString(b)
+    assert x.is_prefix_of(x + y)
+
+
+@given(bits, bits)
+def test_prefix_iff_string_startswith(a, b):
+    assert BitString(a).is_prefix_of(BitString(b)) == b.startswith(a)
+
+
+@given(bits, bits, bits)
+def test_prefix_transitive(a, b, c):
+    x, y, z = BitString(a), BitString(b), BitString(c)
+    if x.is_prefix_of(y) and y.is_prefix_of(z):
+        assert x.is_prefix_of(z)
+
+
+@given(bits, bits)
+def test_mutual_prefix_means_equal(a, b):
+    x, y = BitString(a), BitString(b)
+    if x.is_prefix_of(y) and y.is_prefix_of(x):
+        assert x == y
+
+
+@given(bits, bits)
+def test_comparable_symmetric(a, b):
+    x, y = BitString(a), BitString(b)
+    assert x.is_comparable_with(y) == y.is_comparable_with(x)
+
+
+@given(bits, st.data())
+def test_prefix_suffix_partition(s, data):
+    x = BitString(s)
+    k = data.draw(st.integers(min_value=0, max_value=len(x)))
+    assert x.prefix(k) + x.suffix(len(x) - k) == x
+
+
+@given(bits)
+def test_from_int_roundtrip(s):
+    x = BitString(s)
+    assert BitString.from_int(x.value, len(x)) == x
+
+
+@given(bits)
+def test_hash_consistent_with_eq(s):
+    assert hash(BitString(s)) == hash(BitString(s))
+
+
+@given(bits)
+def test_bits_iterator_matches_indexing(s):
+    x = BitString(s)
+    assert list(x.bits()) == [x[i] for i in range(len(x))]

@@ -1,0 +1,115 @@
+"""Unit tests for packet types and the wire codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bitstrings import BitString
+from repro.core.exceptions import CodecError
+from repro.core.packets import DataPacket, PollPacket, decode_packet, encode_packet
+
+
+def data(m=b"hello", rho="0101", tau="110"):
+    return DataPacket(message=m, rho=BitString(rho), tau=BitString(tau))
+
+
+def poll(rho="0101", tau="110", i=3):
+    return PollPacket(rho=BitString(rho), tau=BitString(tau), retry=i)
+
+
+class TestDataPacket:
+    def test_roundtrip(self):
+        p = data()
+        assert decode_packet(p.encode()) == p
+
+    def test_roundtrip_empty_fields(self):
+        p = data(m=b"", rho="", tau="")
+        assert decode_packet(p.encode()) == p
+
+    def test_roundtrip_large_message(self):
+        p = data(m=bytes(range(256)) * 10)
+        assert decode_packet(p.encode()) == p
+
+    def test_roundtrip_long_nonces(self):
+        p = data(rho="10" * 300, tau="01" * 500)
+        assert decode_packet(p.encode()) == p
+
+    def test_wire_length_counts_bits(self):
+        p = data()
+        assert p.wire_length_bits == len(p.encode()) * 8
+
+    def test_message_must_be_bytes(self):
+        with pytest.raises(TypeError):
+            DataPacket(message="str", rho=BitString("0"), tau=BitString("1"))  # type: ignore[arg-type]
+
+    def test_frozen(self):
+        p = data()
+        with pytest.raises(AttributeError):
+            p.message = b"other"  # type: ignore[misc]
+
+    def test_length_reveals_size_not_content(self):
+        # Two same-shape packets with different contents: identical lengths.
+        a = data(m=b"aaaa", rho="0000", tau="111")
+        b = data(m=b"bbbb", rho="1111", tau="000")
+        assert a.wire_length_bits == b.wire_length_bits
+
+
+class TestPollPacket:
+    def test_roundtrip(self):
+        p = poll()
+        assert decode_packet(p.encode()) == p
+
+    def test_roundtrip_zero_retry(self):
+        p = poll(i=0)
+        assert decode_packet(p.encode()) == p
+
+    def test_roundtrip_huge_retry(self):
+        p = poll(i=2 ** 60)
+        assert decode_packet(p.encode()) == p
+
+    def test_negative_retry_rejected(self):
+        with pytest.raises(ValueError):
+            PollPacket(rho=BitString("0"), tau=BitString("1"), retry=-1)
+
+    def test_wire_length_counts_bits(self):
+        p = poll()
+        assert p.wire_length_bits == len(p.encode()) * 8
+
+
+class TestCodecErrors:
+    def test_empty(self):
+        with pytest.raises(CodecError):
+            decode_packet(b"")
+
+    def test_unknown_kind(self):
+        with pytest.raises(CodecError):
+            decode_packet(b"\x00somedata")
+
+    def test_truncated_data(self):
+        encoded = data().encode()
+        for cut in (1, 3, len(encoded) // 2, len(encoded) - 1):
+            with pytest.raises(CodecError):
+                decode_packet(encoded[:cut])
+
+    def test_truncated_poll(self):
+        encoded = poll().encode()
+        with pytest.raises(CodecError):
+            decode_packet(encoded[: len(encoded) - 2])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(CodecError):
+            decode_packet(data().encode() + b"\x00")
+        with pytest.raises(CodecError):
+            decode_packet(poll().encode() + b"\x00")
+
+    def test_encode_rejects_foreign_objects(self):
+        with pytest.raises(CodecError):
+            encode_packet("not a packet")  # type: ignore[arg-type]
+
+
+class TestKindDiscrimination:
+    def test_kinds_do_not_collide(self):
+        d, p = data(), poll()
+        assert d.encode()[0] != p.encode()[0]
+        assert isinstance(decode_packet(d.encode()), DataPacket)
+        assert isinstance(decode_packet(p.encode()), PollPacket)

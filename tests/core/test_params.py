@@ -1,0 +1,136 @@
+"""Unit tests for size/bound policies and ProtocolParams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.params import (
+    AggressivePolicy,
+    FixedPolicy,
+    PrintedPaperPolicy,
+    ProtocolParams,
+    SoundPolicy,
+    log2_inverse,
+)
+
+
+class TestLog2Inverse:
+    def test_powers_of_two(self):
+        assert log2_inverse(0.5) == 1
+        assert log2_inverse(2.0 ** -10) == 10
+
+    def test_rounds_up(self):
+        assert log2_inverse(0.3) == 2  # 1/0.3 ~ 3.33 -> ceil(log2) = 2
+
+    def test_rejects_out_of_range(self):
+        for bad in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(ConfigurationError):
+                log2_inverse(bad)
+
+
+class TestSoundPolicy:
+    def test_size_formula(self):
+        policy = SoundPolicy()
+        eps = 2.0 ** -8
+        assert policy.size(1, eps) == 2 + 4 + 8
+        assert policy.size(3, eps) == 6 + 4 + 8
+
+    def test_bound_doubles(self):
+        policy = SoundPolicy()
+        assert [policy.bound(t) for t in (1, 2, 3, 4)] == [2, 4, 8, 16]
+
+    def test_generations_are_one_based(self):
+        policy = SoundPolicy()
+        with pytest.raises(ValueError):
+            policy.size(0, 0.5)
+        with pytest.raises(ValueError):
+            policy.bound(0)
+
+    def test_union_bound_telescopes(self):
+        policy = SoundPolicy()
+        for eps in (2.0 ** -4, 2.0 ** -10, 2.0 ** -20):
+            assert policy.is_sound(eps)
+            assert policy.total_failure_mass(eps) <= eps / 8
+
+    def test_cumulative_size_monotone(self):
+        policy = SoundPolicy()
+        eps = 2.0 ** -8
+        sizes = [policy.cumulative_size(t, eps) for t in range(1, 6)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] == policy.size(1, eps)
+
+
+class TestPrintedPaperPolicy:
+    def test_size_formula_matches_tr(self):
+        policy = PrintedPaperPolicy()
+        eps = 2.0 ** -8
+        assert policy.size(1, eps) == 1 + 4 + 8
+
+    def test_bound_never_zero(self):
+        policy = PrintedPaperPolicy()
+        assert policy.bound(1) == 1
+        assert policy.bound(4) == 4
+
+    def test_union_bound_does_not_telescope(self):
+        # Each generation contributes a constant mass, so over a long
+        # horizon the sum exceeds epsilon/4 — the documented flaw.
+        policy = PrintedPaperPolicy()
+        assert not policy.is_sound(2.0 ** -8, horizon=64)
+
+
+class TestAggressivePolicy:
+    def test_sound(self):
+        assert AggressivePolicy().is_sound(2.0 ** -8)
+
+    def test_bound_grows_fast(self):
+        policy = AggressivePolicy()
+        assert policy.bound(3) == 64
+
+
+class TestFixedPolicy:
+    def test_single_generation_only(self):
+        policy = FixedPolicy(nonce_bits=6)
+        assert policy.size(1, 0.5) == 6
+        assert policy.size(2, 0.5) == 0
+
+    def test_bound_effectively_infinite(self):
+        assert FixedPolicy().bound(1) > 10 ** 15
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ConfigurationError):
+            FixedPolicy(nonce_bits=0)
+
+
+class TestProtocolParams:
+    def test_defaults_validate(self):
+        params = ProtocolParams()
+        assert params.size(1) > 0
+        assert params.bound(1) >= 1
+
+    def test_rejects_bad_epsilon(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                ProtocolParams(epsilon=bad)
+
+    def test_rejects_unsound_policy_by_default(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolParams(epsilon=2.0 ** -8, policy=PrintedPaperPolicy())
+
+    def test_unsound_policy_allowed_when_opted_in(self):
+        params = ProtocolParams(
+            epsilon=2.0 ** -8,
+            policy=PrintedPaperPolicy(),
+            require_sound_policy=False,
+        )
+        assert params.policy.name == "printed"
+
+    def test_size_bound_delegate(self):
+        params = ProtocolParams(epsilon=2.0 ** -8)
+        assert params.size(2) == params.policy.size(2, params.epsilon)
+        assert params.bound(2) == params.policy.bound(2)
+
+    def test_frozen(self):
+        params = ProtocolParams()
+        with pytest.raises(AttributeError):
+            params.epsilon = 0.5  # type: ignore[misc]

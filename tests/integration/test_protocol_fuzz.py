@@ -1,0 +1,92 @@
+"""Property-based fuzzing: safety holds under arbitrary fault profiles.
+
+The theorems quantify over *all* oblivious adversaries; hypothesis explores
+the randomized family — arbitrary combinations of loss, duplication,
+reordering and crash rates, arbitrary seeds, arbitrary retry cadences —
+and asserts the Section 2.6 safety conditions on every resulting trace.
+With ε = 2^-16 and a handful of messages per case, a single observed
+violation would be a ~10^-4-probability event, i.e. effectively a bug.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.adversary.random_faults import FaultProfile, RandomFaultAdversary
+from repro.adversary.random_faults import DuplicateFloodAdversary
+from repro.checkers.axioms import check_axiom1, check_axiom2
+from repro.checkers.safety import check_all_safety
+from repro.core.protocol import make_data_link
+from repro.sim.simulator import Simulator
+from repro.sim.workload import SequentialWorkload
+
+rates = st.floats(min_value=0.0, max_value=0.5)
+crash_rates = st.floats(min_value=0.0, max_value=0.01)
+seeds = st.integers(min_value=0, max_value=2 ** 32 - 1)
+
+FUZZ_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@FUZZ_SETTINGS
+@given(loss=rates, dup=rates, reorder=rates, crash_t=crash_rates,
+       crash_r=crash_rates, seed=seeds)
+def test_safety_under_arbitrary_fault_profiles(loss, dup, reorder, crash_t, crash_r, seed):
+    link = make_data_link(epsilon=2.0 ** -16, seed=seed)
+    adversary = RandomFaultAdversary(
+        FaultProfile(
+            loss=loss, duplicate=dup, reorder=reorder,
+            crash_t=crash_t, crash_r=crash_r,
+        )
+    )
+    sim = Simulator(
+        link, adversary, SequentialWorkload(6), seed=seed, max_steps=60_000
+    )
+    result = sim.run()
+    report = check_all_safety(result.trace)
+    assert report.passed, f"{report.all_reports} on {result.trace.summary()}"
+
+
+@FUZZ_SETTINGS
+@given(flood=st.floats(min_value=0.1, max_value=0.9), seed=seeds)
+def test_safety_under_duplicate_flooding(flood, seed):
+    link = make_data_link(epsilon=2.0 ** -16, seed=seed)
+    adversary = DuplicateFloodAdversary(flood=flood)
+    sim = Simulator(
+        link, adversary, SequentialWorkload(5), seed=seed, max_steps=60_000
+    )
+    result = sim.run()
+    assert check_all_safety(result.trace).passed
+
+
+@FUZZ_SETTINGS
+@given(seed=seeds, retry_every=st.integers(min_value=1, max_value=10))
+def test_harness_respects_axioms_for_any_cadence(seed, retry_every):
+    link = make_data_link(epsilon=2.0 ** -16, seed=seed)
+    adversary = RandomFaultAdversary(FaultProfile(loss=0.3, duplicate=0.3))
+    sim = Simulator(
+        link,
+        adversary,
+        SequentialWorkload(5),
+        seed=seed,
+        retry_every=retry_every,
+        max_steps=60_000,
+    )
+    result = sim.run()
+    assert check_axiom1(result.trace).passed
+    assert check_axiom2(result.trace).passed
+
+
+@FUZZ_SETTINGS
+@given(seed=seeds)
+def test_fault_free_runs_always_complete_in_order(seed):
+    link = make_data_link(epsilon=2.0 ** -16, seed=seed)
+    from repro.adversary.benign import ReliableAdversary
+
+    sim = Simulator(link, ReliableAdversary(), SequentialWorkload(8), seed=seed)
+    result = sim.run()
+    assert result.all_messages_ok
+    assert result.trace.received_messages() == result.trace.sent_messages()

@@ -1,0 +1,62 @@
+"""Unit tests for action signatures and compatibility rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ioa.actions import Action, ActionKind, Signature
+
+
+class TestAction:
+    def test_equality(self):
+        assert Action("a", (1,)) == Action("a", (1,))
+        assert Action("a", (1,)) != Action("a", (2,))
+
+    def test_str_rendering(self):
+        assert str(Action("OK")) == "OK"
+        assert str(Action("send_msg", (b"m",))) == "send_msg(b'm')"
+
+
+class TestSignature:
+    def test_classes_must_be_disjoint(self):
+        with pytest.raises(ValueError):
+            Signature.of(inputs=("x",), outputs=("x",))
+        with pytest.raises(ValueError):
+            Signature.of(inputs=("x",), internals=("x",))
+
+    def test_kind_of(self):
+        sig = Signature.of(inputs=("i",), outputs=("o",), internals=("n",))
+        assert sig.kind_of("i") == ActionKind.INPUT
+        assert sig.kind_of("o") == ActionKind.OUTPUT
+        assert sig.kind_of("n") == ActionKind.INTERNAL
+        with pytest.raises(KeyError):
+            sig.kind_of("foreign")
+
+    def test_external_and_all(self):
+        sig = Signature.of(inputs=("i",), outputs=("o",), internals=("n",))
+        assert sig.external == {"i", "o"}
+        assert sig.all_actions == {"i", "o", "n"}
+
+
+class TestCompatibility:
+    def test_shared_outputs_incompatible(self):
+        a = Signature.of(outputs=("x",))
+        b = Signature.of(outputs=("x",))
+        assert not a.compatible_with(b)
+
+    def test_internal_must_be_private(self):
+        a = Signature.of(internals=("x",))
+        b = Signature.of(inputs=("x",))
+        assert not a.compatible_with(b)
+        assert not b.compatible_with(a)
+
+    def test_output_to_input_is_the_composition_mechanism(self):
+        a = Signature.of(outputs=("x",))
+        b = Signature.of(inputs=("x",))
+        assert a.compatible_with(b)
+        assert b.compatible_with(a)
+
+    def test_disjoint_signatures_compatible(self):
+        a = Signature.of(inputs=("p",), outputs=("q",))
+        b = Signature.of(inputs=("r",), outputs=("s",))
+        assert a.compatible_with(b)

@@ -1,0 +1,152 @@
+"""Unit tests for the IOA adapters around the operational components."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import Pass
+from repro.adversary.benign import ReliableAdversary
+from repro.core.bitstrings import BitString, TAU_CRASH
+from repro.core.events import ChannelId
+from repro.core.packets import DataPacket, PollPacket
+from repro.core.params import ProtocolParams
+from repro.core.random_source import RandomSource
+from repro.core.receiver import Receiver
+from repro.core.transmitter import Transmitter
+from repro.ioa.actions import Action
+from repro.ioa.adapters import (
+    AdversaryAutomaton,
+    ChannelAutomaton,
+    EnvironmentAutomaton,
+    RMAutomaton,
+    TMAutomaton,
+)
+
+PARAMS = ProtocolParams(epsilon=2.0 ** -16)
+
+
+class TestTMAutomaton:
+    def test_send_msg_may_enqueue_data(self):
+        tm = TMAutomaton(Transmitter(PARAMS, RandomSource(1)))
+        tm.handle_input(Action("send_msg", (b"m1",)))
+        # Fresh transmitter has no challenge: opens silently.
+        assert tm.locally_controlled_steps() == []
+
+    def test_ok_flows_through_outbox(self):
+        transmitter = Transmitter(PARAMS, RandomSource(1))
+        tm = TMAutomaton(transmitter)
+        tm.handle_input(Action("send_msg", (b"m1",)))
+        poll = PollPacket(rho=BitString("0101"), tau=TAU_CRASH, retry=1)
+        tm.handle_input(Action("receive_pkt:R->T", (poll,)))
+        (step,) = tm.locally_controlled_steps()
+        assert step.name == "send_pkt:T->R"
+        tm.perform(step)
+        ack = PollPacket(rho=BitString("1"), tau=transmitter.tau, retry=2)
+        tm.handle_input(Action("receive_pkt:R->T", (ack,)))
+        (step,) = tm.locally_controlled_steps()
+        assert step.name == "OK"
+
+    def test_crash_clears_outbox(self):
+        tm = TMAutomaton(Transmitter(PARAMS, RandomSource(1)))
+        tm.handle_input(Action("send_msg", (b"m1",)))
+        poll = PollPacket(rho=BitString("0101"), tau=TAU_CRASH, retry=1)
+        tm.handle_input(Action("receive_pkt:R->T", (poll,)))
+        assert tm.locally_controlled_steps()
+        tm.handle_input(Action("crash_T"))
+        assert tm.locally_controlled_steps() == []
+
+    def test_foreign_action_rejected(self):
+        tm = TMAutomaton(Transmitter(PARAMS, RandomSource(1)))
+        with pytest.raises(KeyError):
+            tm.handle_input(Action("warp"))
+
+
+class TestRMAutomaton:
+    def test_retry_always_enabled(self):
+        rm = RMAutomaton(Receiver(PARAMS, RandomSource(2)))
+        steps = rm.locally_controlled_steps()
+        assert Action("RETRY") in steps
+
+    def test_retry_produces_poll(self):
+        rm = RMAutomaton(Receiver(PARAMS, RandomSource(2)))
+        rm.perform(Action("RETRY"))
+        (step,) = [s for s in rm.locally_controlled_steps() if s.name != "RETRY"]
+        assert step.name == "send_pkt:R->T"
+
+    def test_delivery_emits_receive_msg(self):
+        receiver = Receiver(PARAMS, RandomSource(2))
+        rm = RMAutomaton(receiver)
+        packet = DataPacket(
+            message=b"m1",
+            rho=receiver.rho,
+            tau=BitString("1").concat(RandomSource(3).random_bits(8)),
+        )
+        rm.handle_input(Action("receive_pkt:T->R", (packet,)))
+        names = [s.name for s in rm.locally_controlled_steps()]
+        assert "receive_msg" in names
+
+
+class TestChannelAutomaton:
+    def test_send_announces_new_pkt(self):
+        channel = ChannelAutomaton(ChannelId.T_TO_R)
+        packet = DataPacket(message=b"x", rho=BitString("0"), tau=BitString("1"))
+        channel.handle_input(Action("send_pkt:T->R", (packet,)))
+        (step,) = channel.locally_controlled_steps()
+        assert step.name == "new_pkt:T->R"
+        packet_id, length = step.params
+        assert packet_id == 0
+        assert length == packet.wire_length_bits
+
+    def test_deliver_replays_stored_packet(self):
+        channel = ChannelAutomaton(ChannelId.T_TO_R)
+        packet = DataPacket(message=b"x", rho=BitString("0"), tau=BitString("1"))
+        channel.handle_input(Action("send_pkt:T->R", (packet,)))
+        channel.perform(channel.locally_controlled_steps()[0])  # flush new_pkt
+        channel.handle_input(Action("deliver_pkt:T->R", (0,)))
+        (step,) = channel.locally_controlled_steps()
+        assert step.name == "receive_pkt:T->R"
+        assert step.params[0] is packet
+
+
+class TestAdversaryAutomaton:
+    def test_pass_becomes_internal_action(self):
+        adversary = ReliableAdversary()
+        adversary.bind(RandomSource(4))
+        adv = AdversaryAutomaton(adversary)
+        (step,) = adv.locally_controlled_steps()
+        assert step.name == "adv_pass"
+
+    def test_move_cached_until_performed(self):
+        adversary = ReliableAdversary()
+        adversary.bind(RandomSource(4))
+        adv = AdversaryAutomaton(adversary)
+        first = adv.locally_controlled_steps()
+        second = adv.locally_controlled_steps()
+        assert first == second  # no extra next_move() consumed
+        adv.perform(first[0])
+        assert adversary.moves_made == 1
+
+
+class TestEnvironmentAutomaton:
+    def test_axiom1_pacing(self):
+        env = EnvironmentAutomaton([b"a", b"b"])
+        (step,) = env.locally_controlled_steps()
+        env.perform(step)
+        assert env.locally_controlled_steps() == []  # in flight
+        env.handle_input(Action("OK"))
+        (step2,) = env.locally_controlled_steps()
+        assert step2.params == (b"b",)
+
+    def test_crash_releases_pacing(self):
+        env = EnvironmentAutomaton([b"a", b"b"])
+        env.perform(env.locally_controlled_steps()[0])
+        env.handle_input(Action("crash_T"))
+        assert env.locally_controlled_steps()  # may submit the next one
+
+    def test_done_semantics(self):
+        env = EnvironmentAutomaton([b"a"])
+        assert not env.done
+        env.perform(env.locally_controlled_steps()[0])
+        assert not env.done
+        env.handle_input(Action("OK"))
+        assert env.done

@@ -1,0 +1,107 @@
+"""Unit tests for automaton composition: routing and legality."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.ioa.actions import Action, Signature
+from repro.ioa.automaton import IOAutomaton
+from repro.ioa.composition import Composition, CompositionError
+from repro.ioa.execution import Execution
+from repro.ioa.actions import ActionKind
+
+
+class Pinger(IOAutomaton):
+    """Emits 'ping' when poked from outside."""
+
+    signature = Signature.of(inputs=("poke",), outputs=("ping",))
+
+    def __init__(self):
+        super().__init__("pinger")
+        self.pending: List[Action] = []
+
+    def handle_input(self, action: Action) -> None:
+        self.pending.append(Action("ping"))
+
+    def locally_controlled_steps(self):
+        return list(self.pending[:1])
+
+    def perform(self, action: Action) -> None:
+        self.pending.pop(0)
+
+
+class Ponger(IOAutomaton):
+    """Counts 'ping' inputs."""
+
+    signature = Signature.of(inputs=("ping",))
+
+    def __init__(self, name="ponger"):
+        super().__init__(name)
+        self.heard = 0
+
+    def handle_input(self, action: Action) -> None:
+        self.heard += 1
+
+
+class TestCompositionLegality:
+    def test_requires_components(self):
+        with pytest.raises(CompositionError):
+            Composition([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(CompositionError):
+            Composition([Ponger("x"), Ponger("x")])
+
+    def test_rejects_output_clash(self):
+        with pytest.raises(CompositionError):
+            Composition([Pinger(), Pinger()])
+
+    def test_composite_signature_hides_matched_inputs(self):
+        comp = Composition([Pinger(), Ponger()])
+        # 'ping' is driven internally; 'poke' remains an environment input.
+        assert "poke" in comp.signature.inputs
+        assert "ping" not in comp.signature.inputs
+        assert "ping" in comp.signature.outputs
+
+
+class TestRouting:
+    def test_output_synchronises_with_all_takers(self):
+        pinger, a, b = Pinger(), Ponger("a"), Ponger("b")
+        comp = Composition([pinger, a, b])
+        comp.inject(Action("poke"))
+        (component, action), = comp.enabled_steps()
+        comp.apply(component, action)
+        assert a.heard == 1 and b.heard == 1
+
+    def test_inject_requires_environment_input(self):
+        comp = Composition([Pinger(), Ponger()])
+        with pytest.raises(CompositionError):
+            comp.inject(Action("ping"))  # driven internally, not injectable
+
+    def test_apply_rejects_input_actions(self):
+        pinger = Pinger()
+        comp = Composition([pinger, Ponger()])
+        with pytest.raises(CompositionError):
+            comp.apply(pinger, Action("poke"))
+
+    def test_component_lookup(self):
+        pinger = Pinger()
+        comp = Composition([pinger, Ponger()])
+        assert comp.component("pinger") is pinger
+
+
+class TestExecutionRecord:
+    def test_behavior_excludes_internal(self):
+        execution = Execution()
+        execution.record(Action("ping"), actor="pinger", kind=ActionKind.OUTPUT)
+        execution.record(Action("tick"), actor="clock", kind=ActionKind.INTERNAL)
+        assert [a.name for a in execution.behavior()] == ["ping"]
+        assert [a.name for a in execution.schedule()] == ["ping", "tick"]
+
+    def test_actions_named(self):
+        execution = Execution()
+        execution.record(Action("x", (1,)), actor=None, kind=ActionKind.INPUT)
+        execution.record(Action("x", (2,)), actor=None, kind=ActionKind.INPUT)
+        assert [a.params for a in execution.actions_named("x")] == [(1,), (2,)]

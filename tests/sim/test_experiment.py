@@ -1,0 +1,62 @@
+"""Unit tests for the sweep framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.random_faults import FaultProfile, RandomFaultAdversary
+from repro.sim.experiment import Sweep
+from repro.sim.runner import RunSpec
+
+
+def loss_sweep(runs_per_point=2):
+    return Sweep(
+        axis_name="loss",
+        spec_for=lambda loss: RunSpec.default(
+            adversary_factory=lambda: RandomFaultAdversary(FaultProfile(loss=loss)),
+            messages=5,
+        ),
+        row_for=lambda loss, mc: {
+            "completion": mc.completion_rate,
+            "pkts/msg": mc.mean_packets_per_message,
+        },
+        runs_per_point=runs_per_point,
+        title="loss sweep",
+    )
+
+
+class TestSweep:
+    def test_runs_each_point(self):
+        result = loss_sweep().run([0.0, 0.3])
+        assert result.points() == [0.0, 0.3]
+        assert len(result.rows) == 2
+
+    def test_columns_from_first_row(self):
+        result = loss_sweep().run([0.0])
+        assert list(result.columns) == ["completion", "pkts/msg"]
+
+    def test_column_extraction(self):
+        result = loss_sweep().run([0.0, 0.2])
+        completions = result.column("completion")
+        assert completions == [1.0, 1.0]
+
+    def test_loss_increases_cost(self):
+        result = loss_sweep(runs_per_point=3).run([0.0, 0.5])
+        costs = result.column("pkts/msg")
+        assert costs[1] > costs[0]
+
+    def test_render_contains_rows_and_title(self):
+        result = loss_sweep().run([0.0])
+        text = result.render()
+        assert "loss sweep" in text
+        assert "completion" in text
+        assert "loss" in text
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(ValueError):
+            Sweep(
+                axis_name="x",
+                spec_for=lambda p: RunSpec.default(),
+                row_for=lambda p, mc: {},
+                runs_per_point=0,
+            )

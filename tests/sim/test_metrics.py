@@ -1,0 +1,85 @@
+"""Unit tests for the metrics pipeline."""
+
+from __future__ import annotations
+
+from repro.channel.channel import ChannelPair
+from repro.core.bitstrings import BitString
+from repro.core.packets import DataPacket
+from repro.core.protocol import make_data_link
+from repro.sim.metrics import MetricsCollector, SimulationMetrics
+
+
+def make_collector():
+    link = make_data_link(seed=1)
+    channels = ChannelPair()
+    return link, channels, MetricsCollector(link, channels)
+
+
+class TestCollector:
+    def test_storage_sampling_tracks_peak(self):
+        link, channels, collector = make_collector()
+        collector.sample_storage()
+        baseline = link.total_storage_bits()
+        metrics = collector.freeze(steps=1)
+        assert metrics.storage_peak_bits == baseline
+        assert metrics.storage_samples == [baseline]
+
+    def test_freeze_reads_channels(self):
+        link, channels, collector = make_collector()
+        packet = DataPacket(message=b"x", rho=BitString("0"), tau=BitString("1"))
+        info = channels.t_to_r.send_pkt(packet)
+        channels.t_to_r.deliver_pkt(info.packet_id)
+        metrics = collector.freeze(steps=5)
+        assert metrics.packets_sent == 1
+        assert metrics.packets_delivered == 1
+        assert metrics.bits_sent == packet.wire_length_bits
+        assert metrics.steps == 5
+
+    def test_freeze_reads_station_stats(self):
+        link, channels, collector = make_collector()
+        link.transmitter.send_msg(b"m")
+        metrics = collector.freeze(steps=1)
+        assert metrics.transmitter_extensions == 0
+        assert metrics.receiver_errors_counted == 0
+
+
+class TestDerivedMetrics:
+    def _metrics(self, **overrides) -> SimulationMetrics:
+        base = dict(
+            steps=100,
+            messages_submitted=10,
+            messages_ok=10,
+            messages_delivered=10,
+            packets_sent=30,
+            packets_delivered=25,
+            bits_sent=3000,
+            retries=20,
+            crashes_t=0,
+            crashes_r=0,
+            transmitter_extensions=0,
+            receiver_extensions=0,
+            transmitter_errors_counted=0,
+            receiver_errors_counted=0,
+            storage_peak_bits=100,
+            storage_final_bits=90,
+            storage_samples=[],
+        )
+        base.update(overrides)
+        return SimulationMetrics(**base)
+
+    def test_per_message_packets(self):
+        assert self._metrics().per_message_packets == 3.0
+
+    def test_per_message_bits(self):
+        assert self._metrics().per_message_bits == 300.0
+
+    def test_zero_ok_yields_infinity(self):
+        metrics = self._metrics(messages_ok=0)
+        assert metrics.per_message_packets == float("inf")
+        assert metrics.per_message_bits == float("inf")
+
+    def test_delivery_ratio(self):
+        assert self._metrics().delivery_ratio == 25 / 30
+
+    def test_delivery_ratio_no_packets(self):
+        assert self._metrics(packets_sent=0, packets_delivered=0).delivery_ratio == 0.0

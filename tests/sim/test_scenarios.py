@@ -1,0 +1,90 @@
+"""Tests for the named scenario registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.scenarios import SCENARIOS, get_scenario, list_scenarios
+
+
+class TestRegistry:
+    def test_names_match_keys(self):
+        for name, scenario in SCENARIOS.items():
+            assert scenario.name == name
+
+    def test_descriptions_exist(self):
+        assert all(s.description for s in SCENARIOS.values())
+
+    def test_lookup(self):
+        assert get_scenario("fault-free").name == "fault-free"
+
+    def test_unknown_name_lists_valid_ones(self):
+        with pytest.raises(KeyError) as exc:
+            get_scenario("warp")
+        assert "fault-free" in str(exc.value)
+
+    def test_listing_sorted(self):
+        names = [s.name for s in list_scenarios()]
+        assert names == sorted(names)
+
+    def test_expected_scenarios_present(self):
+        for expected in (
+            "fault-free",
+            "lossy",
+            "chaos",
+            "replay-attack",
+            "crash-storm",
+            "stalling",
+        ):
+            assert expected in SCENARIOS
+
+
+class TestRuns:
+    @pytest.mark.parametrize(
+        "name",
+        ["fault-free", "slow-link", "lossy", "chaos", "duplicate-flood",
+         "crash-storm", "stalling"],
+    )
+    def test_protocol_scenarios_end_ok(self, name):
+        outcome = get_scenario(name).run(seed=3)
+        assert outcome.ok, f"{name}: {outcome.simulation.trace.summary()}"
+
+    def test_replay_attack_scenario_resisted(self):
+        outcome = get_scenario("replay-attack").run(seed=3)
+        assert outcome.safety.passed
+
+    def test_runs_reproducible(self):
+        a = get_scenario("chaos").run(seed=11)
+        b = get_scenario("chaos").run(seed=11)
+        assert (
+            a.simulation.metrics.packets_sent == b.simulation.metrics.packets_sent
+        )
+        assert a.simulation.steps == b.simulation.steps
+
+    def test_seeds_vary_runs(self):
+        a = get_scenario("chaos").run(seed=1)
+        b = get_scenario("chaos").run(seed=2)
+        assert a.simulation.steps != b.simulation.steps
+
+
+class TestCliIntegration:
+    def test_listing(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario"]) == 0
+        out = capsys.readouterr().out
+        assert "fault-free" in out
+        assert "crash-storm" in out
+
+    def test_run_by_name(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario", "fault-free", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "all OK" in out
+
+    def test_unknown_name_exits(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["scenario", "bogus"])

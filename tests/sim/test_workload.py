@@ -1,0 +1,81 @@
+"""Unit tests for workload generators (Axiom 2 by construction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import AxiomViolationError
+from repro.core.random_source import RandomSource
+from repro.sim.workload import (
+    ExplicitWorkload,
+    RandomPayloadWorkload,
+    SequentialWorkload,
+)
+
+
+class TestSequentialWorkload:
+    def test_count_and_order(self):
+        wl = SequentialWorkload(5)
+        payloads = list(wl)
+        assert len(payloads) == 5
+        assert wl.message_count == 5
+        assert payloads[0] == b"msg-000000"
+
+    def test_uniqueness(self):
+        payloads = list(SequentialWorkload(200))
+        assert len(set(payloads)) == 200
+
+    def test_uniform_sizes(self):
+        sizes = {len(p) for p in SequentialWorkload(100)}
+        assert len(sizes) == 1  # oblivious-adversary friendly
+
+    def test_padding(self):
+        payloads = list(SequentialWorkload(3, pad_to=32))
+        assert all(len(p) == 32 for p in payloads)
+
+    def test_custom_prefix(self):
+        payloads = list(SequentialWorkload(1, prefix=b"exp"))
+        assert payloads[0].startswith(b"exp-")
+
+    def test_zero_count(self):
+        assert list(SequentialWorkload(0)) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialWorkload(-1)
+
+    def test_reiterable(self):
+        wl = SequentialWorkload(3)
+        assert list(wl) == list(wl)
+
+
+class TestRandomPayloadWorkload:
+    def test_unique_even_with_colliding_bodies(self):
+        wl = RandomPayloadWorkload(50, body_bytes=0, rng=RandomSource(1))
+        payloads = list(wl)
+        assert len(set(payloads)) == 50
+
+    def test_body_size(self):
+        wl = RandomPayloadWorkload(3, body_bytes=16, rng=RandomSource(1))
+        for p in wl:
+            assert len(p) == 9 + 16  # "%08d:" prefix + body
+
+    def test_deterministic_from_seed(self):
+        a = list(RandomPayloadWorkload(5, body_bytes=4, rng=RandomSource(7)))
+        b = list(RandomPayloadWorkload(5, body_bytes=4, rng=RandomSource(7)))
+        assert a == b
+
+
+class TestExplicitWorkload:
+    def test_passthrough(self):
+        wl = ExplicitWorkload([b"x", b"y"])
+        assert list(wl) == [b"x", b"y"]
+        assert wl.message_count == 2
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(AxiomViolationError):
+            ExplicitWorkload([b"x", b"x"])
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            ExplicitWorkload(["str"])  # type: ignore[list-item]

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.messages == 25
+        assert args.epsilon_bits == 16
+
+    def test_attack_protocol_arg(self):
+        args = build_parser().parse_args(["attack", "--protocol", "fixed:6"])
+        assert args.protocol == "fixed:6"
+
+
+class TestSimulateCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main(["simulate", "--messages", "5", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "completed" in out
+        assert "no-replay" in out
+        assert "VIOLATED" not in out
+
+    def test_faulty_run_still_clean(self, capsys):
+        code = main([
+            "simulate", "--messages", "8", "--loss", "0.3",
+            "--duplicate", "0.3", "--reorder", "0.5",
+            "--crash-rate", "0.002", "--seed", "3",
+        ])
+        assert code == 0
+        assert "VIOLATED" not in capsys.readouterr().out
+
+
+class TestAttackCommand:
+    def test_fixed_nonce_usually_broken(self, capsys):
+        code = main([
+            "attack", "--protocol", "fixed:5", "--harvest", "60",
+            "--runs", "5", "--seed", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fixed:5" in out
+
+    def test_paper_protocol_never_broken(self, capsys):
+        main(["attack", "--protocol", "paper", "--harvest", "40",
+              "--runs", "3", "--seed", "0"])
+        out = capsys.readouterr().out
+        # broken column shows 0 of 3
+        assert "| 0" in out
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["attack", "--protocol", "nonsense"])
+
+
+class TestSweepCommand:
+    def test_sweep_prints_rows(self, capsys):
+        code = main([
+            "sweep-loss", "--losses", "0,0.3", "--runs", "2",
+            "--messages", "6",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pkts/msg" in out
+        assert "0.3" in out

@@ -1,0 +1,80 @@
+"""Unit tests for the statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.stats import summarize, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_zero_successes_has_zero_point(self):
+        est = wilson_interval(0, 100)
+        assert est.point == 0.0
+        assert est.low == 0.0
+        assert est.high > 0.0  # zero observed is not zero proven
+
+    def test_interval_contains_point(self):
+        est = wilson_interval(7, 50)
+        assert est.low <= est.point <= est.high
+
+    def test_more_trials_tighter_interval(self):
+        narrow = wilson_interval(50, 1000)
+        wide = wilson_interval(5, 100)
+        assert (narrow.high - narrow.low) < (wide.high - wide.low)
+
+    def test_zero_trials_is_vacuous(self):
+        est = wilson_interval(0, 0)
+        assert est.low == 0.0 and est.high == 1.0
+
+    def test_all_successes(self):
+        est = wilson_interval(20, 20)
+        assert est.point == 1.0
+        assert est.high == 1.0
+        assert est.low < 1.0
+
+    def test_consistency_check_semantics(self):
+        # 0/1000 observed is consistent with a 1e-3 bound; 500/1000 is not.
+        assert wilson_interval(0, 1000).consistent_with_bound(1e-3)
+        assert not wilson_interval(500, 1000).consistent_with_bound(1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+    def test_confidence_widens_interval(self):
+        loose = wilson_interval(10, 100, confidence=0.80)
+        tight = wilson_interval(10, 100, confidence=0.99)
+        assert (tight.high - tight.low) > (loose.high - loose.low)
+
+    def test_str_shows_counts(self):
+        assert "7/50" in str(wilson_interval(7, 50))
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.p50 == 3.0
+
+    def test_percentile_interpolation(self):
+        summary = summarize([0.0, 10.0])
+        assert summary.p50 == 5.0
+
+    def test_p95_near_top(self):
+        summary = summarize(list(range(101)))
+        assert summary.p95 == pytest.approx(95.0)
+
+    def test_single_value(self):
+        summary = summarize([42])
+        assert summary.p50 == summary.p95 == 42.0
+
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert summary.mean == 0.0

@@ -1,0 +1,56 @@
+"""Unit tests for the fixed-width table renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_bools(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_small_floats_scientific(self):
+        assert "e" in format_cell(0.0000123)
+
+    def test_large_floats_scientific(self):
+        assert "e" in format_cell(1234567.0)
+
+    def test_moderate_floats_compact(self):
+        assert format_cell(3.14159) == "3.142"
+
+    def test_zero_and_specials(self):
+        assert format_cell(0.0) == "0"
+        assert format_cell(float("inf")) == "inf"
+        assert format_cell(float("nan")) == "nan"
+
+    def test_strings_pass_through(self):
+        assert format_cell("abc") == "abc"
+
+    def test_ints(self):
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.startswith("My Table\n========")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_body(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+    def test_docstring_example(self):
+        text = render_table(["a", "b"], [[1, 2.5]])
+        assert text == "a | b\n--+----\n1 | 2.5"
