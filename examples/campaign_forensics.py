@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""A hostile Monte-Carlo campaign, survived and dissected.
+
+Runs 50 executions of the Section 3 fixed-nonce strawman under a scripted
+fault plan (examples/fault_plan.json) that forces, within one campaign:
+
+* a **worker-process death** — run 33 hard-aborts its worker mid-run;
+* a **hung run** — run 20 stalls forever and is reaped by the per-run
+  wall-clock watchdog;
+* a **deterministic safety failure** — run 4 takes the paper's
+  crash-then-replay (spaced duplicate burst, then a receiver crash), and
+  the 2-bit fixed nonce accepts a replayed data packet.
+
+The supervisor isolates every casualty, aggregates the runs that did
+produce data (with the missing mass reported explicitly), and archives
+forensics — seed, fault plan, safety verdicts, full trace — for each
+non-ok run.  The script then feeds the safety failure to the delta
+debugger, which hands back the smallest (messages, fault plan) pair that
+still reproduces it.
+
+Run:  python examples/campaign_forensics.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.adversary.benign import ReliableAdversary
+from repro.baselines import make_naive_handshake_link
+from repro.resilience import (
+    CampaignConfig,
+    FaultPlan,
+    RunStatus,
+    run_campaign,
+    shrink_repro,
+)
+from repro.sim.runner import RunSpec
+from repro.sim.workload import SequentialWorkload
+
+PLAN_PATH = os.path.join(os.path.dirname(__file__), "fault_plan.json")
+
+
+def strawman_spec(messages: int = 6) -> RunSpec:
+    return RunSpec(
+        link_factory=lambda seed: make_naive_handshake_link(nonce_bits=2, seed=seed),
+        adversary_factory=ReliableAdversary,
+        workload_factory=lambda seed: SequentialWorkload(messages),
+        max_steps=50_000,
+        label="fixed:2",
+    )
+
+
+def main() -> None:
+    plan = FaultPlan.load(PLAN_PATH)
+    artifacts = tempfile.mkdtemp(prefix="campaign-forensics-")
+    config = CampaignConfig(jobs=4, timeout=2.0, retries=0, artifacts_dir=artifacts)
+
+    result = run_campaign(
+        strawman_spec(), runs=50, base_seed=0, config=config, fault_plan=plan
+    )
+    print(result.render())
+    print()
+
+    # Run 4 is the scripted crash-then-replay: a no-duplication violation,
+    # not one of the strawman's many baseline order failures.
+    failure = result.reports[4]
+    assert failure.status is RunStatus.SAFETY_FAILED
+    print(f"shrinking run {failure.index} (seed {failure.seed}) ...")
+    minimal = shrink_repro(
+        lambda messages: strawman_spec(messages),
+        seed=failure.seed,
+        plan=plan,
+        messages=6,
+        run_index=failure.index,
+        timeout=5.0,
+    )
+    print(f"minimal repro: {minimal.messages} messages, "
+          f"{len(minimal.plan.events)} fault events "
+          f"({minimal.probes} probes)")
+    print(minimal.plan.to_json())
+    print(f"\nforensics archived under {artifacts}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,6 @@
 """Command-line interface: drive the protocol and experiments from a shell.
 
-Three subcommands cover the common workflows::
+The subcommands cover the common workflows::
 
     python -m repro simulate --messages 25 --loss 0.3 --duplicate 0.3 \\
         --reorder 0.5 --crash-rate 0.002 --epsilon-bits 16 --seed 7
@@ -10,11 +10,19 @@ Three subcommands cover the common workflows::
 
     python -m repro sweep-loss --losses 0,0.2,0.4,0.6 --runs 5
 
+    python -m repro campaign --runs 50 --jobs 4 --timeout 30 --retries 1 \\
+        --fault-plan plan.json --artifacts-dir artifacts/
+
+    python -m repro shrink --fault-plan artifacts/.../faultplan.json \\
+        --seed 1234 --messages 40 --out minimal.json
+
 ``simulate`` runs one execution of ``D(A, ADV)`` and prints metrics plus
 the Section 2.6 checker verdicts; ``attack`` stages the Section 3
 crash-then-replay attack against either the fixed-nonce strawman
 (``fixed:<bits>``) or the real protocol (``paper``); ``sweep-loss``
-reproduces the E7 cost curve.
+reproduces the E7 cost curve; ``campaign`` runs a supervised,
+fault-tolerant Monte-Carlo campaign with scripted fault injection and
+failure forensics; ``shrink`` minimizes an archived failing repro.
 """
 
 from __future__ import annotations
@@ -80,6 +88,53 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("name", nargs="?", default=None,
                           help="scenario name (omit to list all)")
     scenario.add_argument("--seed", type=int, default=0)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="supervised fault-tolerant Monte-Carlo campaign",
+    )
+    camp.add_argument("--runs", type=int, default=50)
+    camp.add_argument("--jobs", type=int, default=2,
+                      help="parallel worker processes")
+    camp.add_argument("--timeout", type=float, default=None,
+                      help="per-run wall-clock budget in seconds")
+    camp.add_argument("--retries", type=int, default=0,
+                      help="extra attempts (fresh seeds) after timeout/crash")
+    camp.add_argument("--artifacts-dir", default=None,
+                      help="archive forensics for every non-ok run here")
+    camp.add_argument("--fault-plan", default=None,
+                      help="JSON fault plan to inject (see docs/PROTOCOL.md)")
+    camp.add_argument("--protocol", default="paper",
+                      help='"paper" or "fixed:<nonce-bits>"')
+    camp.add_argument("--messages", type=int, default=20)
+    camp.add_argument("--epsilon-bits", type=int, default=16,
+                      help="epsilon = 2^-BITS (paper protocol only)")
+    camp.add_argument("--loss", type=float, default=0.0)
+    camp.add_argument("--duplicate", type=float, default=0.0)
+    camp.add_argument("--reorder", type=float, default=0.0)
+    camp.add_argument("--crash-rate", type=float, default=0.0)
+    camp.add_argument("--max-steps", type=int, default=200_000)
+    camp.add_argument("--base-seed", type=int, default=0)
+    camp.add_argument("--label", default="",
+                      help="row label for the campaign tables")
+
+    shr = sub.add_parser("shrink", help="minimize a failing repro (seed + plan)")
+    shr.add_argument("--fault-plan", required=True,
+                     help="JSON fault plan of the failing run")
+    shr.add_argument("--seed", type=int, required=True,
+                     help="the failing run's derived seed (meta.json: seed)")
+    shr.add_argument("--messages", type=int, default=20,
+                     help="the failing run's workload size")
+    shr.add_argument("--run-index", type=int, default=0,
+                     help="the failing run's campaign index")
+    shr.add_argument("--protocol", default="paper")
+    shr.add_argument("--epsilon-bits", type=int, default=16)
+    shr.add_argument("--max-steps", type=int, default=200_000)
+    shr.add_argument("--timeout", type=float, default=5.0,
+                     help="per-probe wall-clock bound in seconds")
+    shr.add_argument("--max-probes", type=int, default=200)
+    shr.add_argument("--out", default=None,
+                     help="write the minimal fault plan JSON here")
 
     return parser
 
@@ -183,19 +238,124 @@ def _cmd_sweep_loss(args: argparse.Namespace) -> int:
             ),
             workload_factory=lambda seed: SequentialWorkload(args.messages),
             max_steps=300_000,
+            label=f"loss={loss:g}",
         )
         mc = monte_carlo(spec, runs=args.runs, base_seed=int(loss * 1000))
         rows.append([
+            spec.label,
             loss,
             mc.mean_packets_per_message,
             expected_handshake_packets(loss),
             mc.completion_rate,
         ])
     print(render_table(
-        ["loss", "pkts/msg", "analytic 2/(1-p)", "completion"],
+        ["label", "loss", "pkts/msg", "analytic 2/(1-p)", "completion"],
         rows,
         title="packets per message vs loss",
     ))
+    return 0
+
+
+def _campaign_link_factory(protocol: str, epsilon_bits: int):
+    """Link factory for campaign/shrink: honors --epsilon-bits for "paper"."""
+    if protocol == "paper":
+        return lambda seed: make_data_link(epsilon=2.0 ** -epsilon_bits, seed=seed)
+    return _parse_protocol(protocol)
+
+
+def _campaign_spec(args: argparse.Namespace, messages: int) -> RunSpec:
+    link_factory = _campaign_link_factory(args.protocol, args.epsilon_bits)
+    rates = (
+        getattr(args, "loss", 0.0),
+        getattr(args, "duplicate", 0.0),
+        getattr(args, "reorder", 0.0),
+        getattr(args, "crash_rate", 0.0),
+    )
+    if any(rates):
+        loss, duplicate, reorder, crash = rates
+        adversary_factory = lambda: RandomFaultAdversary(FaultProfile(
+            loss=loss, duplicate=duplicate, reorder=reorder,
+            crash_t=crash, crash_r=crash,
+        ))
+    else:
+        from repro.adversary.benign import ReliableAdversary
+
+        adversary_factory = ReliableAdversary
+    return RunSpec(
+        link_factory=link_factory,
+        adversary_factory=adversary_factory,
+        workload_factory=lambda seed: SequentialWorkload(messages),
+        max_steps=args.max_steps,
+        label=getattr(args, "label", "") or args.protocol,
+    )
+
+
+def _load_fault_plan(path: str):
+    from repro.resilience.faultplan import FaultPlan
+
+    try:
+        return FaultPlan.load(path)
+    except OSError as error:
+        raise SystemExit(f"cannot read fault plan {path!r}: {error.strerror}")
+    except ValueError as error:
+        raise SystemExit(f"invalid fault plan {path!r}: {error}")
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.resilience.supervisor import CampaignConfig, run_campaign
+
+    plan = _load_fault_plan(args.fault_plan) if args.fault_plan else None
+    try:
+        config = CampaignConfig(
+            jobs=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            artifacts_dir=args.artifacts_dir,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    spec = _campaign_spec(args, args.messages)
+    result = run_campaign(
+        spec, args.runs, base_seed=args.base_seed, config=config, fault_plan=plan
+    )
+    print(result.render())
+    all_ok = all(r.status.value == "ok" for r in result.reports)
+    return 0 if all_ok else 1
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    from repro.resilience.shrink import shrink_repro
+
+    plan = _load_fault_plan(args.fault_plan)
+    spec_builder = lambda messages: _campaign_spec(args, messages)
+    try:
+        result = shrink_repro(
+            spec_builder,
+            seed=args.seed,
+            plan=plan,
+            messages=args.messages,
+            run_index=args.run_index,
+            timeout=args.timeout,
+            max_probes=args.max_probes,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    print(render_table(
+        ["", "messages", "events", "status", "probes"],
+        [
+            ["original", result.original_messages, result.original_events,
+             result.status.value, ""],
+            ["minimal", result.messages, len(result.plan.events),
+             result.status.value, result.probes],
+        ],
+        title="shrink",
+    ))
+    print()
+    print(f"repro: seed={result.seed} messages={result.messages}")
+    print(result.plan.to_json())
+    if args.out:
+        result.plan.save(args.out)
+        print(f"minimal plan written to {args.out}")
     return 0
 
 
@@ -241,6 +401,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep_loss(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "shrink":
+        return _cmd_shrink(args)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

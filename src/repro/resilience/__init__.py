@@ -1,0 +1,64 @@
+"""Resilient campaign engine: supervision, fault scripting, forensics, shrinking.
+
+The paper is about surviving worst-case faults; this package gives the
+experiment harness the same discipline.  :mod:`~repro.resilience.supervisor`
+runs Monte-Carlo campaigns in isolated worker processes with timeouts,
+retries and graceful degradation; :mod:`~repro.resilience.faultplan`
+scripts deterministic, JSON-serializable fault schedules;
+:mod:`~repro.resilience.artifacts` archives every non-ok run for replay;
+:mod:`~repro.resilience.shrink` minimizes failing repros.
+"""
+
+from repro.resilience.artifacts import (
+    load_run_artifact,
+    write_campaign_artifacts,
+    write_run_artifact,
+)
+from repro.resilience.faultplan import (
+    AbortAt,
+    CrashAt,
+    DropWindow,
+    DuplicateBurst,
+    FaultEvent,
+    FaultInjectionAbort,
+    FaultPlan,
+    HangAt,
+    ScriptedAdversary,
+    StallWindow,
+    apply_fault_plan,
+)
+from repro.resilience.shrink import ShrinkResult, shrink_repro, status_matcher
+from repro.resilience.supervisor import (
+    CampaignConfig,
+    CampaignResult,
+    RunReport,
+    RunStatus,
+    derive_run_seed,
+    run_campaign,
+)
+
+__all__ = [
+    "AbortAt",
+    "CampaignConfig",
+    "CampaignResult",
+    "CrashAt",
+    "DropWindow",
+    "DuplicateBurst",
+    "FaultEvent",
+    "FaultInjectionAbort",
+    "FaultPlan",
+    "HangAt",
+    "RunReport",
+    "RunStatus",
+    "ScriptedAdversary",
+    "ShrinkResult",
+    "StallWindow",
+    "apply_fault_plan",
+    "derive_run_seed",
+    "load_run_artifact",
+    "run_campaign",
+    "shrink_repro",
+    "status_matcher",
+    "write_campaign_artifacts",
+    "write_run_artifact",
+]

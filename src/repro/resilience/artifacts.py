@@ -1,0 +1,164 @@
+"""Failure forensics: archive every non-ok campaign run for replay.
+
+A campaign that tolerates faults is only useful if the faults it survived
+can be studied afterwards.  For every non-``ok`` run the supervisor hands
+us, :func:`write_campaign_artifacts` dumps a self-contained directory:
+
+.. code-block:: text
+
+    <artifacts_dir>/
+      campaign-20260805-141530-123456/
+        campaign.json            # config echo, status counts, label
+        run-00007-timeout/
+          meta.json              # seed, status, attempts, error, steps, ...
+          safety.json            # per-condition trials/failures + violations
+          faultplan.json         # the scripted schedule (when one was used)
+          trace.jsonl            # the recorded execution (repro.checkers.serialize)
+
+``meta.json`` carries everything needed to re-run the attempt:
+``repro.resilience.supervisor.derive_run_seed`` is pure, and the fault
+plan is the declarative script, so seed + plan + spec description is a
+complete repro.  :func:`load_run_artifact` reads a run directory back
+(trace included) for the checkers or the shrinker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Optional
+
+from repro.checkers.serialize import load_trace
+from repro.resilience.faultplan import FaultPlan
+
+__all__ = [
+    "campaign_dir_name",
+    "write_run_artifact",
+    "write_campaign_artifacts",
+    "load_run_artifact",
+]
+
+
+def campaign_dir_name(stamp: Optional[float] = None) -> str:
+    """A collision-resistant, sortable directory name for one campaign."""
+    stamp = time.time() if stamp is None else stamp
+    base = time.strftime("%Y%m%d-%H%M%S", time.localtime(stamp))
+    fraction = int((stamp % 1.0) * 1_000_000)
+    return f"campaign-{base}-{fraction:06d}"
+
+
+def _write_json(path: str, data: dict) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(data, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def write_run_artifact(
+    campaign_path: str,
+    report,
+    fault_plan: Optional[FaultPlan] = None,
+    spec_label: str = "",
+    base_seed: int = 0,
+) -> str:
+    """Archive one non-ok run under the campaign directory; returns its path."""
+    run_dir = os.path.join(
+        campaign_path, f"run-{report.index:05d}-{report.status.value}"
+    )
+    os.makedirs(run_dir, exist_ok=True)
+    _write_json(
+        os.path.join(run_dir, "meta.json"),
+        {
+            "index": report.index,
+            "seed": report.seed,
+            "base_seed": base_seed,
+            "status": report.status.value,
+            "attempts": report.attempts,
+            "worker_deaths": report.worker_deaths,
+            "completed": report.completed,
+            "steps": report.steps,
+            "duration_seconds": report.duration,
+            "liveness_passed": report.liveness_passed,
+            "error": report.error,
+            "spec_label": spec_label,
+            "has_trace": report.trace_jsonl is not None,
+        },
+    )
+    if report.safety_summary is not None:
+        _write_json(
+            os.path.join(run_dir, "safety.json"),
+            {
+                "summary": {
+                    condition: {"failures": f, "trials": t}
+                    for condition, (f, t) in report.safety_summary.items()
+                },
+                "violations": list(report.violations),
+            },
+        )
+    if fault_plan is not None:
+        fault_plan.for_run(report.index).save(
+            os.path.join(run_dir, "faultplan.json")
+        )
+    if report.trace_jsonl is not None:
+        with open(os.path.join(run_dir, "trace.jsonl"), "w", encoding="utf-8") as f:
+            f.write(report.trace_jsonl)
+    return run_dir
+
+
+def write_campaign_artifacts(root: str, result) -> str:
+    """Archive a whole campaign (manifest + one directory per non-ok run)."""
+    from repro.resilience.supervisor import RunStatus
+
+    campaign_path = os.path.join(root, campaign_dir_name())
+    os.makedirs(campaign_path, exist_ok=True)
+    for report in result.reports:
+        if report.status is RunStatus.OK:
+            continue
+        write_run_artifact(
+            campaign_path,
+            report,
+            fault_plan=result.fault_plan,
+            spec_label=result.label,
+            base_seed=result.base_seed,
+        )
+    _write_json(
+        os.path.join(campaign_path, "campaign.json"),
+        {
+            "label": result.label,
+            "runs": result.runs,
+            "base_seed": result.base_seed,
+            "status_counts": dict(result.status_counts),
+            "missing_data": result.missing_data,
+            "completion_rate": result.completion_rate,
+            "jobs": result.config.jobs,
+            "timeout": result.config.timeout,
+            "retries": result.config.retries,
+            "fault_plan": (
+                result.fault_plan.to_dict() if result.fault_plan else None
+            ),
+        },
+    )
+    return campaign_path
+
+
+def load_run_artifact(run_dir: str) -> dict:
+    """Read one archived run back: meta, safety, fault plan, and trace.
+
+    Returns a dict with keys ``meta`` (always), ``safety`` / ``fault_plan``
+    / ``trace`` (present when the corresponding file was archived; the
+    trace comes back as a :class:`~repro.checkers.trace.Trace`).
+    """
+    with open(os.path.join(run_dir, "meta.json"), "r", encoding="utf-8") as stream:
+        data: dict = {"meta": json.load(stream)}
+    safety_path = os.path.join(run_dir, "safety.json")
+    if os.path.exists(safety_path):
+        with open(safety_path, "r", encoding="utf-8") as stream:
+            data["safety"] = json.load(stream)
+    plan_path = os.path.join(run_dir, "faultplan.json")
+    if os.path.exists(plan_path):
+        data["fault_plan"] = FaultPlan.load(plan_path)
+    trace_path = os.path.join(run_dir, "trace.jsonl")
+    if os.path.exists(trace_path):
+        with open(trace_path, "r", encoding="utf-8") as stream:
+            data["trace"] = load_trace(stream)
+    return data

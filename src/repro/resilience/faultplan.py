@@ -1,0 +1,490 @@
+"""Declarative, replayable fault schedules for campaign runs.
+
+A :class:`FaultPlan` is a JSON-serializable script of fault events — crash
+this station at step N, drop every packet announced in a window, duplicate
+a burst of recent traffic, stall the schedule — compiled by
+:class:`ScriptedAdversary` into a deterministic adversary.  Scripted
+schedules give the campaign engine record-and-replay fault injection: the
+exact schedule that produced a failure is archived next to the trace and
+can be re-run (or shrunk, see :mod:`repro.resilience.shrink`) bit-for-bit.
+
+Two event kinds exist purely to harden the *harness* rather than the
+protocol: :class:`HangAt` (the adversary stops returning — caught by the
+supervisor's per-run wall-clock timeout) and :class:`AbortAt` (the run
+dies mid-flight; with ``hard=True`` the whole worker process exits, which
+is how the supervisor's worker-crash isolation is exercised end to end).
+
+Events carry an optional ``run`` selector so one plan can script different
+faults for different runs of a campaign (``None`` applies to every run);
+:meth:`FaultPlan.for_run` projects the plan onto one run index.
+
+``ScriptedAdversary`` composes with the existing adversary zoo: give it an
+``inner`` adversary and the scripted events overlay the inner schedule
+(drops intercept announcements before the inner adversary sees them;
+crashes, stalls and bursts pre-empt the inner move).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Iterable, List, Optional, Tuple, Type
+
+from repro.adversary.base import (
+    Adversary,
+    CrashReceiver,
+    CrashTransmitter,
+    Deliver,
+    Move,
+    Pass,
+)
+from repro.channel.channel import PacketInfo
+from repro.core.events import ChannelId
+
+__all__ = [
+    "FaultInjectionAbort",
+    "FaultEvent",
+    "CrashAt",
+    "DropWindow",
+    "DuplicateBurst",
+    "StallWindow",
+    "HangAt",
+    "AbortAt",
+    "FaultPlan",
+    "ScriptedAdversary",
+    "apply_fault_plan",
+    "enable_hard_aborts",
+]
+
+
+class FaultInjectionAbort(RuntimeError):
+    """A scripted :class:`AbortAt` event fired (soft form)."""
+
+
+# Hard aborts (os._exit) are only honoured inside supervisor worker
+# processes; anywhere else they degrade to the soft (exception) form so a
+# stray plan cannot kill a test runner or an interactive session.
+_HARD_ABORTS_ENABLED = False
+
+
+def enable_hard_aborts(enabled: bool) -> None:
+    """Allow ``AbortAt(hard=True)`` to terminate this process (workers only)."""
+    global _HARD_ABORTS_ENABLED
+    _HARD_ABORTS_ENABLED = bool(enabled)
+
+
+_CHANNEL_VALUES = tuple(c.value for c in ChannelId)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: one scripted fault.  ``kind`` keys the JSON encoding."""
+
+    kind = ""  # overridden per subclass (class attribute, not a field)
+
+    def to_dict(self) -> dict:
+        data = {"kind": type(self).kind}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value is not None:
+                data[f.name] = value
+        return data
+
+    def shrink_candidates(self) -> Tuple["FaultEvent", ...]:
+        """Strictly simpler variants of this event (for the minimizer)."""
+        return ()
+
+    def _check_step(self, step: int) -> None:
+        if step < 1:
+            raise ValueError(f"{type(self).kind} step must be >= 1, got {step}")
+
+    def _check_window(self, start: int, end: int) -> None:
+        if start < 1 or end < start:
+            raise ValueError(
+                f"{type(self).kind} window must satisfy 1 <= start <= end, "
+                f"got [{start}, {end}]"
+            )
+
+
+@dataclass(frozen=True)
+class CrashAt(FaultEvent):
+    """Crash one station at an exact adversary turn."""
+
+    kind = "crash"
+
+    step: int
+    station: str  # "T" or "R"
+    run: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._check_step(self.step)
+        if self.station not in ("T", "R"):
+            raise ValueError(f"station must be 'T' or 'R', got {self.station!r}")
+
+
+@dataclass(frozen=True)
+class DropWindow(FaultEvent):
+    """Silently drop every packet announced during turns [start, end].
+
+    ``channel`` restricts the drop to one direction (``"T->R"`` or
+    ``"R->T"``); ``None`` drops both.
+    """
+
+    kind = "drop"
+
+    start: int
+    end: int
+    channel: Optional[str] = None
+    run: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._check_window(self.start, self.end)
+        if self.channel is not None and self.channel not in _CHANNEL_VALUES:
+            raise ValueError(
+                f"channel must be one of {_CHANNEL_VALUES} or None, "
+                f"got {self.channel!r}"
+            )
+
+    def shrink_candidates(self) -> Tuple[FaultEvent, ...]:
+        width = self.end - self.start
+        if width == 0:
+            return ()
+        return (replace(self, end=self.start + width // 2),)
+
+
+@dataclass(frozen=True)
+class DuplicateBurst(FaultEvent):
+    """Re-deliver the packet announced most recently before ``step``.
+
+    ``copies`` extra deliveries are scheduled at turns ``step``,
+    ``step + spacing``, ``step + 2*spacing``, ...  With ``spacing=1`` the
+    copies drain back-to-back inside the handshake they came from, where a
+    correct receiver shrugs them off as retransmissions; larger spacings
+    let the tail of the burst land in *later* handshakes, turning the
+    copies into genuine replays (the Section 3 threat).
+    """
+
+    kind = "duplicate"
+
+    step: int
+    copies: int = 2
+    spacing: int = 1
+    run: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._check_step(self.step)
+        if self.copies < 1:
+            raise ValueError(f"copies must be >= 1, got {self.copies}")
+        if self.spacing < 1:
+            raise ValueError(f"spacing must be >= 1, got {self.spacing}")
+
+    def shrink_candidates(self) -> Tuple[FaultEvent, ...]:
+        candidates = []
+        if self.copies > 1:
+            candidates.append(replace(self, copies=self.copies // 2))
+        if self.spacing > 1:
+            candidates.append(replace(self, spacing=max(1, self.spacing // 2)))
+        return tuple(candidates)
+
+
+@dataclass(frozen=True)
+class StallWindow(FaultEvent):
+    """Deliver nothing during turns [start, end] (the schedule goes quiet).
+
+    Note the harness-level :class:`~repro.adversary.FairnessEnforcer` will
+    override long stalls unless the run disables fairness or its patience
+    exceeds the window.
+    """
+
+    kind = "stall"
+
+    start: int
+    end: int
+    run: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._check_window(self.start, self.end)
+
+    def shrink_candidates(self) -> Tuple[FaultEvent, ...]:
+        width = self.end - self.start
+        if width == 0:
+            return ()
+        return (replace(self, end=self.start + width // 2),)
+
+
+@dataclass(frozen=True)
+class HangAt(FaultEvent):
+    """The adversary stops returning at one turn (a hung worker).
+
+    With ``seconds=None`` it sleeps until the supervisor's wall-clock
+    watchdog interrupts it; a finite ``seconds`` resumes afterwards
+    (a long stall in wall-clock rather than turn units).
+    """
+
+    kind = "hang"
+
+    step: int
+    seconds: Optional[float] = None
+    run: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._check_step(self.step)
+        if self.seconds is not None and self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+
+@dataclass(frozen=True)
+class AbortAt(FaultEvent):
+    """Kill the run at one turn.
+
+    ``hard=False`` raises :class:`FaultInjectionAbort` (an in-run crash —
+    terminal status ``crashed``).  ``hard=True`` exits the whole worker
+    process, exercising the supervisor's broken-pool recovery; outside a
+    worker it degrades to the soft form.
+    """
+
+    kind = "abort"
+
+    step: int
+    hard: bool = False
+    run: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._check_step(self.step)
+
+
+_EVENT_TYPES: Dict[str, Type[FaultEvent]] = {
+    cls.kind: cls
+    for cls in (CrashAt, DropWindow, DuplicateBurst, StallWindow, HangAt, AbortAt)
+}
+
+
+def event_from_dict(data: dict) -> FaultEvent:
+    """Decode one event from its ``to_dict`` form."""
+    if not isinstance(data, dict) or "kind" not in data:
+        raise ValueError(f"malformed fault event record: {data!r}")
+    kind = data["kind"]
+    cls = _EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown fault event kind {kind!r} (known: {sorted(_EVENT_TYPES)})"
+        )
+    allowed = {f.name for f in fields(cls)}
+    attrs = {k: v for k, v in data.items() if k != "kind"}
+    unknown = set(attrs) - allowed
+    if unknown:
+        raise ValueError(f"fault event {kind!r} has unknown fields {sorted(unknown)}")
+    return cls(**attrs)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable script of fault events plus a label."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    label: str = ""
+
+    @classmethod
+    def of(cls, *events: FaultEvent, label: str = "") -> "FaultPlan":
+        return cls(events=tuple(events), label=label)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def for_run(self, run_index: int) -> "FaultPlan":
+        """Project the plan onto one campaign run (keeps unselective events)."""
+        return FaultPlan(
+            events=tuple(
+                e for e in self.events if e.run is None or e.run == run_index
+            ),
+            label=self.label,
+        )
+
+    def without_event(self, index: int) -> "FaultPlan":
+        """A copy with one event removed (for the minimizer)."""
+        return FaultPlan(
+            events=self.events[:index] + self.events[index + 1:], label=self.label
+        )
+
+    def replace_event(self, index: int, event: FaultEvent) -> "FaultPlan":
+        """A copy with one event substituted (for the minimizer)."""
+        return FaultPlan(
+            events=self.events[:index] + (event,) + self.events[index + 1:],
+            label=self.label,
+        )
+
+    # -- (de)serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "label": self.label,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict) or "events" not in data:
+            raise ValueError("a fault plan needs an 'events' list")
+        version = data.get("version", 1)
+        if version != 1:
+            raise ValueError(f"unsupported fault plan version {version!r}")
+        return cls(
+            events=tuple(event_from_dict(e) for e in data["events"]),
+            label=str(data.get("label", "")),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(self.to_json())
+            stream.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as stream:
+            return cls.from_json(stream.read())
+
+
+class ScriptedAdversary(Adversary):
+    """Deterministic adversary compiled from a :class:`FaultPlan`.
+
+    Turn numbers are 1-based counts of this adversary's own moves.  With no
+    ``inner`` adversary the baseline schedule is benign FIFO delivery;
+    with one, the inner adversary supplies the baseline schedule and the
+    scripted events overlay it.
+    """
+
+    def __init__(self, plan: FaultPlan, inner: Optional[Adversary] = None) -> None:
+        super().__init__()
+        self.plan = plan
+        self.inner = inner
+        self._crashes: Dict[int, List[str]] = {}
+        self._dups: Dict[int, List[DuplicateBurst]] = {}
+        self._hangs: Dict[int, Optional[float]] = {}
+        self._aborts: Dict[int, bool] = {}
+        self._drops: List[DropWindow] = []
+        self._stalls: List[StallWindow] = []
+        for event in plan.events:
+            if isinstance(event, CrashAt):
+                self._crashes.setdefault(event.step, []).append(event.station)
+            elif isinstance(event, DuplicateBurst):
+                self._dups.setdefault(event.step, []).append(event)
+            elif isinstance(event, HangAt):
+                self._hangs[event.step] = event.seconds
+            elif isinstance(event, AbortAt):
+                self._aborts[event.step] = (
+                    self._aborts.get(event.step, False) or event.hard
+                )
+            elif isinstance(event, DropWindow):
+                self._drops.append(event)
+            elif isinstance(event, StallWindow):
+                self._stalls.append(event)
+        self._queue: List[PacketInfo] = []  # own FIFO when inner is None
+        # Duplicate-burst copies waiting for their (turn, packet) due date.
+        self._redeliver: List[Tuple[int, PacketInfo]] = []
+        self._last_announced: Optional[PacketInfo] = None
+        self.dropped = 0
+        self.duplicated = 0
+
+    def bind(self, rng) -> None:
+        super().bind(rng)
+        if self.inner is not None:
+            self.inner.bind(rng.fork("scripted-inner"))
+
+    # -- announcements -------------------------------------------------------------
+
+    def _in_drop_window(self, turn: int, channel: ChannelId) -> bool:
+        for window in self._drops:
+            if window.start <= turn <= window.end and (
+                window.channel is None or window.channel == channel.value
+            ):
+                return True
+        return False
+
+    def on_new_pkt(self, info: PacketInfo) -> None:
+        # Announcements land between moves; they belong to the upcoming turn.
+        turn = self.moves_made + 1
+        if self._in_drop_window(turn, info.channel):
+            self.dropped += 1
+            return
+        self._last_announced = info
+        if self.inner is not None:
+            self.inner.on_new_pkt(info)
+        else:
+            self._queue.append(info)
+
+    # -- moves ---------------------------------------------------------------------
+
+    def _decide(self) -> Move:
+        turn = self.moves_made
+        if turn in self._aborts:
+            hard = self._aborts.pop(turn)
+            if hard and _HARD_ABORTS_ENABLED:
+                os._exit(86)
+            raise FaultInjectionAbort(f"scripted abort at turn {turn}")
+        if turn in self._hangs:
+            seconds = self._hangs.pop(turn)
+            if seconds is None:
+                while True:  # until the supervisor's watchdog interrupts
+                    time.sleep(0.05)
+            time.sleep(seconds)
+            return Pass()
+        stations = self._crashes.get(turn)
+        if stations:
+            station = stations.pop(0)
+            if not stations:
+                del self._crashes[turn]
+            return CrashTransmitter() if station == "T" else CrashReceiver()
+        if turn in self._dups and self._last_announced is not None:
+            for burst in self._dups.pop(turn):
+                self._redeliver.extend(
+                    (turn + k * burst.spacing, self._last_announced)
+                    for k in range(burst.copies)
+                )
+                self.duplicated += burst.copies
+        if any(w.start <= turn <= w.end for w in self._stalls):
+            return Pass()
+        due = next(
+            (i for i, (when, _) in enumerate(self._redeliver) if when <= turn), None
+        )
+        if due is not None:
+            _, info = self._redeliver.pop(due)
+            return Deliver(channel=info.channel, packet_id=info.packet_id)
+        if self.inner is not None:
+            return self.inner.next_move()
+        if self._queue:
+            info = self._queue.pop(0)
+            return Deliver(channel=info.channel, packet_id=info.packet_id)
+        return Pass()
+
+    def describe(self) -> str:
+        inner = f", inner={self.inner.describe()}" if self.inner else ""
+        label = f" {self.plan.label!r}" if self.plan.label else ""
+        return f"scripted({len(self.plan.events)} events{label}{inner})"
+
+
+def apply_fault_plan(spec, plan: FaultPlan, run_index: int = 0):
+    """A copy of ``spec`` whose adversary is wrapped in the run's script.
+
+    The spec's own adversary becomes the inner (baseline) schedule unless
+    the plan leaves no events for this run, in which case the spec is
+    returned unchanged.
+    """
+    projected = plan.for_run(run_index)
+    if projected.is_empty:
+        return spec
+    base_factory = spec.adversary_factory
+    return replace(
+        spec,
+        adversary_factory=lambda: ScriptedAdversary(projected, inner=base_factory()),
+    )

@@ -1,0 +1,209 @@
+"""Greedy delta-debugging: shrink a failing run to a minimal repro.
+
+A campaign failure arrives as (seed, workload size, fault plan).  Most of
+that is usually irrelevant — the interesting crash needs two of the forty
+messages and one of the six scripted events.  :func:`shrink_repro` probes
+progressively smaller candidates *in-process* (hard aborts degrade to the
+soft, exception form, so probing is safe) and keeps a candidate whenever
+the failure still reproduces, judged by a matcher on the terminal status
+and — for safety failures — the set of violated conditions.
+
+The passes, in order, each greedy:
+
+1. **workload** — halve-then-narrow the message count;
+2. **events** — drop fault-plan events one at a time while the failure
+   persists;
+3. **magnitudes** — per-event simplification (narrower windows, fewer
+   burst copies) via :meth:`FaultEvent.shrink_candidates`.
+
+Every probe is bounded by a wall-clock deadline so a shrink session cannot
+hang on a candidate that stalls (the original failure mode might be
+exactly that), and the total probe count is capped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Set
+
+from repro.resilience.faultplan import FaultPlan
+from repro.resilience.supervisor import RunReport, RunStatus, execute_attempt
+from repro.sim.runner import RunSpec
+
+__all__ = ["ShrinkResult", "status_matcher", "shrink_repro"]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The minimized repro plus bookkeeping about the search."""
+
+    seed: int
+    messages: int
+    plan: FaultPlan
+    original_messages: int
+    original_events: int
+    status: RunStatus
+    probes: int
+
+    @property
+    def shrank(self) -> bool:
+        """True iff the minimizer found anything smaller than the input."""
+        return (
+            self.messages < self.original_messages
+            or len(self.plan.events) < self.original_events
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "messages": self.messages,
+            "status": self.status.value,
+            "probes": self.probes,
+            "original": {
+                "messages": self.original_messages,
+                "events": self.original_events,
+            },
+            "fault_plan": self.plan.to_dict(),
+        }
+
+
+def status_matcher(reference: RunReport) -> Callable[[RunReport], bool]:
+    """Build the default "same failure" predicate from a reference report.
+
+    Matches on terminal status; for ``safety_failed`` additionally requires
+    at least one of the originally violated conditions to fail again (a
+    different safety bug is a different repro).
+    """
+    if reference.status is RunStatus.OK:
+        raise ValueError("nothing to shrink: the reference run is ok")
+    failing: Set[str] = set()
+    if reference.status is RunStatus.SAFETY_FAILED and reference.safety_summary:
+        failing = {
+            condition
+            for condition, (failures, _) in reference.safety_summary.items()
+            if failures > 0
+        }
+
+    def matches(report: RunReport) -> bool:
+        if report.status is not reference.status:
+            return False
+        if failing:
+            if not report.safety_summary:
+                return False
+            still = {
+                condition
+                for condition, (failures, _) in report.safety_summary.items()
+                if failures > 0
+            }
+            return bool(still & failing)
+        return True
+
+    return matches
+
+
+def shrink_repro(
+    spec_builder: Callable[[int], RunSpec],
+    seed: int,
+    plan: FaultPlan,
+    messages: int,
+    run_index: int = 0,
+    timeout: Optional[float] = 5.0,
+    max_probes: int = 200,
+    matcher: Optional[Callable[[RunReport], bool]] = None,
+) -> ShrinkResult:
+    """Minimize (messages, plan) while the failure keeps reproducing.
+
+    Parameters
+    ----------
+    spec_builder:
+        Maps a message count to the :class:`RunSpec` to probe (everything
+        else about the spec — link, adversary, budgets — held fixed).
+    seed:
+        The failing run's seed, reused verbatim by every probe.
+    plan / messages:
+        The failing configuration to shrink.
+    run_index:
+        The campaign index of the failing run (fault plans may script
+        per-run events; probes must project the same ones).
+    timeout:
+        Per-probe wall-clock bound; probes that exceed it count as
+        ``timeout`` outcomes (matching a timeout reference is fine).
+    max_probes:
+        Hard cap on simulations run by the whole session.
+    matcher:
+        Custom "same failure" predicate; defaults to
+        :func:`status_matcher` built from the initial reproduction.
+    """
+    if messages < 0:
+        raise ValueError("messages must be non-negative")
+    # Events scripted for other campaign runs are dead weight here; project
+    # the plan onto the failing run before minimizing it.
+    plan = plan.for_run(run_index)
+    original_messages = messages
+    original_events = len(plan.events)
+    probes = 0
+
+    def probe(candidate_messages: int, candidate_plan: FaultPlan) -> RunReport:
+        nonlocal probes
+        probes += 1
+        return execute_attempt(
+            spec_builder(candidate_messages),
+            candidate_plan,
+            run_index,
+            seed,
+            timeout,
+            capture_trace=False,
+        )
+
+    reference = probe(messages, plan)
+    if matcher is None:
+        matcher = status_matcher(reference)  # raises if the run is ok
+
+    def reproduces(candidate_messages: int, candidate_plan: FaultPlan) -> bool:
+        if probes >= max_probes:
+            return False
+        return matcher(probe(candidate_messages, candidate_plan))
+
+    # Pass 1: shrink the workload, halving the cut until it stops working.
+    step = max(1, messages // 2)
+    while step >= 1 and messages > 0 and probes < max_probes:
+        candidate = messages - step
+        if reproduces(candidate, plan):
+            messages = candidate
+        else:
+            step //= 2
+
+    # Pass 2: drop whole events while the failure persists.
+    improved = True
+    while improved and probes < max_probes:
+        improved = False
+        for index in range(len(plan.events)):
+            candidate = plan.without_event(index)
+            if reproduces(messages, candidate):
+                plan = candidate
+                improved = True
+                break
+
+    # Pass 3: per-event magnitude shrinking (narrow windows, fewer copies).
+    improved = True
+    while improved and probes < max_probes:
+        improved = False
+        for index, event in enumerate(plan.events):
+            for simpler in event.shrink_candidates():
+                candidate = plan.replace_event(index, simpler)
+                if reproduces(messages, candidate):
+                    plan = candidate
+                    improved = True
+                    break
+            if improved:
+                break
+
+    return ShrinkResult(
+        seed=seed,
+        messages=messages,
+        plan=plan,
+        original_messages=original_messages,
+        original_events=original_events,
+        status=reference.status,
+        probes=probes,
+    )

@@ -1,0 +1,711 @@
+"""Process-pool campaign supervisor: Monte-Carlo with fleet discipline.
+
+:func:`run_campaign` executes the runs of a :class:`~repro.sim.RunSpec`
+in parallel worker processes with the retry/timeout/isolation behaviour a
+production harness needs:
+
+* **per-run wall-clock timeout** — a SIGALRM watchdog inside the worker
+  interrupts hung runs (e.g. an adversary that stops returning) and
+  reports terminal status ``timeout`` instead of wedging the campaign;
+* **bounded retries** — runs that time out or crash are retried with
+  jittered exponential backoff and a *fresh derived seed* per attempt;
+  when the budget is spent the terminal status is ``exhausted_retries``;
+* **worker-crash isolation** — a worker process that dies mid-run (hard
+  abort, OOM kill, segfault) breaks the pool; the supervisor identifies
+  the culprit from per-run running-markers, rebuilds the pool, and
+  re-runs the innocent bystanders with their seeds unchanged, so one
+  poisonous run cannot take the campaign down;
+* **graceful degradation** — aggregation happens over the runs that
+  produced data, with the missing runs reported explicitly per status
+  instead of silently dropped.
+
+Determinism: every per-run seed is ``split_seed(base_seed, "campaign-run",
+index, attempt)`` and retry/blame decisions depend only on per-run results,
+so a campaign's reports are identical for ``jobs=1`` and ``jobs=4``
+(wall-clock ``duration`` aside).
+
+Workers inherit the (possibly unpicklable) spec by forking, so arbitrary
+``RunSpec`` factories — lambdas included — work unchanged.  On platforms
+without ``fork`` the supervisor falls back to in-process execution with
+the same retry/timeout semantics (hard aborts degrade to soft).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import multiprocessing
+import os
+import random
+import signal
+import tempfile
+import time
+import traceback
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import BrokenExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.random_source import split_seed
+from repro.resilience.faultplan import FaultPlan, apply_fault_plan, enable_hard_aborts
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.runner import RunSpec, run_once
+from repro.util.stats import BernoulliEstimate, wilson_interval
+from repro.util.tables import render_table
+
+__all__ = [
+    "RunStatus",
+    "RunReport",
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+    "derive_run_seed",
+]
+
+
+class RunStatus(str, Enum):
+    """Terminal status of one campaign run."""
+
+    OK = "ok"
+    SAFETY_FAILED = "safety_failed"
+    TIMEOUT = "timeout"
+    CRASHED = "crashed"
+    EXHAUSTED_RETRIES = "exhausted_retries"
+
+
+#: Statuses that were produced by the run itself and may be retried.
+_RETRYABLE = (RunStatus.TIMEOUT, RunStatus.CRASHED)
+
+
+def derive_run_seed(base_seed: int, index: int, attempt: int) -> int:
+    """The deterministic seed for one (run, attempt) pair."""
+    return split_seed(base_seed, "campaign-run", index, attempt)
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Everything the supervisor kept about one run's terminal attempt."""
+
+    index: int
+    seed: int
+    status: RunStatus
+    attempts: int = 1
+    completed: bool = False
+    steps: int = 0
+    duration: float = 0.0
+    liveness_passed: bool = False
+    worker_deaths: int = 0
+    metrics: Optional[SimulationMetrics] = field(repr=False, default=None)
+    #: condition -> (failures, trials); None when the run produced no trace.
+    safety_summary: Optional[Dict[str, Tuple[int, int]]] = None
+    violations: Tuple[str, ...] = ()
+    trace_jsonl: Optional[str] = field(repr=False, default=None)
+    error: Optional[str] = None
+
+    @property
+    def has_data(self) -> bool:
+        """True iff the run produced a checkable trace (ok / safety_failed)."""
+        return self.safety_summary is not None
+
+    def fingerprint(self) -> tuple:
+        """The deterministic identity of this report (no wall-clock fields)."""
+        summary = (
+            tuple(sorted(self.safety_summary.items()))
+            if self.safety_summary is not None
+            else None
+        )
+        return (
+            self.index,
+            self.seed,
+            self.status.value,
+            self.attempts,
+            self.completed,
+            self.steps,
+            summary,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Supervisor knobs (all orthogonal to the spec under test)."""
+
+    jobs: int = 1
+    timeout: Optional[float] = None  # per-run wall-clock seconds
+    retries: int = 0  # extra attempts after the first
+    backoff_base: float = 0.05  # seconds; doubles per attempt, jittered
+    backoff_cap: float = 2.0
+    artifacts_dir: Optional[str] = None
+    capture_traces: bool = True  # archive traces of non-ok runs
+    in_process: bool = False  # debugging: skip the pool entirely
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+
+
+class _AttemptTimeout(Exception):
+    """Raised by the in-worker watchdog when a run blows its wall budget."""
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]):
+    """SIGALRM-based wall-clock guard (no-op without a timeout or SIGALRM)."""
+    if seconds is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise _AttemptTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_attempt(
+    spec: RunSpec,
+    fault_plan: Optional[FaultPlan],
+    index: int,
+    seed: int,
+    timeout: Optional[float],
+    capture_trace: bool,
+) -> RunReport:
+    """One supervised attempt of one run, classified into a :class:`RunReport`.
+
+    Runs in the current process — the workers call this, and the shrink
+    minimizer reuses it in-process for its probes.
+    """
+    effective = spec if fault_plan is None else apply_fault_plan(spec, fault_plan, index)
+    started = time.monotonic()
+    try:
+        with _deadline(timeout):
+            outcome = run_once(effective, seed)
+    except _AttemptTimeout:
+        return RunReport(
+            index=index,
+            seed=seed,
+            status=RunStatus.TIMEOUT,
+            duration=time.monotonic() - started,
+            error=f"run exceeded the {timeout}s wall-clock budget",
+        )
+    except Exception:
+        return RunReport(
+            index=index,
+            seed=seed,
+            status=RunStatus.CRASHED,
+            duration=time.monotonic() - started,
+            error=traceback.format_exc(limit=16),
+        )
+    duration = time.monotonic() - started
+    status = RunStatus.OK if outcome.safety.passed else RunStatus.SAFETY_FAILED
+    summary = OrderedDict(
+        (report.condition, (report.failure_count, report.trials))
+        for report in outcome.safety.all_reports
+    )
+    violations = tuple(
+        f"{v.condition}@{v.event_index}: {v.detail}"
+        for report in outcome.safety.all_reports
+        for v in report.violations[:8]
+    )
+    trace_jsonl = None
+    if capture_trace and status is not RunStatus.OK:
+        from repro.checkers.serialize import dump_trace
+
+        buffer = io.StringIO()
+        dump_trace(outcome.result.trace, buffer)
+        trace_jsonl = buffer.getvalue()
+    return RunReport(
+        index=index,
+        seed=seed,
+        status=status,
+        completed=outcome.result.completed,
+        steps=outcome.result.steps,
+        duration=duration,
+        liveness_passed=outcome.liveness_passed,
+        metrics=outcome.metrics,
+        safety_summary=dict(summary),
+        violations=violations,
+        trace_jsonl=trace_jsonl,
+    )
+
+
+# -- worker side ------------------------------------------------------------------
+
+# Populated in the parent before the pool forks; workers inherit it.  This
+# is what lets arbitrary (unpicklable) RunSpec factories cross into workers.
+_FORK_STATE: Dict[str, object] = {}
+
+
+def _worker_init() -> None:
+    enable_hard_aborts(True)
+    # Workers must not inherit the parent's disposition to e.g. ignore
+    # SIGALRM from an interrupted previous deadline.
+    if hasattr(signal, "SIGALRM"):
+        signal.signal(signal.SIGALRM, signal.SIG_DFL)
+
+
+def _campaign_worker(
+    index: int,
+    seed: int,
+    timeout: Optional[float],
+    capture_trace: bool,
+    marker_dir: str,
+) -> RunReport:
+    marker = os.path.join(marker_dir, f"running-{index}")
+    with open(marker, "w", encoding="utf-8") as stream:
+        stream.write(f"{os.getpid()}\n")
+    try:
+        spec: RunSpec = _FORK_STATE["spec"]  # type: ignore[assignment]
+        plan: Optional[FaultPlan] = _FORK_STATE.get("fault_plan")  # type: ignore
+        return execute_attempt(spec, plan, index, seed, timeout, capture_trace)
+    finally:
+        try:
+            os.remove(marker)
+        except OSError:
+            pass
+
+
+# -- aggregation ------------------------------------------------------------------
+
+
+@dataclass
+class CampaignResult:
+    """All terminal reports of one campaign plus degradation-aware aggregates.
+
+    Aggregates pool only the runs that produced data (``ok`` /
+    ``safety_failed``); :attr:`missing_data` and :attr:`status_counts` make
+    the excluded mass explicit instead of silently dropping it.
+    """
+
+    spec: RunSpec
+    runs: int
+    base_seed: int
+    config: CampaignConfig
+    reports: List[RunReport] = field(repr=False, default_factory=list)
+    fault_plan: Optional[FaultPlan] = None
+    artifacts_path: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
+
+    @property
+    def status_counts(self) -> "OrderedDict[str, int]":
+        """Count per terminal status — every status listed, zeros included."""
+        counts = OrderedDict((status.value, 0) for status in RunStatus)
+        for report in self.reports:
+            counts[report.status.value] += 1
+        return counts
+
+    @property
+    def data_reports(self) -> List[RunReport]:
+        """The runs whose traces were produced and checked."""
+        return [r for r in self.reports if r.has_data]
+
+    @property
+    def missing_data(self) -> int:
+        """Runs with no checkable trace (timeout / crashed / exhausted)."""
+        return len(self.reports) - len(self.data_reports)
+
+    def _pool(self, condition: str) -> BernoulliEstimate:
+        failures = 0
+        trials = 0
+        for report in self.data_reports:
+            f, t = report.safety_summary.get(condition, (0, 0))
+            failures += f
+            trials += t
+        return wilson_interval(failures, trials)
+
+    @property
+    def order_violation_rate(self) -> BernoulliEstimate:
+        return self._pool("order")
+
+    @property
+    def duplication_violation_rate(self) -> BernoulliEstimate:
+        return self._pool("no-duplication")
+
+    @property
+    def replay_violation_rate(self) -> BernoulliEstimate:
+        return self._pool("no-replay")
+
+    @property
+    def causality_violations(self) -> int:
+        return sum(
+            report.safety_summary.get("causality", (0, 0))[0]
+            for report in self.data_reports
+        )
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of *data-producing* runs that finished their workload."""
+        data = self.data_reports
+        if not data:
+            return 0.0
+        return sum(1 for r in data if r.completed) / len(data)
+
+    @property
+    def any_safety_violation(self) -> bool:
+        return any(r.status is RunStatus.SAFETY_FAILED for r in self.reports)
+
+    @property
+    def mean_packets_per_message(self) -> float:
+        values = [
+            r.metrics.per_message_packets
+            for r in self.data_reports
+            if r.metrics is not None and r.metrics.messages_ok > 0
+        ]
+        return sum(values) / len(values) if values else float("inf")
+
+    def fingerprint(self) -> tuple:
+        """Deterministic identity of the whole campaign (for replay checks)."""
+        return tuple(report.fingerprint() for report in self.reports)
+
+    def render(self) -> str:
+        """The campaign's summary tables (status counts are always explicit)."""
+        counts = self.status_counts
+        summary = render_table(
+            ["label", "runs", "jobs"] + list(counts) + ["missing data", "completion"],
+            [
+                [self.label or "-", self.runs, self.config.jobs]
+                + list(counts.values())
+                + [self.missing_data, self.completion_rate]
+            ],
+            title="campaign",
+        )
+        rates = render_table(
+            ["condition", "rate", "95% interval", "trials"],
+            [
+                [name, est.point, f"[{est.low:.3g}, {est.high:.3g}]", est.trials]
+                for name, est in (
+                    ("order", self.order_violation_rate),
+                    ("no-duplication", self.duplication_violation_rate),
+                    ("no-replay", self.replay_violation_rate),
+                )
+            ]
+            + [["causality (count)", self.causality_violations, "-", "-"]],
+            title="pooled violation rates (completed runs only)",
+        )
+        blocks = [summary, "", rates]
+        problem_rows = [
+            [
+                r.index,
+                r.seed,
+                r.status.value,
+                r.attempts,
+                r.worker_deaths,
+                (r.error or "; ".join(r.violations[:1]) or "-").splitlines()[0][:60],
+            ]
+            for r in self.reports
+            if r.status is not RunStatus.OK
+        ]
+        if problem_rows:
+            blocks += [
+                "",
+                render_table(
+                    ["run", "seed", "status", "attempts", "deaths", "detail"],
+                    problem_rows,
+                    title="non-ok runs",
+                ),
+            ]
+        if self.artifacts_path:
+            blocks += ["", f"forensics artifacts: {self.artifacts_path}"]
+        return "\n".join(blocks)
+
+
+# -- the supervisor ---------------------------------------------------------------
+
+
+@dataclass
+class _RunState:
+    attempt: int = 0
+    deaths: int = 0
+    last_failure: Optional[RunStatus] = None
+
+
+def _backoff_delay(config: CampaignConfig, attempt: int) -> float:
+    base = min(config.backoff_cap, config.backoff_base * (2 ** max(0, attempt - 1)))
+    return base * (0.5 + random.random())  # jitter in [0.5x, 1.5x)
+
+
+def _finalize(report: RunReport, state: _RunState, config: CampaignConfig) -> RunReport:
+    """Stamp attempts/deaths and convert spent retry budgets."""
+    status = report.status
+    error = report.error
+    if status in _RETRYABLE and config.retries > 0:
+        status = RunStatus.EXHAUSTED_RETRIES
+        error = (
+            f"retries exhausted after {state.attempt + 1} attempts "
+            f"(last failure: {report.status.value}): {report.error}"
+        )
+    return dataclasses.replace(
+        report,
+        status=status,
+        error=error,
+        attempts=state.attempt + 1,
+        worker_deaths=state.deaths,
+    )
+
+
+def _death_report(
+    index: int, base_seed: int, state: _RunState, config: CampaignConfig
+) -> RunReport:
+    raw = RunReport(
+        index=index,
+        seed=derive_run_seed(base_seed, index, state.attempt),
+        status=RunStatus.CRASHED,
+        error=(
+            f"worker process died while executing this run "
+            f"({state.deaths} death(s) observed)"
+        ),
+    )
+    return _finalize(raw, state, config)
+
+
+def run_campaign(
+    spec: RunSpec,
+    runs: int,
+    base_seed: int = 0,
+    config: Optional[CampaignConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
+) -> CampaignResult:
+    """Run a supervised, fault-tolerant campaign of ``runs`` independent runs."""
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    config = config or CampaignConfig()
+    states = {index: _RunState() for index in range(runs)}
+    final: Dict[int, RunReport] = {}
+
+    use_pool = (
+        not config.in_process
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    if use_pool:
+        _run_with_pool(spec, runs, base_seed, config, fault_plan, states, final)
+    else:
+        _run_in_process(spec, runs, base_seed, config, fault_plan, states, final)
+
+    reports = [final[index] for index in sorted(final)]
+    result = CampaignResult(
+        spec=spec,
+        runs=runs,
+        base_seed=base_seed,
+        config=config,
+        reports=reports,
+        fault_plan=fault_plan,
+    )
+    if config.artifacts_dir:
+        from repro.resilience.artifacts import write_campaign_artifacts
+
+        result.artifacts_path = write_campaign_artifacts(
+            config.artifacts_dir, result
+        )
+    return result
+
+
+def _classify(
+    index: int,
+    report: RunReport,
+    state: _RunState,
+    config: CampaignConfig,
+    final: Dict[int, RunReport],
+) -> bool:
+    """Record a worker result.  Returns True when the run should be retried."""
+    if report.status in _RETRYABLE and state.attempt < config.retries:
+        state.attempt += 1
+        state.last_failure = report.status
+        time.sleep(_backoff_delay(config, state.attempt))
+        return True
+    final[index] = _finalize(report, state, config)
+    return False
+
+
+def _blame_death(
+    index: int,
+    base_seed: int,
+    state: _RunState,
+    config: CampaignConfig,
+    final: Dict[int, RunReport],
+) -> None:
+    """Charge one observed worker death to a run; finalize it when over budget."""
+    state.deaths += 1
+    if state.attempt < config.retries:
+        state.attempt += 1
+        state.last_failure = RunStatus.CRASHED
+    else:
+        final[index] = _death_report(index, base_seed, state, config)
+
+
+def _run_with_pool(
+    spec: RunSpec,
+    runs: int,
+    base_seed: int,
+    config: CampaignConfig,
+    fault_plan: Optional[FaultPlan],
+    states: Dict[int, _RunState],
+    final: Dict[int, RunReport],
+) -> None:
+    context = multiprocessing.get_context("fork")
+    _FORK_STATE["spec"] = spec
+    _FORK_STATE["fault_plan"] = fault_plan
+    marker_dir = tempfile.mkdtemp(prefix="repro-campaign-")
+    quarantine = False
+    try:
+        while len(final) < runs:
+            unfinished = sorted(set(range(runs)) - set(final))
+            if quarantine:
+                # A multi-worker pool break hid the culprit: run the
+                # survivors one per pool so the next death is unambiguous.
+                for index in unfinished:
+                    if index in final:
+                        continue
+                    _pool_round(
+                        [index], 1, context, marker_dir, spec, base_seed,
+                        config, states, final,
+                    )
+                quarantine = False
+            else:
+                quarantine = _pool_round(
+                    unfinished, config.jobs, context, marker_dir, spec,
+                    base_seed, config, states, final,
+                )
+    finally:
+        _FORK_STATE.pop("spec", None)
+        _FORK_STATE.pop("fault_plan", None)
+        try:
+            for name in os.listdir(marker_dir):
+                os.remove(os.path.join(marker_dir, name))
+            os.rmdir(marker_dir)
+        except OSError:
+            pass
+
+
+def _pool_round(
+    indices: List[int],
+    jobs: int,
+    context,
+    marker_dir: str,
+    spec: RunSpec,
+    base_seed: int,
+    config: CampaignConfig,
+    states: Dict[int, _RunState],
+    final: Dict[int, RunReport],
+) -> bool:
+    """One executor's lifetime.  Returns True on an ambiguous pool break."""
+    broken = False
+    futures: Dict[object, int] = {}
+    pool = ProcessPoolExecutor(
+        max_workers=min(jobs, len(indices)),
+        mp_context=context,
+        initializer=_worker_init,
+    )
+
+    def submit(index: int) -> None:
+        seed = derive_run_seed(base_seed, index, states[index].attempt)
+        future = pool.submit(
+            _campaign_worker,
+            index,
+            seed,
+            config.timeout,
+            config.capture_traces,
+            marker_dir,
+        )
+        futures[future] = index
+
+    try:
+        for index in indices:
+            submit(index)
+        while futures:
+            done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+            for future in done:
+                index = futures.pop(future)
+                try:
+                    report = future.result()
+                except BrokenExecutor:
+                    broken = True
+                    continue
+                except Exception:
+                    report = RunReport(
+                        index=index,
+                        seed=derive_run_seed(base_seed, index, states[index].attempt),
+                        status=RunStatus.CRASHED,
+                        error=traceback.format_exc(limit=8),
+                    )
+                retry = _classify(index, report, states[index], config, final)
+                if retry and not broken:
+                    try:
+                        submit(index)
+                    except BrokenExecutor:
+                        broken = True  # attempt already bumped; next round reruns it
+            if broken:
+                break
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    if not broken:
+        return False
+    # The pool died.  Runs whose running-marker survived were executing in
+    # a worker when it happened; with exactly one marker the culprit is
+    # certain.  With several (parallel break) we blame nobody and let a
+    # quarantine round smoke the culprit out one run at a time.
+    suspects = _collect_markers(marker_dir)
+    live = [index for index in suspects if index not in final]
+    if len(live) == 1:
+        _blame_death(live[0], base_seed, states[live[0]], config, final)
+        return False
+    if len(indices) == 1 and indices[0] not in final:
+        # Sole run in the pool: it is the culprit even if it died before
+        # its marker landed (guarantees quarantine rounds make progress).
+        _blame_death(indices[0], base_seed, states[indices[0]], config, final)
+        return False
+    return True
+
+
+def _collect_markers(marker_dir: str) -> Set[int]:
+    suspects: Set[int] = set()
+    try:
+        names = os.listdir(marker_dir)
+    except OSError:
+        return suspects
+    for name in names:
+        if name.startswith("running-"):
+            try:
+                suspects.add(int(name.split("-", 1)[1]))
+            except ValueError:
+                pass
+            try:
+                os.remove(os.path.join(marker_dir, name))
+            except OSError:
+                pass
+    return suspects
+
+
+def _run_in_process(
+    spec: RunSpec,
+    runs: int,
+    base_seed: int,
+    config: CampaignConfig,
+    fault_plan: Optional[FaultPlan],
+    states: Dict[int, _RunState],
+    final: Dict[int, RunReport],
+) -> None:
+    """Fallback without process isolation (hard aborts degrade to soft)."""
+    for index in range(runs):
+        state = states[index]
+        while True:
+            seed = derive_run_seed(base_seed, index, state.attempt)
+            report = execute_attempt(
+                spec, fault_plan, index, seed, config.timeout, config.capture_traces
+            )
+            if not _classify(index, report, state, config, final):
+                break

@@ -179,9 +179,38 @@ class MonteCarloResult:
         )
 
 
-def monte_carlo(spec: RunSpec, runs: int, base_seed: int = 0) -> MonteCarloResult:
-    """Run ``runs`` independent simulations of ``spec`` and aggregate."""
+def monte_carlo(
+    spec: RunSpec,
+    runs: int,
+    base_seed: int = 0,
+    parallel: bool = False,
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+):
+    """Run ``runs`` independent simulations of ``spec`` and aggregate.
+
+    With ``parallel=False`` (the default) every run executes serially
+    in-process and the return value is a :class:`MonteCarloResult`.  With
+    ``parallel=True`` the batch is delegated to the fault-tolerant campaign
+    supervisor (worker processes, per-run ``timeout``, bounded ``retries``)
+    and the return value is a
+    :class:`~repro.resilience.supervisor.CampaignResult`, which exposes the
+    same aggregate properties (violation rates, completion rate, ...) while
+    additionally reporting per-status counts for runs that produced no data.
+    """
     if runs < 1:
         raise ValueError("runs must be >= 1")
+    if parallel:
+        import os
+
+        from repro.resilience.supervisor import CampaignConfig, run_campaign
+
+        config = CampaignConfig(
+            jobs=jobs if jobs is not None else (os.cpu_count() or 1),
+            timeout=timeout,
+            retries=retries,
+        )
+        return run_campaign(spec, runs, base_seed=base_seed, config=config)
     outcomes = [run_once(spec, split_seed(base_seed, "run", i)) for i in range(runs)]
     return MonteCarloResult(spec=spec, runs=runs, outcomes=outcomes)

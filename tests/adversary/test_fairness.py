@@ -97,3 +97,68 @@ class TestFairnessEnforcer:
     def test_describe_nests(self):
         adv = FairnessEnforcer(StallingAdversary(), patience=3)
         assert "StallingAdversary" in adv.describe()
+
+
+class _DeliverAtTurn(ReliableAdversary):
+    """Inner adversary that delivers its oldest packet at one chosen turn."""
+
+    def __init__(self, turn: int) -> None:
+        super().__init__()
+        self._turn = turn
+
+    def _decide(self):
+        if self.moves_made == self._turn:
+            return super()._decide()
+        return Pass()
+
+
+class TestPatienceBoundary:
+    def test_patience_one_forces_on_first_starved_turn(self):
+        adv = FairnessEnforcer(StallingAdversary(), patience=1)
+        adv.bind(RandomSource(0))
+        adv.on_new_pkt(info(0))
+        assert isinstance(adv.next_move(), Deliver)
+        assert adv.forced_deliveries == 1
+
+    def test_no_force_one_turn_before_the_boundary(self):
+        adv = FairnessEnforcer(StallingAdversary(), patience=6)
+        adv.bind(RandomSource(0))
+        adv.on_new_pkt(info(0))
+        moves = [adv.next_move() for __ in range(5)]
+        assert all(isinstance(m, Pass) for m in moves)
+        assert adv.forced_deliveries == 0
+        # ... and exactly at the boundary the delivery is forced.
+        assert isinstance(adv.next_move(), Deliver)
+
+    def test_inner_delivery_just_before_boundary_resets_the_clock(self):
+        # The inner adversary delivers on turn 2 (patience 3): the window
+        # restarts, so the second packet is forced three turns later, not
+        # on the original schedule.
+        adv = FairnessEnforcer(_DeliverAtTurn(2), patience=3)
+        adv.bind(RandomSource(0))
+        adv.on_new_pkt(info(0))
+        adv.on_new_pkt(info(1))
+        deliveries = {}
+        for turn in range(1, 7):
+            move = adv.next_move()
+            if isinstance(move, Deliver):
+                deliveries[turn] = move.packet_id
+        assert deliveries == {2: 0, 5: 1}
+        assert adv.forced_deliveries == 1
+
+    def test_channels_starve_independently(self):
+        # Forcing the data channel resets only its own clock: the reverse
+        # channel's starvation has been accruing all along and trips the
+        # boundary on the very next turn.
+        adv = FairnessEnforcer(StallingAdversary(), patience=3)
+        adv.bind(RandomSource(0))
+        adv.on_new_pkt(info(0))
+        adv.on_new_pkt(
+            PacketInfo(channel=ChannelId.R_TO_T, packet_id=9, length_bits=64)
+        )
+        forced = {}
+        for turn in range(1, 5):
+            move = adv.next_move()
+            if isinstance(move, Deliver):
+                forced[turn] = move.channel
+        assert forced == {3: ChannelId.T_TO_R, 4: ChannelId.R_TO_T}

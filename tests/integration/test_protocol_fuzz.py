@@ -10,6 +10,7 @@ violation would be a ~10^-4-probability event, i.e. effectively a bug.
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.adversary.random_faults import FaultProfile, RandomFaultAdversary
@@ -50,6 +51,7 @@ def test_safety_under_arbitrary_fault_profiles(loss, dup, reorder, crash_t, cras
     assert report.passed, f"{report.all_reports} on {result.trace.summary()}"
 
 
+@pytest.mark.slow
 @FUZZ_SETTINGS
 @given(flood=st.floats(min_value=0.1, max_value=0.9), seed=seeds)
 def test_safety_under_duplicate_flooding(flood, seed):

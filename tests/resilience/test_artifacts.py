@@ -1,0 +1,103 @@
+"""Forensics artifact tests: every non-ok run archived, round-trippable."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.checkers.safety import check_all_safety
+from repro.resilience.artifacts import campaign_dir_name, load_run_artifact
+from repro.resilience.faultplan import AbortAt, FaultPlan
+from repro.resilience.supervisor import CampaignConfig, RunStatus, run_campaign
+from tests.resilience.conftest import (
+    REPRO_BASE_SEED,
+    REPRO_RUN_INDEX,
+    crash_then_replay_plan,
+    make_strawman_spec,
+)
+
+
+def test_campaign_dir_name_is_sortable_and_distinct():
+    early = campaign_dir_name(1_700_000_000.25)
+    late = campaign_dir_name(1_700_000_001.75)
+    assert early != late
+    assert early.startswith("campaign-")
+    assert sorted([late, early]) == [early, late]
+
+
+def _run_archived_campaign(tmp_path):
+    plan = FaultPlan.of(
+        *crash_then_replay_plan(run=REPRO_RUN_INDEX).events,
+        AbortAt(step=3, run=1),
+        label="forensics",
+    )
+    config = CampaignConfig(in_process=True, artifacts_dir=str(tmp_path))
+    spec = make_strawman_spec()
+    return run_campaign(
+        spec, REPRO_RUN_INDEX + 1, base_seed=REPRO_BASE_SEED,
+        config=config, fault_plan=plan,
+    )
+
+
+def test_every_non_ok_run_gets_an_artifact_directory(tmp_path):
+    result = _run_archived_campaign(tmp_path)
+    assert result.artifacts_path is not None
+    entries = sorted(os.listdir(result.artifacts_path))
+    assert "campaign.json" in entries
+    non_ok = [r for r in result.reports if r.status is not RunStatus.OK]
+    assert non_ok  # the scripted faults guarantee failures
+    run_dirs = [e for e in entries if e.startswith("run-")]
+    assert len(run_dirs) == len(non_ok)
+    for report in non_ok:
+        assert f"run-{report.index:05d}-{report.status.value}" in run_dirs
+    # ok runs are not archived
+    ok_indices = {r.index for r in result.reports if r.status is RunStatus.OK}
+    for index in ok_indices:
+        assert not any(d.startswith(f"run-{index:05d}-") for d in run_dirs)
+
+
+def test_campaign_manifest_echoes_counts_and_plan(tmp_path):
+    result = _run_archived_campaign(tmp_path)
+    with open(os.path.join(result.artifacts_path, "campaign.json")) as stream:
+        manifest = json.load(stream)
+    assert manifest["status_counts"] == dict(result.status_counts)
+    assert manifest["base_seed"] == REPRO_BASE_SEED
+    assert manifest["fault_plan"]["label"] == "forensics"
+    assert manifest["missing_data"] == result.missing_data
+
+
+def test_safety_failure_artifact_round_trips_with_trace(tmp_path):
+    result = _run_archived_campaign(tmp_path)
+    report = result.reports[REPRO_RUN_INDEX]
+    assert report.status is RunStatus.SAFETY_FAILED
+    run_dir = os.path.join(
+        result.artifacts_path,
+        f"run-{report.index:05d}-{report.status.value}",
+    )
+    artifact = load_run_artifact(run_dir)
+    assert artifact["meta"]["seed"] == report.seed
+    assert artifact["meta"]["status"] == "safety_failed"
+    assert artifact["meta"]["spec_label"] == "strawman"
+    assert artifact["safety"]["violations"]
+    # The archived fault plan is projected onto this run only.
+    archived_plan = artifact["fault_plan"]
+    assert all(e.run in (None, report.index) for e in archived_plan.events)
+    assert len(archived_plan.events) == 2
+    # The archived trace re-checks to the same verdict.
+    verdict = check_all_safety(artifact["trace"])
+    assert not verdict.passed
+    assert verdict.no_duplication.failure_count > 0
+
+
+def test_crashed_run_artifact_has_meta_but_no_trace(tmp_path):
+    result = _run_archived_campaign(tmp_path)
+    report = result.reports[1]
+    assert report.status is RunStatus.CRASHED
+    run_dir = os.path.join(
+        result.artifacts_path,
+        f"run-{report.index:05d}-{report.status.value}",
+    )
+    artifact = load_run_artifact(run_dir)
+    assert artifact["meta"]["error"]
+    assert "trace" not in artifact
+    assert "safety" not in artifact

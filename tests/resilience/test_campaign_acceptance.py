@@ -1,0 +1,99 @@
+"""End-to-end acceptance: a hostile 50-run campaign completes gracefully.
+
+The scripted plan forces, within one campaign: a worker-process death
+(hard abort), a hung run reaped by the wall-clock watchdog, and a
+deterministic safety failure — while the remaining runs produce normal
+data.  The supervisor must come back with a full set of terminal reports,
+explicit per-status counts, partial aggregates, and one forensics
+directory per non-ok run; and the whole thing must be bit-identical
+between ``jobs=1`` and ``jobs=4``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.resilience.faultplan import AbortAt, FaultPlan, HangAt
+from repro.resilience.supervisor import (
+    CampaignConfig,
+    RunStatus,
+    run_campaign,
+)
+from tests.resilience.conftest import (
+    REPRO_BASE_SEED,
+    REPRO_RUN_INDEX,
+    crash_then_replay_plan,
+    make_strawman_spec,
+)
+
+RUNS = 50
+
+
+def hostile_plan() -> FaultPlan:
+    return FaultPlan.of(
+        *crash_then_replay_plan(run=REPRO_RUN_INDEX).events,
+        HangAt(step=5, run=20),
+        AbortAt(step=5, hard=True, run=33),
+        label="hostile-campaign",
+    )
+
+
+@pytest.mark.slow
+def test_hostile_campaign_completes_with_partial_aggregates(tmp_path):
+    config = CampaignConfig(jobs=4, timeout=1.0, artifacts_dir=str(tmp_path))
+    result = run_campaign(
+        make_strawman_spec(), RUNS, base_seed=REPRO_BASE_SEED,
+        config=config, fault_plan=hostile_plan(),
+    )
+
+    # Every run reached a terminal status, in order.
+    assert [r.index for r in result.reports] == list(range(RUNS))
+    counts = result.status_counts
+    assert sum(counts.values()) == RUNS
+
+    # The scripted faults all landed.
+    assert counts["timeout"] >= 1
+    assert counts["crashed"] >= 1
+    assert counts["safety_failed"] >= 1
+    assert result.reports[20].status is RunStatus.TIMEOUT
+    assert result.reports[33].status is RunStatus.CRASHED
+    assert result.reports[33].worker_deaths >= 1
+    assert result.reports[REPRO_RUN_INDEX].status is RunStatus.SAFETY_FAILED
+
+    # Partial aggregation: data-producing runs only, missing mass explicit.
+    assert result.missing_data == counts["timeout"] + counts["crashed"]
+    assert len(result.data_reports) == RUNS - result.missing_data
+    assert result.order_violation_rate.trials > 0
+    assert 0.0 < result.completion_rate <= 1.0
+
+    # Forensics: one artifact directory per non-ok run.
+    non_ok = [r for r in result.reports if r.status is not RunStatus.OK]
+    run_dirs = [
+        entry for entry in os.listdir(result.artifacts_path)
+        if entry.startswith("run-")
+    ]
+    assert len(run_dirs) == len(non_ok)
+
+    # The summary renders without blowing up and names every status.
+    text = result.render()
+    for status in RunStatus:
+        assert status.value in text
+
+
+@pytest.mark.slow
+def test_campaign_is_deterministic_across_job_counts():
+    plan = hostile_plan()
+    spec = make_strawman_spec()
+    config_serial = CampaignConfig(jobs=1, timeout=1.0)
+    config_parallel = CampaignConfig(jobs=4, timeout=1.0)
+    serial = run_campaign(
+        spec, RUNS, base_seed=REPRO_BASE_SEED, config=config_serial,
+        fault_plan=plan,
+    )
+    parallel = run_campaign(
+        spec, RUNS, base_seed=REPRO_BASE_SEED, config=config_parallel,
+        fault_plan=plan,
+    )
+    assert serial.fingerprint() == parallel.fingerprint()

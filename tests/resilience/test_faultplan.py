@@ -1,0 +1,209 @@
+"""Unit tests for fault plans and the scripted adversary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import (
+    CrashReceiver,
+    CrashTransmitter,
+    Deliver,
+    Pass,
+)
+from repro.channel.channel import PacketInfo
+from repro.core.events import ChannelId
+from repro.core.random_source import RandomSource
+from repro.resilience.faultplan import (
+    AbortAt,
+    CrashAt,
+    DropWindow,
+    DuplicateBurst,
+    FaultInjectionAbort,
+    FaultPlan,
+    HangAt,
+    ScriptedAdversary,
+    StallWindow,
+    apply_fault_plan,
+    event_from_dict,
+)
+from tests.resilience.conftest import make_paper_spec
+
+
+def _info(packet_id: int, channel: ChannelId = ChannelId.T_TO_R) -> PacketInfo:
+    return PacketInfo(channel=channel, packet_id=packet_id, length_bits=64)
+
+
+def _bound(adversary: ScriptedAdversary) -> ScriptedAdversary:
+    adversary.bind(RandomSource(0))
+    return adversary
+
+
+# -- event validation ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda: CrashAt(step=0, station="T"),
+        lambda: CrashAt(step=1, station="X"),
+        lambda: DropWindow(start=0, end=3),
+        lambda: DropWindow(start=5, end=2),
+        lambda: DropWindow(start=1, end=2, channel="sideways"),
+        lambda: DuplicateBurst(step=1, copies=0),
+        lambda: DuplicateBurst(step=1, spacing=0),
+        lambda: StallWindow(start=3, end=1),
+        lambda: HangAt(step=1, seconds=-1.0),
+        lambda: AbortAt(step=0),
+    ],
+)
+def test_invalid_events_are_rejected(build):
+    with pytest.raises(ValueError):
+        build()
+
+
+def test_unknown_event_kind_is_rejected():
+    with pytest.raises(ValueError, match="unknown fault event kind"):
+        event_from_dict({"kind": "meteor", "step": 1})
+
+
+def test_unknown_event_field_is_rejected():
+    with pytest.raises(ValueError, match="unknown fields"):
+        event_from_dict({"kind": "crash", "step": 1, "station": "T", "blast": 9})
+
+
+# -- (de)serialization --------------------------------------------------------------
+
+
+def test_plan_json_round_trip_covers_every_event_kind(tmp_path):
+    plan = FaultPlan.of(
+        CrashAt(step=3, station="T"),
+        CrashAt(step=9, station="R", run=2),
+        DropWindow(start=4, end=8, channel="T->R"),
+        DuplicateBurst(step=5, copies=4, spacing=3),
+        StallWindow(start=10, end=20, run=0),
+        HangAt(step=7, seconds=0.5),
+        AbortAt(step=11, hard=True),
+        label="kitchen-sink",
+    )
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+    path = tmp_path / "plan.json"
+    plan.save(str(path))
+    assert FaultPlan.load(str(path)) == plan
+
+
+def test_for_run_projects_selective_events():
+    plan = FaultPlan.of(
+        CrashAt(step=3, station="T"),          # every run
+        HangAt(step=5, run=1),
+        AbortAt(step=5, run=2),
+    )
+    assert len(plan.for_run(0).events) == 1
+    assert {type(e) for e in plan.for_run(1).events} == {CrashAt, HangAt}
+    assert {type(e) for e in plan.for_run(2).events} == {CrashAt, AbortAt}
+
+
+def test_without_and_replace_event():
+    plan = FaultPlan.of(CrashAt(step=1, station="T"), HangAt(step=2))
+    assert [type(e) for e in plan.without_event(0).events] == [HangAt]
+    swapped = plan.replace_event(1, AbortAt(step=9))
+    assert [type(e) for e in swapped.events] == [CrashAt, AbortAt]
+
+
+def test_duplicate_burst_shrink_candidates_shrink_copies_and_spacing():
+    event = DuplicateBurst(step=4, copies=8, spacing=4)
+    candidates = event.shrink_candidates()
+    assert DuplicateBurst(step=4, copies=4, spacing=4) in candidates
+    assert DuplicateBurst(step=4, copies=8, spacing=2) in candidates
+    assert DuplicateBurst(step=4, copies=1, spacing=1).shrink_candidates() == ()
+
+
+# -- scripted adversary -------------------------------------------------------------
+
+
+def test_crash_events_fire_at_their_exact_turn():
+    plan = FaultPlan.of(
+        CrashAt(step=2, station="T"), CrashAt(step=4, station="R")
+    )
+    adversary = _bound(ScriptedAdversary(plan))
+    moves = [adversary.next_move() for _ in range(4)]
+    assert isinstance(moves[1], CrashTransmitter)
+    assert isinstance(moves[3], CrashReceiver)
+
+
+def test_drop_window_swallows_announcements():
+    plan = FaultPlan.of(DropWindow(start=1, end=2))
+    adversary = _bound(ScriptedAdversary(plan))
+    adversary.on_new_pkt(_info(1))  # upcoming turn 1: dropped
+    assert isinstance(adversary.next_move(), Pass)
+    adversary.on_new_pkt(_info(2))  # upcoming turn 2: dropped
+    assert isinstance(adversary.next_move(), Pass)
+    adversary.on_new_pkt(_info(3))  # window over: kept
+    move = adversary.next_move()
+    assert isinstance(move, Deliver) and move.packet_id == 3
+    assert adversary.dropped == 2
+
+
+def test_drop_window_can_be_direction_selective():
+    plan = FaultPlan.of(DropWindow(start=1, end=10, channel="T->R"))
+    adversary = _bound(ScriptedAdversary(plan))
+    adversary.on_new_pkt(_info(1, ChannelId.T_TO_R))
+    adversary.on_new_pkt(_info(2, ChannelId.R_TO_T))
+    move = adversary.next_move()
+    assert isinstance(move, Deliver) and move.packet_id == 2
+    assert adversary.dropped == 1
+
+
+def test_stall_window_produces_passes_then_resumes():
+    plan = FaultPlan.of(StallWindow(start=1, end=3))
+    adversary = _bound(ScriptedAdversary(plan))
+    adversary.on_new_pkt(_info(7))
+    moves = [adversary.next_move() for _ in range(4)]
+    assert all(isinstance(m, Pass) for m in moves[:3])
+    assert isinstance(moves[3], Deliver)
+
+
+def test_duplicate_burst_spaces_copies_across_turns():
+    plan = FaultPlan.of(DuplicateBurst(step=1, copies=2, spacing=3))
+    adversary = _bound(ScriptedAdversary(plan))
+    adversary.on_new_pkt(_info(5))
+    # Copy due dates: turns 1 and 4; the original FIFO delivery fills in.
+    kinds = []
+    for _ in range(4):
+        move = adversary.next_move()
+        kinds.append(move.packet_id if isinstance(move, Deliver) else None)
+    assert kinds[0] == 5          # first copy, on time
+    assert kinds[1] == 5          # the original (own FIFO)
+    assert kinds[2] is None       # nothing due
+    assert kinds[3] == 5          # second copy, spaced by 3
+    assert adversary.duplicated == 2
+
+
+def test_soft_abort_raises_outside_workers():
+    plan = FaultPlan.of(AbortAt(step=1, hard=True))
+    adversary = _bound(ScriptedAdversary(plan))
+    # hard=True degrades to the exception form unless a worker enabled it.
+    with pytest.raises(FaultInjectionAbort):
+        adversary.next_move()
+
+
+def test_inner_adversary_supplies_baseline_schedule():
+    from repro.adversary.benign import ReliableAdversary
+
+    plan = FaultPlan.of(CrashAt(step=2, station="T"))
+    adversary = _bound(ScriptedAdversary(plan, inner=ReliableAdversary()))
+    adversary.on_new_pkt(_info(1))
+    first = adversary.next_move()
+    assert isinstance(first, Deliver) and first.packet_id == 1
+    assert isinstance(adversary.next_move(), CrashTransmitter)
+
+
+def test_apply_fault_plan_is_identity_for_empty_projection():
+    spec = make_paper_spec()
+    plan = FaultPlan.of(HangAt(step=5, run=3))
+    assert apply_fault_plan(spec, plan, run_index=0) is spec
+    wrapped = apply_fault_plan(spec, plan, run_index=3)
+    assert wrapped is not spec
+    adversary = wrapped.adversary_factory()
+    assert isinstance(adversary, ScriptedAdversary)
+    assert len(adversary.plan.events) == 1

@@ -1,0 +1,161 @@
+"""Delta-debugging tests: the minimizer keeps the failure, sheds the rest."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.faultplan import FaultPlan, HangAt
+from repro.resilience.shrink import shrink_repro, status_matcher
+from repro.resilience.supervisor import (
+    RunReport,
+    RunStatus,
+    derive_run_seed,
+    execute_attempt,
+)
+from tests.resilience.conftest import (
+    REPRO_BASE_SEED,
+    REPRO_RUN_INDEX,
+    crash_then_replay_plan,
+    make_paper_spec,
+    make_strawman_spec,
+)
+
+
+def test_status_matcher_refuses_ok_reference():
+    report = RunReport(index=0, seed=1, status=RunStatus.OK)
+    with pytest.raises(ValueError, match="nothing to shrink"):
+        status_matcher(report)
+
+
+def test_status_matcher_requires_same_safety_conditions():
+    reference = RunReport(
+        index=0, seed=1, status=RunStatus.SAFETY_FAILED,
+        safety_summary={"no-duplication": (2, 5), "order": (0, 5)},
+    )
+    matches = status_matcher(reference)
+    same = RunReport(
+        index=0, seed=2, status=RunStatus.SAFETY_FAILED,
+        safety_summary={"no-duplication": (1, 3), "order": (0, 3)},
+    )
+    different = RunReport(
+        index=0, seed=2, status=RunStatus.SAFETY_FAILED,
+        safety_summary={"no-duplication": (0, 3), "order": (2, 3)},
+    )
+    assert matches(same)
+    assert not matches(different)
+    assert not matches(RunReport(index=0, seed=2, status=RunStatus.CRASHED))
+
+
+def test_shrink_rejects_ok_configuration(paper_spec):
+    plan = FaultPlan()
+    with pytest.raises(ValueError, match="nothing to shrink"):
+        shrink_repro(
+            lambda messages: make_paper_spec(messages=messages),
+            seed=derive_run_seed(0, 0, 0),
+            plan=plan,
+            messages=3,
+        )
+
+
+def test_shrink_produces_smaller_still_failing_repro():
+    # At 16 messages this seed's strawman run fails safety on its own, so
+    # the minimizer has genuine slack: the workload shrinks and the (now
+    # irrelevant) scripted events fall away.
+    seed = derive_run_seed(REPRO_BASE_SEED, REPRO_RUN_INDEX, 0)
+    plan = crash_then_replay_plan(run=REPRO_RUN_INDEX)
+    result = shrink_repro(
+        lambda messages: make_strawman_spec(messages=messages),
+        seed=seed,
+        plan=plan,
+        messages=16,
+        run_index=REPRO_RUN_INDEX,
+        timeout=5.0,
+    )
+    assert result.status is RunStatus.SAFETY_FAILED
+    assert result.shrank
+    assert result.messages < 16
+    # The minimal configuration still reproduces the same failure.
+    replay = execute_attempt(
+        make_strawman_spec(messages=result.messages),
+        result.plan,
+        REPRO_RUN_INDEX,
+        seed,
+        5.0,
+        capture_trace=False,
+    )
+    assert replay.status is RunStatus.SAFETY_FAILED
+
+
+def test_shrink_keeps_load_bearing_events():
+    # At 6 messages the baseline run is clean and only the scripted
+    # crash-then-replay makes it fail: the minimizer must not drop the
+    # script, and must hand back a configuration that still fails.
+    seed = derive_run_seed(REPRO_BASE_SEED, REPRO_RUN_INDEX, 0)
+    plan = crash_then_replay_plan(run=REPRO_RUN_INDEX)
+    result = shrink_repro(
+        lambda messages: make_strawman_spec(messages=messages),
+        seed=seed,
+        plan=plan,
+        messages=6,
+        run_index=REPRO_RUN_INDEX,
+        timeout=5.0,
+    )
+    assert result.status is RunStatus.SAFETY_FAILED
+    assert len(result.plan.events) >= 1
+    replay = execute_attempt(
+        make_strawman_spec(messages=result.messages),
+        result.plan,
+        REPRO_RUN_INDEX,
+        seed,
+        5.0,
+        capture_trace=False,
+    )
+    assert replay.status is RunStatus.SAFETY_FAILED
+    assert replay.safety_summary["no-duplication"][0] > 0
+
+
+def test_shrink_respects_probe_budget():
+    seed = derive_run_seed(REPRO_BASE_SEED, REPRO_RUN_INDEX, 0)
+    plan = crash_then_replay_plan(run=REPRO_RUN_INDEX)
+    result = shrink_repro(
+        lambda messages: make_strawman_spec(messages=messages),
+        seed=seed,
+        plan=plan,
+        messages=6,
+        run_index=REPRO_RUN_INDEX,
+        max_probes=3,
+    )
+    assert result.probes <= 3
+
+
+def test_shrink_projects_other_runs_events_away():
+    seed = derive_run_seed(REPRO_BASE_SEED, REPRO_RUN_INDEX, 0)
+    events = crash_then_replay_plan(run=REPRO_RUN_INDEX).events
+    noisy = FaultPlan.of(*events, HangAt(step=2, run=17))
+    result = shrink_repro(
+        lambda messages: make_strawman_spec(messages=messages),
+        seed=seed,
+        plan=noisy,
+        messages=6,
+        run_index=REPRO_RUN_INDEX,
+    )
+    # The other run's hang never counted as shrinkable weight.
+    assert result.original_events == 2
+    assert all(e.run in (None, REPRO_RUN_INDEX) for e in result.plan.events)
+
+
+def test_shrink_result_serializes():
+    seed = derive_run_seed(REPRO_BASE_SEED, REPRO_RUN_INDEX, 0)
+    plan = crash_then_replay_plan(run=REPRO_RUN_INDEX)
+    result = shrink_repro(
+        lambda messages: make_strawman_spec(messages=messages),
+        seed=seed,
+        plan=plan,
+        messages=6,
+        run_index=REPRO_RUN_INDEX,
+        max_probes=10,
+    )
+    data = result.to_dict()
+    assert data["seed"] == seed
+    assert data["original"] == {"messages": 6, "events": 2}
+    assert FaultPlan.from_dict(data["fault_plan"]).events == result.plan.events

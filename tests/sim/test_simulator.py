@@ -148,6 +148,9 @@ class TestHarnessContract:
         result = sim.run()
         assert result.completed
         assert result.metrics.messages_submitted == 0
+        # Zero messages, zero failures: vacuously ok (regression — this
+        # used to demand messages_submitted > 0 and report False).
+        assert result.all_messages_ok
 
     def test_trace_event_shape(self):
         result = run(ReliableAdversary(), messages=3)

@@ -5,6 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import build_parser, main
+from repro.resilience.faultplan import CrashAt, DuplicateBurst, FaultPlan
+from repro.resilience.supervisor import derive_run_seed
 
 
 class TestParser:
@@ -20,6 +22,26 @@ class TestParser:
     def test_attack_protocol_arg(self):
         args = build_parser().parse_args(["attack", "--protocol", "fixed:6"])
         assert args.protocol == "fixed:6"
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.runs == 50
+        assert args.jobs == 2
+        assert args.retries == 0
+        assert args.timeout is None
+        assert args.fault_plan is None
+        assert args.artifacts_dir is None
+
+    def test_shrink_requires_plan_and_seed(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["shrink", "--seed", "1"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["shrink", "--fault-plan", "p.json"])
+        args = build_parser().parse_args(
+            ["shrink", "--fault-plan", "p.json", "--seed", "7"]
+        )
+        assert args.seed == 7
+        assert args.run_index == 0
 
 
 class TestSimulateCommand:
@@ -73,3 +95,71 @@ class TestSweepCommand:
         assert code == 0
         assert "pkts/msg" in out
         assert "0.3" in out
+
+    def test_sweep_labels_rows(self, capsys):
+        main(["sweep-loss", "--losses", "0.2", "--runs", "1", "--messages", "4"])
+        assert "loss=0.2" in capsys.readouterr().out
+
+
+def _crash_then_replay_plan(run: int) -> FaultPlan:
+    return FaultPlan.of(
+        DuplicateBurst(step=10, copies=8, spacing=3, run=run),
+        CrashAt(step=11, station="R", run=run),
+        label="crash-then-replay",
+    )
+
+
+class TestCampaignCommand:
+    def test_clean_campaign_exits_zero(self, capsys):
+        code = main([
+            "campaign", "--runs", "3", "--jobs", "1", "--messages", "3",
+            "--label", "smoke",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "smoke" in out
+        assert "ok" in out
+
+    def test_scripted_failure_flips_exit_code(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        _crash_then_replay_plan(run=4).save(str(plan_path))
+        code = main([
+            "campaign", "--runs", "6", "--jobs", "1", "--messages", "6",
+            "--protocol", "fixed:2", "--base-seed", "0",
+            "--fault-plan", str(plan_path),
+            "--artifacts-dir", str(tmp_path / "artifacts"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "safety_failed" in out
+        campaigns = list((tmp_path / "artifacts").iterdir())
+        assert len(campaigns) == 1
+
+
+class TestShrinkCommand:
+    def test_shrink_reports_minimal_repro(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        _crash_then_replay_plan(run=4).save(str(plan_path))
+        out_path = tmp_path / "minimal.json"
+        code = main([
+            "shrink", "--fault-plan", str(plan_path),
+            "--seed", str(derive_run_seed(0, 4, 0)),
+            "--messages", "6", "--run-index", "4",
+            "--protocol", "fixed:2", "--max-probes", "40",
+            "--out", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "minimal" in out
+        assert "safety_failed" in out
+        reloaded = FaultPlan.load(str(out_path))
+        assert len(reloaded.events) >= 1
+
+    def test_shrink_refuses_passing_repro(self, tmp_path):
+        plan_path = tmp_path / "empty.json"
+        FaultPlan().save(str(plan_path))
+        with pytest.raises(SystemExit, match="nothing to shrink"):
+            main([
+                "shrink", "--fault-plan", str(plan_path),
+                "--seed", "1", "--messages", "3",
+            ])

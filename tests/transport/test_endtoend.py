@@ -88,3 +88,48 @@ class TestPartitionRecovery:
         result, __ = run(net, PathRelay(net), messages=5, seed=11)
         assert result.completed
         assert check_all_safety(result.trace).passed
+
+
+class TestLossAccounting:
+    def _drive(self, net, packets=5, turns=30):
+        from repro.adversary.base import Deliver, Pass
+        from repro.channel.channel import PacketInfo
+        from repro.core.events import ChannelId
+        from repro.core.random_source import RandomSource
+
+        adversary = NetworkRelay(net, FloodingRelay(net))
+        adversary.bind(RandomSource(5))
+        for pid in range(packets):
+            adversary.on_new_pkt(
+                PacketInfo(channel=ChannelId.T_TO_R, packet_id=pid, length_bits=32)
+            )
+        delivered = sum(
+            isinstance(adversary.next_move(), Deliver) for __ in range(turns)
+        )
+        return adversary, delivered
+
+    def test_partitioned_line_counts_every_packet_lost(self):
+        # The only link is down and never repairs: no route, total loss.
+        net = line_network(1, repair_rate=0.0)
+        net.configure_link(0, 1, up=False)
+        adversary, delivered = self._drive(net)
+        assert adversary.lost_packets == 5
+        assert adversary.delivered_copies == 0
+        assert delivered == 0
+
+    def test_healthy_line_loses_nothing(self):
+        # A single up route: every packet arrives exactly once.
+        net = line_network(2)
+        adversary, delivered = self._drive(net, packets=3)
+        assert adversary.lost_packets == 0
+        assert adversary.delivered_copies == 3
+        assert delivered == 3
+
+    def test_partial_partition_is_not_a_loss(self):
+        # Cutting one of the ring's two disjoint routes must not count as
+        # loss: flooding still reaches the destination the other way.
+        net = ring_network(4, repair_rate=0.0)
+        net.configure_link(0, 1, up=False)
+        adversary, delivered = self._drive(net, packets=4)
+        assert adversary.lost_packets == 0
+        assert adversary.delivered_copies == delivered == 4
