@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Entry point for the engine performance benchmarks.
+
+Thin wrapper over ``repro bench`` (see ``repro.perf.bench`` for the
+measurement code and README.md here for what the numbers mean), kept so
+the perf harness is discoverable next to the experiment benchmarks.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main() -> int:
+    from repro.cli import main as repro_main
+
+    return repro_main(["bench", *sys.argv[1:]])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ capabilities of the channel.
 
 from __future__ import annotations
 
+import sys
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Optional
@@ -25,6 +26,7 @@ from typing import Optional
 from repro.channel.channel import PacketInfo
 from repro.core.events import ChannelId
 from repro.core.random_source import RandomSource
+from repro.util.hotpath import trusted_constructor
 
 __all__ = [
     "Move",
@@ -34,15 +36,24 @@ __all__ = [
     "TriggerRetry",
     "Pass",
     "Adversary",
+    "PASS",
+    "TRIGGER_RETRY",
+    "CRASH_TRANSMITTER",
+    "CRASH_RECEIVER",
+    "make_deliver",
 ]
 
+# Moves are produced once per simulation step; slot them where the runtime
+# supports it (graceful degradation on Python 3.9).
+_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, **_SLOTS)
 class Move:
     """Base class for one adversary decision."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class Deliver(Move):
     """``deliver_pkt(id)`` on the named channel.
 
@@ -55,17 +66,17 @@ class Deliver(Move):
     packet_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class CrashTransmitter(Move):
     """``crash^T``: wipe the transmitting station's memory."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class CrashReceiver(Move):
     """``crash^R``: wipe the receiving station's memory."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class TriggerRetry(Move):
     """Schedule the receiver's internal RETRY action now.
 
@@ -77,9 +88,22 @@ class TriggerRetry(Move):
     """
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class Pass(Move):
     """Do nothing this turn (the harness may force progress instead)."""
+
+
+#: Interned instances of the field-less moves.  Equal (``==``) to any other
+#: instance of their class; adversaries return them instead of allocating a
+#: fresh move every turn.
+PASS = Pass()
+TRIGGER_RETRY = TriggerRetry()
+CRASH_TRANSMITTER = CrashTransmitter()
+CRASH_RECEIVER = CrashReceiver()
+
+#: Trusted fast constructor for the one hot move that carries fields
+#: (positional: channel, packet_id).
+make_deliver = trusted_constructor(Deliver, "channel", "packet_id")
 
 
 class Adversary(ABC):

@@ -12,7 +12,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque
 
-from repro.adversary.base import Adversary, Deliver, Move, Pass, TriggerRetry
+from repro.adversary.base import (
+    PASS,
+    TRIGGER_RETRY,
+    Adversary,
+    Move,
+    make_deliver,
+)
 from repro.channel.channel import PacketInfo
 
 __all__ = ["ReliableAdversary", "DelayedFifoAdversary"]
@@ -35,8 +41,8 @@ class ReliableAdversary(Adversary):
     def _decide(self) -> Move:
         if self._pending:
             info = self._pending.popleft()
-            return Deliver(channel=info.channel, packet_id=info.packet_id)
-        return Pass()
+            return make_deliver(info.channel, info.packet_id)
+        return PASS
 
 
 class DelayedFifoAdversary(Adversary):
@@ -60,9 +66,9 @@ class DelayedFifoAdversary(Adversary):
     def _decide(self) -> Move:
         if self._pending and self._pending[0][0] <= self.moves_made:
             __, info = self._pending.popleft()
-            return Deliver(channel=info.channel, packet_id=info.packet_id)
+            return make_deliver(info.channel, info.packet_id)
         if self._pending:
             # Let simulated time advance so the head packet matures; asking
             # for a RETRY keeps the receiver side live in the meantime.
-            return TriggerRetry()
-        return Pass()
+            return TRIGGER_RETRY
+        return PASS

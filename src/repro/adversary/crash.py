@@ -12,12 +12,12 @@ from collections import deque
 from typing import Deque, Iterable, List, Optional
 
 from repro.adversary.base import (
+    CRASH_RECEIVER,
+    CRASH_TRANSMITTER,
+    PASS,
     Adversary,
-    CrashReceiver,
-    CrashTransmitter,
-    Deliver,
     Move,
-    Pass,
+    make_deliver,
 )
 from repro.channel.channel import PacketInfo
 
@@ -64,12 +64,12 @@ class CrashStormAdversary(Adversary):
         if allowed and self.rng.bernoulli(self._crash_rate):
             self.crashes_injected += 1
             if self._target_t and self._target_r:
-                return CrashTransmitter() if self.rng.bernoulli(0.5) else CrashReceiver()
-            return CrashTransmitter() if self._target_t else CrashReceiver()
+                return CRASH_TRANSMITTER if self.rng.bernoulli(0.5) else CRASH_RECEIVER
+            return CRASH_TRANSMITTER if self._target_t else CRASH_RECEIVER
         if self._pending:
             info = self._pending.popleft()
-            return Deliver(channel=info.channel, packet_id=info.packet_id)
-        return Pass()
+            return make_deliver(info.channel, info.packet_id)
+        return PASS
 
     def describe(self) -> str:
         return f"crash-storm(rate={self._crash_rate})"
@@ -109,11 +109,11 @@ class ScheduledCrashAdversary(Adversary):
         if self._schedule and self.moves_made - 1 >= self._schedule[0][0]:
             __, station = self._schedule.pop(0)
             self.crashes_injected += 1
-            return CrashTransmitter() if station == "T" else CrashReceiver()
+            return CRASH_TRANSMITTER if station == "T" else CRASH_RECEIVER
         if self._pending:
             info = self._pending.popleft()
-            return Deliver(channel=info.channel, packet_id=info.packet_id)
-        return Pass()
+            return make_deliver(info.channel, info.packet_id)
+        return PASS
 
     def describe(self) -> str:
         return f"scheduled-crash(remaining={len(self._schedule)})"

@@ -34,9 +34,7 @@ liveness probe we have (experiment E5).
 
 from __future__ import annotations
 
-from typing import List, Optional
-
-from repro.adversary.base import Adversary, Deliver, Move, Pass, TriggerRetry
+from repro.adversary.base import PASS, Adversary, Deliver, Move, make_deliver
 from repro.channel.channel import PacketInfo
 
 __all__ = ["FairnessEnforcer", "StallingAdversary"]
@@ -51,7 +49,7 @@ class StallingAdversary(Adversary):
     """
 
     def _decide(self) -> Move:
-        return Pass()
+        return PASS
 
 
 class FairnessEnforcer(Adversary):
@@ -71,8 +69,19 @@ class FairnessEnforcer(Adversary):
         if patience < 1:
             raise ValueError("patience must be >= 1")
         self.inner = inner
+        # Inner adversaries with the stock Adversary.next_move (all in-tree
+        # ones) are driven through _decide directly, with their bookkeeping
+        # folded into our own turn — one call frame instead of two on the
+        # engine's hottest chain.
+        self._inner_decide = (
+            inner._decide if type(inner).next_move is Adversary.next_move else None
+        )
         self._patience = patience
-        self._pending: dict = {}  # ChannelId -> List[PacketInfo]
+        # ChannelId -> {packet_id: PacketInfo}, insertion-ordered: announce
+        # appends, forget is an O(1) pop by id (the pending set grows without
+        # bound under loss, so a list scan here degrades quadratically).
+        self._pending: dict = {}
+        self._pending_count = 0  # total across channels (starvation gate)
         self._starvation: dict = {}  # ChannelId -> turns without delivery
         self.forced_deliveries = 0
 
@@ -81,42 +90,56 @@ class FairnessEnforcer(Adversary):
         self.inner.bind(rng.fork("inner-adversary"))
 
     def on_new_pkt(self, info: PacketInfo) -> None:
-        self._pending.setdefault(info.channel, []).append(info)
-        self._starvation.setdefault(info.channel, 0)
+        pending = self._pending.get(info.channel)
+        if pending is None:
+            pending = self._pending[info.channel] = {}
+            self._starvation[info.channel] = 0
+        pending[info.packet_id] = info
+        self._pending_count += 1
         self.inner.on_new_pkt(info)
 
     def _decide(self) -> Move:
-        move = self.inner.next_move()
-        if isinstance(move, Deliver):
+        inner_decide = self._inner_decide
+        if inner_decide is not None:
+            self.inner._moves_made += 1
+            move = inner_decide()
+        else:
+            move = self.inner.next_move()
+        if type(move) is Deliver or isinstance(move, Deliver):
             self._starvation[move.channel] = 0
             self._forget(move.packet_id, move.channel)
             return move
+        if not self._pending_count:
+            # Nothing is pending anywhere: starvation cannot advance and
+            # there is nothing to force.
+            return move
         # Advance starvation on every channel that has pending traffic and
         # force the most-starved one once it exceeds the patience budget.
+        starvation = self._starvation
+        patience = self._patience
         most_starved = None
+        most_count = 0
         for channel, pending in self._pending.items():
             if not pending:
                 continue
-            self._starvation[channel] += 1
-            if self._starvation[channel] >= self._patience and (
-                most_starved is None
-                or self._starvation[channel] > self._starvation[most_starved]
-            ):
+            count = starvation[channel] + 1
+            starvation[channel] = count
+            if count >= patience and count > most_count:
                 most_starved = channel
+                most_count = count
         if most_starved is not None:
-            info = self._pending[most_starved][-1]  # newest: weakest fair choice
+            # Newest announcement: the weakest fair choice.
+            info = next(reversed(self._pending[most_starved].values()))
             self._forget(info.packet_id, info.channel)
-            self._starvation[most_starved] = 0
+            starvation[most_starved] = 0
             self.forced_deliveries += 1
-            return Deliver(channel=info.channel, packet_id=info.packet_id)
+            return make_deliver(info.channel, info.packet_id)
         return move
 
     def _forget(self, packet_id: int, channel) -> None:
-        pending = self._pending.get(channel, [])
-        for index, info in enumerate(pending):
-            if info.packet_id == packet_id:
-                del pending[index]
-                return
+        pending = self._pending.get(channel)
+        if pending is not None and pending.pop(packet_id, None) is not None:
+            self._pending_count -= 1
 
     def describe(self) -> str:
         return f"fair({self.inner.describe()}, patience={self._patience})"

@@ -15,12 +15,12 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.adversary.base import (
+    CRASH_RECEIVER,
+    CRASH_TRANSMITTER,
+    PASS,
     Adversary,
-    CrashReceiver,
-    CrashTransmitter,
-    Deliver,
     Move,
-    Pass,
+    make_deliver,
 )
 from repro.channel.channel import PacketInfo
 
@@ -71,31 +71,41 @@ class RandomFaultAdversary(Adversary):
         self.duplicated = 0
         self.crashes_injected = 0
 
+    def bind(self, rng) -> None:
+        super().bind(rng)
+        # The profile's rates were validated at construction, so the
+        # per-turn coin flips compare against the tape's uniform draw
+        # directly instead of paying bernoulli()'s checks — same number of
+        # draws in the same order, so seeded schedules are unchanged.
+        self._random = rng.random_float
+
     def on_new_pkt(self, info: PacketInfo) -> None:
-        if self.rng.bernoulli(self.profile.loss):
+        if self._random() < self.profile.loss:
             self.dropped += 1
             return
         self._pending.append(info)
 
     def _decide(self) -> Move:
-        if self.rng.bernoulli(self.profile.crash_t):
+        random = self._random
+        profile = self.profile
+        if random() < profile.crash_t:
             self.crashes_injected += 1
-            return CrashTransmitter()
-        if self.rng.bernoulli(self.profile.crash_r):
+            return CRASH_TRANSMITTER
+        if random() < profile.crash_r:
             self.crashes_injected += 1
-            return CrashReceiver()
+            return CRASH_RECEIVER
         if not self._pending:
-            return Pass()
-        if self.profile.reorder and self.rng.bernoulli(self.profile.reorder):
+            return PASS
+        if profile.reorder and random() < profile.reorder:
             index = self.rng.randint(0, len(self._pending) - 1)
         else:
             index = 0
         info = self._pending.pop(index)
-        if self.rng.bernoulli(self.profile.duplicate):
+        if random() < profile.duplicate:
             # Geometric duplication: the copy gets its own coin flip later.
             self._pending.append(info)
             self.duplicated += 1
-        return Deliver(channel=info.channel, packet_id=info.packet_id)
+        return make_deliver(info.channel, info.packet_id)
 
     def describe(self) -> str:
         p = self.profile
@@ -124,13 +134,13 @@ class ReorderAdversary(Adversary):
 
     def _decide(self) -> Move:
         if not self._pending:
-            return Pass()
+            return PASS
         # Shuffle only within a bounded window so ancient packets cannot be
         # starved forever (keeps the adversary fair on its own).
         limit = min(self._window, len(self._pending))
         index = self.rng.randint(0, limit - 1)
         info = self._pending.pop(index)
-        return Deliver(channel=info.channel, packet_id=info.packet_id)
+        return make_deliver(info.channel, info.packet_id)
 
 
 class DuplicateFloodAdversary(Adversary):
@@ -163,12 +173,12 @@ class DuplicateFloodAdversary(Adversary):
                 candidates = t_to_r or self._archive
             info = self.rng.choice(candidates)
             self.redeliveries += 1
-            return Deliver(channel=info.channel, packet_id=info.packet_id)
+            return make_deliver(info.channel, info.packet_id)
         if self._fresh:
             info = self._fresh.pop(0)
             self._archive.append(info)
-            return Deliver(channel=info.channel, packet_id=info.packet_id)
-        return Pass()
+            return make_deliver(info.channel, info.packet_id)
+        return PASS
 
     def describe(self) -> str:
         return f"duplicate-flood(flood={self._flood})"

@@ -35,13 +35,13 @@ from collections import deque
 from typing import Deque, List
 
 from repro.adversary.base import (
+    CRASH_RECEIVER,
+    CRASH_TRANSMITTER,
+    PASS,
+    TRIGGER_RETRY,
     Adversary,
-    CrashReceiver,
-    CrashTransmitter,
-    Deliver,
     Move,
-    Pass,
-    TriggerRetry,
+    make_deliver,
 )
 from repro.channel.channel import PacketInfo
 from repro.core.events import ChannelId
@@ -117,10 +117,10 @@ class ReplayAttacker(Adversary):
             return self._harvest_move()
         if self._phase == AttackPhase.CRASH_T:
             self._phase = AttackPhase.CRASH_R
-            return CrashTransmitter()
+            return CRASH_TRANSMITTER
         if self._phase == AttackPhase.CRASH_R:
             self._phase = AttackPhase.REPLAY
-            return CrashReceiver()
+            return CRASH_RECEIVER
         if self._phase == AttackPhase.REPLAY:
             return self._replay_move()
         return self._faithful_move()
@@ -137,7 +137,7 @@ class ReplayAttacker(Adversary):
     def _replay_move(self) -> Move:
         if self._polls_owed > 0:
             self._polls_owed -= 1
-            return TriggerRetry()
+            return TRIGGER_RETRY
         total_replays = self._replay_rounds * len(self._archive)
         if self._replay_cursor >= total_replays:
             self._phase = AttackPhase.DRAINED
@@ -146,13 +146,13 @@ class ReplayAttacker(Adversary):
         self._replay_cursor += 1
         self._polls_owed = self._polls_between
         self.replays_sent += 1
-        return Deliver(channel=info.channel, packet_id=info.packet_id)
+        return make_deliver(info.channel, info.packet_id)
 
     def _faithful_move(self) -> Move:
         if self._pending:
             info = self._pending.popleft()
-            return Deliver(channel=info.channel, packet_id=info.packet_id)
-        return Pass()
+            return make_deliver(info.channel, info.packet_id)
+        return PASS
 
     def describe(self) -> str:
         return (

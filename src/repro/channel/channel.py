@@ -20,17 +20,22 @@ enforced by construction).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.core.events import ChannelId
 from repro.core.exceptions import UnknownPacketError
 from repro.core.packets import Packet, encode_packet
+from repro.util.hotpath import trusted_constructor
 
 __all__ = ["PacketInfo", "Channel", "ChannelPair"]
 
+# One PacketInfo is minted per send_pkt — the hot path pays for it.
+_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, **_SLOTS)
 class PacketInfo:
     """What ``new_pkt(id, l)`` reveals to the adversary: identity and length.
 
@@ -42,6 +47,11 @@ class PacketInfo:
     channel: ChannelId
     packet_id: int
     length_bits: int
+
+
+_make_packet_info = trusted_constructor(
+    PacketInfo, "channel", "packet_id", "length_bits"
+)
 
 
 class Channel:
@@ -79,9 +89,7 @@ class Channel:
         self._sent_count += 1
         length_bits = packet.wire_length_bits
         self._bits_sent += length_bits
-        info = PacketInfo(
-            channel=self.channel_id, packet_id=packet_id, length_bits=length_bits
-        )
+        info = _make_packet_info(self.channel_id, packet_id, length_bits)
         if self._on_new_pkt is not None:
             self._on_new_pkt(info)
         return info

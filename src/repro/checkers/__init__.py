@@ -1,7 +1,19 @@
-"""Correctness-condition checkers for Section 2.6, evaluated on traces."""
+"""Correctness-condition checkers for Section 2.6, evaluated on traces.
+
+Two evaluation styles over one set of condition state machines:
+
+* **batch** — ``check_*`` functions that scan a finished :class:`Trace`;
+* **streaming** — :class:`StreamingChecks` and the individual monitors in
+  :mod:`repro.checkers.streaming`, which consume events online as the
+  simulator records them (O(1) amortized per event, bounded state).
+
+Both report through the same :class:`CheckReport`/:class:`SafetyReport`
+types and produce identical verdicts by construction.
+"""
 
 from repro.checkers.axioms import check_axiom1, check_axiom2, check_axiom3_bounded
 from repro.checkers.liveness import LivenessStats, check_liveness, progress_gaps
+from repro.checkers.report import CheckReport, SafetyReport, Violation
 from repro.checkers.serialize import (
     dump_trace,
     event_from_dict,
@@ -9,22 +21,45 @@ from repro.checkers.serialize import (
     load_trace,
 )
 from repro.checkers.safety import (
-    CheckReport,
-    SafetyReport,
-    Violation,
     check_all_safety,
     check_causality,
     check_no_duplication,
     check_no_replay,
     check_order,
 )
-from repro.checkers.trace import MessageOutcome, Trace
+from repro.checkers.streaming import (
+    Axiom1Monitor,
+    Axiom2Monitor,
+    Axiom3BoundedMonitor,
+    CausalityMonitor,
+    LivenessMonitor,
+    NoDuplicationMonitor,
+    NoReplayMonitor,
+    OrderMonitor,
+    ProgressGapMonitor,
+    StreamingChecks,
+    StreamMonitor,
+    feed,
+)
+from repro.checkers.trace import EventsView, MessageOutcome, Trace
 
 __all__ = [
+    "Axiom1Monitor",
+    "Axiom2Monitor",
+    "Axiom3BoundedMonitor",
+    "CausalityMonitor",
     "CheckReport",
+    "EventsView",
+    "LivenessMonitor",
     "LivenessStats",
     "MessageOutcome",
+    "NoDuplicationMonitor",
+    "NoReplayMonitor",
+    "OrderMonitor",
+    "ProgressGapMonitor",
     "SafetyReport",
+    "StreamMonitor",
+    "StreamingChecks",
     "Trace",
     "Violation",
     "check_all_safety",

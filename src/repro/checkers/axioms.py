@@ -6,67 +6,38 @@ The simulator enforces these on-line, but experiments that assemble traces
 by other means (baselines, hand-written scenarios, property tests) use
 these validators as a self-check — a failed axiom means the *harness* is
 wrong, and any checker verdicts on that trace are meaningless.
+
+Each validator is a batch driver over the matching monitor in
+:mod:`repro.checkers.streaming` (:class:`Axiom1Monitor`,
+:class:`Axiom2Monitor`, :class:`Axiom3BoundedMonitor`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
-
-from repro.checkers.safety import CheckReport, Violation
+from repro.checkers.report import CheckReport
+from repro.checkers.streaming import (
+    Axiom1Monitor,
+    Axiom2Monitor,
+    Axiom3BoundedMonitor,
+    feed,
+)
 from repro.checkers.trace import Trace
-from repro.core.events import CrashT, Ok, PktDelivered, PktSent, SendMsg
 
 __all__ = ["check_axiom1", "check_axiom2", "check_axiom3_bounded"]
 
 
 def check_axiom1(trace: Trace) -> CheckReport:
     """Axiom 1: between two send_msg events there is an OK or crash^T."""
-    violations: List[Violation] = []
-    trials = 0
-    armed: Optional[int] = None  # index of a send_msg awaiting resolution
-    for index, event in enumerate(trace):
-        if isinstance(event, SendMsg):
-            trials += 1
-            if armed is not None:
-                violations.append(
-                    Violation(
-                        condition="axiom-1",
-                        event_index=index,
-                        detail=(
-                            f"send_msg at {index} before the send_msg at "
-                            f"{armed} saw an OK or crash^T"
-                        ),
-                    )
-                )
-            armed = index
-        elif isinstance(event, (Ok, CrashT)):
-            armed = None
-    return CheckReport(condition="axiom-1", trials=trials, violations=violations)
+    monitor = Axiom1Monitor()
+    feed(trace, monitor)
+    return monitor.report()
 
 
 def check_axiom2(trace: Trace) -> CheckReport:
     """Axiom 2: every message value is sent at most once."""
-    violations: List[Violation] = []
-    first_seen: Dict[bytes, int] = {}
-    trials = 0
-    for index, event in enumerate(trace):
-        if isinstance(event, SendMsg):
-            trials += 1
-            earlier = first_seen.get(event.message)
-            if earlier is not None:
-                violations.append(
-                    Violation(
-                        condition="axiom-2",
-                        event_index=index,
-                        detail=(
-                            f"send_msg({event.message!r}) repeated "
-                            f"(first at {earlier})"
-                        ),
-                    )
-                )
-            else:
-                first_seen[event.message] = index
-    return CheckReport(condition="axiom-2", trials=trials, violations=violations)
+    monitor = Axiom2Monitor()
+    feed(trace, monitor)
+    return monitor.report()
 
 
 def check_axiom3_bounded(trace: Trace, window: int) -> CheckReport:
@@ -77,26 +48,6 @@ def check_axiom3_bounded(trace: Trace, window: int) -> CheckReport:
     either channel) passed without a single ``PktDelivered``.  The window
     should comfortably exceed the fairness enforcer's patience.
     """
-    if window < 1:
-        raise ValueError("window must be >= 1")
-    violations: List[Violation] = []
-    sends_since_delivery = 0
-    trials = 0
-    for index, event in enumerate(trace):
-        if isinstance(event, PktSent):
-            trials += 1
-            sends_since_delivery += 1
-            if sends_since_delivery == window:
-                violations.append(
-                    Violation(
-                        condition="axiom-3",
-                        event_index=index,
-                        detail=(
-                            f"{window} consecutive packet sends without a "
-                            f"single delivery"
-                        ),
-                    )
-                )
-        elif isinstance(event, PktDelivered):
-            sends_since_delivery = 0
-    return CheckReport(condition="axiom-3", trials=trials, violations=violations)
+    monitor = Axiom3BoundedMonitor(window=window)
+    feed(trace, monitor)
+    return monitor.report()

@@ -7,20 +7,23 @@ pending, then eventually one of ``crash^T``, ``crash^R``, ``OK`` or
 sat unresolved with no intervening progress event once the run ended, and
 :func:`progress_gaps` measures the *longest* stretch any message waited —
 the quantitative series for experiment E5.
+
+Both are batch drivers over the monitors in
+:mod:`repro.checkers.streaming` (:class:`LivenessMonitor`,
+:class:`ProgressGapMonitor`), so online and post-hoc verdicts agree by
+construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
-from repro.checkers.safety import CheckReport, Violation
+from repro.checkers.report import CheckReport, Violation
+from repro.checkers.streaming import LivenessMonitor, ProgressGapMonitor, feed
 from repro.checkers.trace import Trace
-from repro.core.events import CrashR, CrashT, Ok, ReceiveMsg, SendMsg
 
 __all__ = ["check_liveness", "progress_gaps", "LivenessStats"]
-
-_PROGRESS = (Ok, ReceiveMsg, CrashT, CrashR)
 
 
 def check_liveness(trace: Trace, run_completed: bool) -> CheckReport:
@@ -31,26 +34,9 @@ def check_liveness(trace: Trace, run_completed: bool) -> CheckReport:
     truncated *and* the tail of the trace holds a send_msg with no
     subsequent progress event, liveness failed within the budget.
     """
-    violations: List[Violation] = []
-    trials = trace.count(SendMsg)
-    last_send: Optional[int] = None
-    for index, event in enumerate(trace):
-        if isinstance(event, SendMsg):
-            last_send = index
-        elif isinstance(event, _PROGRESS) and last_send is not None:
-            last_send = None
-    if last_send is not None and not run_completed:
-        violations.append(
-            Violation(
-                condition="liveness",
-                event_index=last_send,
-                detail=(
-                    "send_msg at end of truncated run with no subsequent "
-                    "OK/receive_msg/crash before the step budget expired"
-                ),
-            )
-        )
-    return CheckReport(condition="liveness", trials=trials, violations=violations)
+    monitor = LivenessMonitor()
+    feed(trace, monitor)
+    return monitor.report(run_completed=run_completed)
 
 
 @dataclass(frozen=True)
@@ -79,12 +65,6 @@ def progress_gaps(trace: Trace) -> LivenessStats:
     these gaps are finite for every fair adversary, and experiment E5 shows
     how they scale with adversarial stalling.
     """
-    gaps: List[int] = []
-    last_send: Optional[int] = None
-    for index, event in enumerate(trace):
-        if isinstance(event, SendMsg):
-            last_send = index
-        elif isinstance(event, _PROGRESS) and last_send is not None:
-            gaps.append(index - last_send)
-            last_send = None
-    return LivenessStats(gaps=gaps)
+    monitor = ProgressGapMonitor()
+    feed(trace, monitor)
+    return LivenessStats(gaps=monitor.gaps)

@@ -1,0 +1,83 @@
+"""Verdict containers shared by the batch and streaming checker layers.
+
+Every Section 2.6 condition — evaluated either in one batch pass over a
+finished :class:`~repro.checkers.trace.Trace` or incrementally by the
+online monitors of :mod:`repro.checkers.streaming` — reports through the
+same types: a :class:`CheckReport` per condition (verdict plus the
+Bernoulli trial counts the Monte-Carlo experiments aggregate) and a
+:class:`SafetyReport` bundling the four safety conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.exceptions import CheckFailure
+
+__all__ = ["Violation", "CheckReport", "SafetyReport"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One concrete counterexample found in a trace."""
+
+    condition: str
+    event_index: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """Verdict for one condition on one trace.
+
+    ``trials`` counts the condition's Bernoulli opportunities in this trace
+    (e.g. OK'd messages for *order*); ``violations`` the failures among
+    them.  ``passed`` is simply "no violations".
+    """
+
+    condition: str
+    trials: int
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    @property
+    def failure_count(self) -> int:
+        return len(self.violations)
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`CheckFailure` describing the first violation."""
+        if self.violations:
+            first = self.violations[0]
+            raise CheckFailure(self.condition, f"{first.detail} (event {first.event_index})")
+
+
+@dataclass(frozen=True)
+class SafetyReport:
+    """All four safety verdicts for one trace."""
+
+    causality: CheckReport
+    order: CheckReport
+    no_duplication: CheckReport
+    no_replay: CheckReport
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.causality.passed
+            and self.order.passed
+            and self.no_duplication.passed
+            and self.no_replay.passed
+        )
+
+    @property
+    def all_reports(self) -> List[CheckReport]:
+        return [self.causality, self.order, self.no_duplication, self.no_replay]
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`CheckFailure` for the first failing condition."""
+        for report in self.all_reports:
+            report.raise_on_failure()

@@ -23,18 +23,26 @@ traces:
   very next delivery; it must not resurface after the receiver has moved
   on.)
 
-Every checker returns a :class:`CheckReport` carrying both the verdict and
-the Bernoulli trial counts the Monte-Carlo experiments aggregate.
+The condition state machines live in :mod:`repro.checkers.streaming`; the
+functions here are the batch drivers — they feed a finished trace through
+the corresponding monitor and return its report, so batch and streaming
+verdicts agree by construction.  Every checker returns a
+:class:`CheckReport` carrying both the verdict and the Bernoulli trial
+counts the Monte-Carlo experiments aggregate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
-
+from repro.checkers.report import CheckReport, SafetyReport, Violation
+from repro.checkers.streaming import (
+    CausalityMonitor,
+    NoDuplicationMonitor,
+    NoReplayMonitor,
+    OrderMonitor,
+    StreamingChecks,
+    feed,
+)
 from repro.checkers.trace import Trace
-from repro.core.events import CrashR, CrashT, Ok, ReceiveMsg, SendMsg
-from repro.core.exceptions import CheckFailure
 
 __all__ = [
     "Violation",
@@ -48,106 +56,18 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class Violation:
-    """One concrete counterexample found in a trace."""
-
-    condition: str
-    event_index: int
-    detail: str
-
-
-@dataclass(frozen=True)
-class CheckReport:
-    """Verdict for one condition on one trace.
-
-    ``trials`` counts the condition's Bernoulli opportunities in this trace
-    (e.g. OK'd messages for *order*); ``violations`` the failures among
-    them.  ``passed`` is simply "no violations".
-    """
-
-    condition: str
-    trials: int
-    violations: List[Violation] = field(default_factory=list)
-
-    @property
-    def passed(self) -> bool:
-        return not self.violations
-
-    @property
-    def failure_count(self) -> int:
-        return len(self.violations)
-
-    def raise_on_failure(self) -> None:
-        """Raise :class:`CheckFailure` describing the first violation."""
-        if self.violations:
-            first = self.violations[0]
-            raise CheckFailure(self.condition, f"{first.detail} (event {first.event_index})")
-
-
 def check_causality(trace: Trace) -> CheckReport:
     """Theorem 1's condition: deliveries only of previously sent messages."""
-    violations: List[Violation] = []
-    sent_at: Dict[bytes, int] = {}
-    deliveries = 0
-    for index, event in enumerate(trace):
-        if isinstance(event, SendMsg):
-            sent_at.setdefault(event.message, index)
-        elif isinstance(event, ReceiveMsg):
-            deliveries += 1
-            origin = sent_at.get(event.message)
-            if origin is None or origin >= index:
-                violations.append(
-                    Violation(
-                        condition="causality",
-                        event_index=index,
-                        detail=f"receive_msg({event.message!r}) with no prior send_msg",
-                    )
-                )
-    return CheckReport(condition="causality", trials=deliveries, violations=violations)
+    monitor = CausalityMonitor()
+    feed(trace, monitor)
+    return monitor.report()
 
 
 def check_order(trace: Trace) -> CheckReport:
     """Theorem 3's condition: OK implies the message was delivered first."""
-    violations: List[Violation] = []
-    trials = 0
-    pending: Optional[bytes] = None
-    pending_index = 0
-    delivered_pending = False
-    for index, event in enumerate(trace):
-        if isinstance(event, SendMsg):
-            pending = event.message
-            pending_index = index
-            delivered_pending = False
-        elif isinstance(event, ReceiveMsg):
-            if pending is not None and event.message == pending:
-                delivered_pending = True
-        elif isinstance(event, Ok):
-            if pending is None:
-                violations.append(
-                    Violation(
-                        condition="order",
-                        event_index=index,
-                        detail="OK with no message in flight",
-                    )
-                )
-                continue
-            trials += 1
-            if not delivered_pending:
-                violations.append(
-                    Violation(
-                        condition="order",
-                        event_index=index,
-                        detail=(
-                            f"OK for send_msg({pending!r}) at {pending_index} "
-                            f"without an intervening receive_msg"
-                        ),
-                    )
-                )
-            pending = None
-        elif isinstance(event, CrashT):
-            pending = None  # the in-flight message dies with the memory
-    return CheckReport(condition="order", trials=trials, violations=violations)
+    monitor = OrderMonitor()
+    feed(trace, monitor)
+    return monitor.report()
 
 
 def check_no_duplication(trace: Trace) -> CheckReport:
@@ -157,30 +77,9 @@ def check_no_duplication(trace: Trace) -> CheckReport:
     with an intervening receiver crash are expressly excused by the
     definition ("excluding those which follow a crash^R event").
     """
-    violations: List[Violation] = []
-    delivered_since_crash: Dict[bytes, int] = {}
-    trials = 0
-    for index, event in enumerate(trace):
-        if isinstance(event, CrashR):
-            delivered_since_crash.clear()
-        elif isinstance(event, ReceiveMsg):
-            trials += 1
-            earlier = delivered_since_crash.get(event.message)
-            if earlier is not None:
-                violations.append(
-                    Violation(
-                        condition="no-duplication",
-                        event_index=index,
-                        detail=(
-                            f"receive_msg({event.message!r}) duplicated "
-                            f"(first at {earlier}) with no crash^R between"
-                        ),
-                    )
-                )
-            delivered_since_crash[event.message] = index
-    return CheckReport(
-        condition="no-duplication", trials=trials, violations=violations
-    )
+    monitor = NoDuplicationMonitor()
+    feed(trace, monitor)
+    return monitor.report()
 
 
 def check_no_replay(trace: Trace) -> CheckReport:
@@ -192,75 +91,15 @@ def check_no_replay(trace: Trace) -> CheckReport:
     at or before ``b`` — i.e. ``m ∈ M_α`` for the execution prefix α ending
     at the boundary, exactly as Theorem 7 quantifies.
     """
-    violations: List[Violation] = []
-    resolution_index: Dict[bytes, int] = {}
-    pending: Optional[bytes] = None
-    boundary = -1
-    trials = 0
-    for index, event in enumerate(trace):
-        if isinstance(event, SendMsg):
-            pending = event.message
-        elif isinstance(event, Ok):
-            if pending is not None:
-                resolution_index[pending] = index
-                pending = None
-        elif isinstance(event, CrashT):
-            if pending is not None:
-                resolution_index[pending] = index
-                pending = None
-        elif isinstance(event, CrashR):
-            boundary = index
-        elif isinstance(event, ReceiveMsg):
-            trials += 1
-            resolved_at = resolution_index.get(event.message)
-            if resolved_at is not None and resolved_at <= boundary:
-                violations.append(
-                    Violation(
-                        condition="no-replay",
-                        event_index=index,
-                        detail=(
-                            f"receive_msg({event.message!r}) replayed: already "
-                            f"resolved at {resolved_at}, boundary at {boundary}"
-                        ),
-                    )
-                )
-            boundary = index
-    return CheckReport(condition="no-replay", trials=trials, violations=violations)
-
-
-@dataclass(frozen=True)
-class SafetyReport:
-    """All four safety verdicts for one trace."""
-
-    causality: CheckReport
-    order: CheckReport
-    no_duplication: CheckReport
-    no_replay: CheckReport
-
-    @property
-    def passed(self) -> bool:
-        return (
-            self.causality.passed
-            and self.order.passed
-            and self.no_duplication.passed
-            and self.no_replay.passed
-        )
-
-    @property
-    def all_reports(self) -> List[CheckReport]:
-        return [self.causality, self.order, self.no_duplication, self.no_replay]
-
-    def raise_on_failure(self) -> None:
-        """Raise :class:`CheckFailure` for the first failing condition."""
-        for report in self.all_reports:
-            report.raise_on_failure()
+    monitor = NoReplayMonitor()
+    feed(trace, monitor)
+    return monitor.report()
 
 
 def check_all_safety(trace: Trace) -> SafetyReport:
-    """Run all four Section 2.6 safety checkers on one trace."""
-    return SafetyReport(
-        causality=check_causality(trace),
-        order=check_order(trace),
-        no_duplication=check_no_duplication(trace),
-        no_replay=check_no_replay(trace),
-    )
+    """Run all four Section 2.6 safety checkers on one trace (one pass)."""
+    checks = StreamingChecks(liveness=False)
+    observe = checks.observe
+    for index, event in enumerate(trace):
+        observe(index, event)
+    return checks.safety_report()

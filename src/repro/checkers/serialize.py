@@ -92,9 +92,23 @@ def event_from_dict(data: dict) -> Event:
 
 
 def dump_trace(trace: Trace, stream: IO[str]) -> None:
-    """Write a trace as JSON lines (one event per line)."""
-    for event in trace:
-        stream.write(json.dumps(event_to_dict(event), sort_keys=True))
+    """Write a trace's retained events as JSON lines (one event per line).
+
+    Under ``retain="full"`` this is the whole execution in the classic
+    format.  Under ``retain="tail"`` only the forensic ring buffer is
+    available; each line then additionally carries the event's ``index``
+    in the original execution (extra keys are ignored on load, so
+    :func:`load_trace` reads both forms).
+    """
+    if trace.retention == "full":
+        for event in trace:
+            stream.write(json.dumps(event_to_dict(event), sort_keys=True))
+            stream.write("\n")
+        return
+    for index, event in trace.tail_events():
+        record = event_to_dict(event)
+        record["index"] = index
+        stream.write(json.dumps(record, sort_keys=True))
         stream.write("\n")
 
 

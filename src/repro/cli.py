@@ -16,13 +16,18 @@ The subcommands cover the common workflows::
     python -m repro shrink --fault-plan artifacts/.../faultplan.json \\
         --seed 1234 --messages 40 --out minimal.json
 
+    python -m repro bench --out BENCH_core.json
+    python -m repro bench --quick --check BENCH_core.json
+
 ``simulate`` runs one execution of ``D(A, ADV)`` and prints metrics plus
 the Section 2.6 checker verdicts; ``attack`` stages the Section 3
 crash-then-replay attack against either the fixed-nonce strawman
 (``fixed:<bits>``) or the real protocol (``paper``); ``sweep-loss``
 reproduces the E7 cost curve; ``campaign`` runs a supervised,
 fault-tolerant Monte-Carlo campaign with scripted fault injection and
-failure forensics; ``shrink`` minimizes an archived failing repro.
+failure forensics; ``shrink`` minimizes an archived failing repro;
+``bench`` runs the streaming-engine performance suite and enforces the
+regression gate against a committed baseline.
 """
 
 from __future__ import annotations
@@ -117,6 +122,12 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--base-seed", type=int, default=0)
     camp.add_argument("--label", default="",
                       help="row label for the campaign tables")
+    camp.add_argument("--retain", choices=["full", "tail", "none"],
+                      default="tail",
+                      help="trace retention per run: full event list, "
+                           "forensic tail ring, or counters only")
+    camp.add_argument("--tail-size", type=int, default=256,
+                      help="ring-buffer size for --retain tail")
 
     shr = sub.add_parser("shrink", help="minimize a failing repro (seed + plan)")
     shr.add_argument("--fault-plan", required=True,
@@ -135,6 +146,20 @@ def build_parser() -> argparse.ArgumentParser:
     shr.add_argument("--max-probes", type=int, default=200)
     shr.add_argument("--out", default=None,
                      help="write the minimal fault plan JSON here")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the streaming-engine perf suite; write/check BENCH_core.json",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller workloads and run counts (CI smoke)")
+    bench.add_argument("--out", default=None,
+                       help="write the benchmark payload JSON here")
+    bench.add_argument("--check", default=None,
+                       help="baseline BENCH_core.json to gate against")
+    bench.add_argument("--threshold", type=float, default=0.25,
+                       help="allowed relative drop in the gated ratios")
+    bench.add_argument("--base-seed", type=int, default=0)
 
     return parser
 
@@ -287,6 +312,8 @@ def _campaign_spec(args: argparse.Namespace, messages: int) -> RunSpec:
         workload_factory=lambda seed: SequentialWorkload(messages),
         max_steps=args.max_steps,
         label=getattr(args, "label", "") or args.protocol,
+        retain=getattr(args, "retain", "full"),
+        tail_size=getattr(args, "tail_size", 256),
     )
 
 
@@ -359,6 +386,48 @@ def _cmd_shrink(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import check_regression, dump, load, run_bench
+
+    payload = run_bench(quick=args.quick, base_seed=args.base_seed)
+    macro = payload["results"]["macro"]
+    print(render_table(
+        ["workload", "mode", "steps/sec", "events/sec", "checker overhead"],
+        [
+            [workload, mode,
+             f"{stats['steps_per_second']:,.0f}",
+             f"{stats['events_per_second']:,.0f}",
+             f"{stats['checker_overhead_ratio']:.1%}"]
+            for workload, modes in macro.items()
+            for mode, stats in modes.items()
+        ],
+        title="macro benchmark (Monte-Carlo campaign path)",
+    ))
+    print()
+    print(render_table(
+        ["ratio", "value"],
+        [[key, f"{value:.2f}"] for key, value in sorted(payload["ratios"].items())],
+        title="gated ratios (streaming_none vs legacy, same run)",
+    ))
+    if args.out:
+        dump(payload, args.out)
+        print(f"\nbenchmark payload written to {args.out}")
+    if args.check:
+        try:
+            baseline = load(args.check)
+        except OSError as error:
+            raise SystemExit(
+                f"cannot read baseline {args.check!r}: {error.strerror}"
+            )
+        failures = check_regression(payload, baseline, threshold=args.threshold)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}")
+            return 1
+        print(f"regression gate passed (threshold {args.threshold:.0%})")
+    return 0
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from repro.sim.scenarios import get_scenario, list_scenarios
 
@@ -405,6 +474,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_campaign(args)
     if args.command == "shrink":
         return _cmd_shrink(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

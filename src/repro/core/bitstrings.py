@@ -75,13 +75,26 @@ class BitString:
         out._length = length
         return out
 
+    @classmethod
+    def _trusted(cls, value: int, length: int) -> "BitString":
+        """Internal fast constructor: caller guarantees ``0 <= value < 2**length``.
+
+        The stations draw and concatenate nonces on every handshake; this
+        skips :meth:`from_int`'s range checks for values that are already
+        invariant-true by construction.
+        """
+        out = cls.__new__(cls)
+        out._value = value
+        out._length = length
+        return out
+
     # -- Figure 3 operations -------------------------------------------------
 
     def concat(self, other: "BitString") -> "BitString":
         """Return the concatenation ``self || other`` (Figure 3 ``concat``)."""
         if not isinstance(other, BitString):
             raise TypeError("can only concat BitString with BitString")
-        return BitString.from_int(
+        return BitString._trusted(
             (self._value << other._length) | other._value,
             self._length + other._length,
         )
@@ -117,7 +130,7 @@ class BitString:
         """Return the first ``length`` bits of this string."""
         if not 0 <= length <= self._length:
             raise ValueError(f"prefix length {length} out of range 0..{self._length}")
-        return BitString.from_int(self._value >> (self._length - length), length)
+        return BitString._trusted(self._value >> (self._length - length), length)
 
     def suffix(self, length: int) -> "BitString":
         """Return the last ``length`` bits of this string.
@@ -128,7 +141,7 @@ class BitString:
         if not 0 <= length <= self._length:
             raise ValueError(f"suffix length {length} out of range 0..{self._length}")
         mask = (1 << length) - 1
-        return BitString.from_int(self._value & mask, length)
+        return BitString._trusted(self._value & mask, length)
 
     def to01(self) -> str:
         """Render as a string of '0'/'1' characters (MSB first)."""

@@ -9,13 +9,23 @@ mention (messages, packet identifiers, channel directions).
 
 Two channel directions exist, named after the paper's superscripts:
 ``T_TO_R`` (``C^{T→R}``) and ``R_TO_T`` (``C^{R→T}``).
+
+Events are immutable value types on the simulator's hottest path (several
+are allocated per step), so the hierarchy is slotted wherever the runtime
+supports it and the four field-less events are also available as interned
+singletons (:data:`OK`, :data:`CRASH_T`, :data:`CRASH_R`, :data:`RETRY`)
+that the recording layer reuses instead of allocating fresh instances.
+``ChannelId`` members are interned by construction (enum members are
+singletons), so identity comparison on channels is always safe.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional
+import sys
+from dataclasses import dataclass
+
+from repro.util.hotpath import trusted_constructor
 
 __all__ = [
     "ChannelId",
@@ -32,7 +42,22 @@ __all__ = [
     "EmitPacket",
     "EmitOk",
     "EmitReceiveMsg",
+    "OK",
+    "CRASH_T",
+    "CRASH_R",
+    "RETRY",
+    "EMIT_OK",
+    "make_send_msg",
+    "make_receive_msg",
+    "make_pkt_sent",
+    "make_pkt_delivered",
+    "make_emit_packet",
+    "make_emit_receive_msg",
 ]
+
+# ``slots=True`` needs Python 3.10; on 3.9 the classes degrade gracefully to
+# ordinary frozen dataclasses (with a per-instance __dict__).
+_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 
 class ChannelId(str, enum.Enum):
@@ -45,46 +70,46 @@ class ChannelId(str, enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class Event:
     """Base class for all recorded execution events."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class SendMsg(Event):
     """``send_msg(m)``: the higher layer hands message ``m`` to the TM."""
 
     message: bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class Ok(Event):
     """``OK``: the TM notifies the higher layer the last message arrived."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class ReceiveMsg(Event):
     """``receive_msg(m)``: the RM delivers ``m`` to the higher layer."""
 
     message: bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class CrashT(Event):
     """``crash^T``: the transmitting station loses its entire memory."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class CrashR(Event):
     """``crash^R``: the receiving station loses its entire memory."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class Retry(Event):
     """The RM's internal RETRY action (assumed to recur forever)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class PktSent(Event):
     """``send_pkt``/``new_pkt``: a packet entered a channel.
 
@@ -97,12 +122,21 @@ class PktSent(Event):
     length_bits: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class PktDelivered(Event):
     """``deliver_pkt``/``receive_pkt``: the adversary delivered a packet."""
 
     channel: ChannelId
     packet_id: int
+
+
+#: Interned instances of the field-less events.  Equal (``==``) to any other
+#: instance of their class, so recording layers may use them freely to avoid
+#: one allocation per occurrence.
+OK = Ok()
+CRASH_T = CrashT()
+CRASH_R = CrashR()
+RETRY = Retry()
 
 
 # ---------------------------------------------------------------------------
@@ -113,25 +147,39 @@ class PktDelivered(Event):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class StationOutput:
     """Base class for outputs produced by a station transition."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class EmitPacket(StationOutput):
     """The station asks for ``send_pkt(packet)`` on its outgoing channel."""
 
     packet: object  # DataPacket or PollPacket; typed loosely to avoid cycles
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class EmitOk(StationOutput):
     """The transmitter performs its ``OK`` output action."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class EmitReceiveMsg(StationOutput):
     """The receiver performs ``receive_msg(message)``."""
 
     message: bytes
+
+
+#: Interned instance of the field-less transmitter output.
+EMIT_OK = EmitOk()
+
+
+#: Trusted fast constructors (positional: the declared field order) for the
+#: event and output types the recording layer allocates per step.
+make_send_msg = trusted_constructor(SendMsg, "message")
+make_receive_msg = trusted_constructor(ReceiveMsg, "message")
+make_pkt_sent = trusted_constructor(PktSent, "channel", "packet_id", "length_bits")
+make_pkt_delivered = trusted_constructor(PktDelivered, "channel", "packet_id")
+make_emit_packet = trusted_constructor(EmitPacket, "packet")
+make_emit_receive_msg = trusted_constructor(EmitReceiveMsg, "message")

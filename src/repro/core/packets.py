@@ -21,13 +21,26 @@ fidelity.
 from __future__ import annotations
 
 import struct
+import sys
 from dataclasses import dataclass
 from typing import Union
 
 from repro.core.bitstrings import BitString
 from repro.core.exceptions import CodecError
+from repro.util.hotpath import trusted_constructor
 
-__all__ = ["DataPacket", "PollPacket", "Packet", "encode_packet", "decode_packet"]
+__all__ = [
+    "DataPacket",
+    "PollPacket",
+    "Packet",
+    "encode_packet",
+    "decode_packet",
+    "make_data_packet",
+    "make_poll_packet",
+]
+
+# Packets are allocated once per send_pkt; slot them where the runtime allows.
+_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 _KIND_DATA = 0xD1
 _KIND_POLL = 0xA5
@@ -39,6 +52,11 @@ def _encode_bitstring(bits: BitString) -> bytes:
     nbytes = (n + 7) // 8
     value = bits.value << (nbytes * 8 - n) if n else 0
     return struct.pack(">I", n) + value.to_bytes(nbytes, "big")
+
+
+def _bitstring_wire_bytes(bits: BitString) -> int:
+    """Byte length of :func:`_encode_bitstring`'s output, without encoding."""
+    return 4 + (len(bits) + 7) // 8
 
 
 def _decode_bitstring(data: bytes, offset: int) -> "tuple[BitString, int]":
@@ -54,7 +72,7 @@ def _decode_bitstring(data: bytes, offset: int) -> "tuple[BitString, int]":
     return BitString.from_int(value, n), offset + nbytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class DataPacket:
     """A transmitter→receiver packet ``(m, ρ, τ)``."""
 
@@ -78,8 +96,20 @@ class DataPacket:
 
     @property
     def wire_length_bits(self) -> int:
-        """``length(p)`` as reported to the adversary (Section 2.3)."""
-        return len(self.encode()) * 8
+        """``length(p)`` as reported to the adversary (Section 2.3).
+
+        Computed arithmetically from the canonical format (kind byte +
+        u32 message length + message + two length-prefixed bit strings) —
+        the channel reports a length per ``send_pkt``, so this must not
+        pay for a full serialization.
+        """
+        return (
+            1
+            + 4
+            + len(self.message)
+            + _bitstring_wire_bytes(self.rho)
+            + _bitstring_wire_bytes(self.tau)
+        ) * 8
 
     def __repr__(self) -> str:
         return (
@@ -88,7 +118,7 @@ class DataPacket:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_SLOTS)
 class PollPacket:
     """A receiver→transmitter packet ``(ρ, τ, i)``.
 
@@ -115,8 +145,17 @@ class PollPacket:
 
     @property
     def wire_length_bits(self) -> int:
-        """``length(p)`` as reported to the adversary (Section 2.3)."""
-        return len(self.encode()) * 8
+        """``length(p)`` as reported to the adversary (Section 2.3).
+
+        Arithmetic form of ``len(self.encode()) * 8`` — see
+        :meth:`DataPacket.wire_length_bits`.
+        """
+        return (
+            1
+            + _bitstring_wire_bytes(self.rho)
+            + _bitstring_wire_bytes(self.tau)
+            + 8
+        ) * 8
 
     def __repr__(self) -> str:
         return (
@@ -126,6 +165,12 @@ class PollPacket:
 
 
 Packet = Union[DataPacket, PollPacket]
+
+#: Trusted fast constructors (positional: the declared field order).  The
+#: stations build several packets per handshake from already-validated
+#: protocol state; these skip the frozen-dataclass ``__init__`` overhead.
+make_data_packet = trusted_constructor(DataPacket, "message", "rho", "tau")
+make_poll_packet = trusted_constructor(PollPacket, "rho", "tau", "retry")
 
 
 def encode_packet(packet: Packet) -> bytes:

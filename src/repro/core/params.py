@@ -230,11 +230,25 @@ class ProtocolParams:
                 f"policy {self.policy.name!r} does not satisfy the epsilon/4 union "
                 f"bound; pass require_sound_policy=False to use it anyway"
             )
+        # Per-generation memo: the stations ask for size/bound on every nonce
+        # draw and error count, and both are pure in (policy, ε, t).  The
+        # caches live outside the frozen field set (object.__setattr__ is the
+        # sanctioned escape hatch in __post_init__).
+        object.__setattr__(self, "_size_cache", {})
+        object.__setattr__(self, "_bound_cache", {})
 
     def size(self, t: int) -> int:
         """``size(t, ε)`` with this configuration's ε baked in."""
-        return self.policy.size(t, self.epsilon)
+        cache = self._size_cache
+        value = cache.get(t)
+        if value is None:
+            value = cache[t] = self.policy.size(t, self.epsilon)
+        return value
 
     def bound(self, t: int) -> int:
         """``bound(t)`` of the configured policy."""
-        return self.policy.bound(t)
+        cache = self._bound_cache
+        value = cache.get(t)
+        if value is None:
+            value = cache[t] = self.policy.bound(t)
+        return value

@@ -53,6 +53,10 @@ class RandomSource:
         self._seed = seed
         self._rng = random.Random(seed)
         self._bits_drawn = 0
+        # Shadow random_float with the Twister's bound method: the uniform
+        # draw is made once per adversary turn, and the wrapper frame is
+        # pure overhead on that path.  Identical stream, same API.
+        self.random_float = self._rng.random
 
     @property
     def seed(self) -> Optional[int]:
@@ -82,7 +86,9 @@ class RandomSource:
         self._bits_drawn += length
         if length == 0:
             return BitString("")
-        return BitString.from_int(self._rng.getrandbits(length), length)
+        # getrandbits yields < 2**length by contract, so the trusted
+        # constructor's invariant holds without a range check.
+        return BitString._trusted(self._rng.getrandbits(length), length)
 
     # -- generic sampling helpers ----------------------------------------------
 

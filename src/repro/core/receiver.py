@@ -26,9 +26,9 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.bitstrings import BitString, TAU_CRASH
-from repro.core.events import EmitPacket, EmitReceiveMsg, StationOutput
+from repro.core.events import StationOutput, make_emit_packet, make_emit_receive_msg
 from repro.core.exceptions import ProtocolError
-from repro.core.packets import DataPacket, PollPacket
+from repro.core.packets import DataPacket, make_poll_packet
 from repro.core.params import ProtocolParams
 from repro.core.random_source import RandomSource
 
@@ -113,10 +113,10 @@ class Receiver:
 
     def retry(self) -> List[StationOutput]:
         """The internal RETRY action: (re)send the current poll packet."""
-        packet = PollPacket(rho=self._rho, tau=self._tau, retry=self._i)
+        packet = make_poll_packet(self._rho, self._tau, self._i)
         self._i += 1
         self.stats.packets_sent += 1
-        return [EmitPacket(packet)]
+        return [make_emit_packet(packet)]
 
     def on_receive_pkt(self, packet: DataPacket) -> List[StationOutput]:
         """``receive_pkt^{T→R}(m, ρ, τ)``: Figure 5's decision tree."""
@@ -155,7 +155,7 @@ class Receiver:
         self._rho = self._rng.random_bits(self._params.size(1))
         self.stats.deliveries += 1
         self.stats.observe_rho(self._rho)
-        return [EmitReceiveMsg(packet.message)]
+        return [make_emit_receive_msg(packet.message)]
 
     def _count_rho_error(self, rho: BitString) -> None:
         """num^R bookkeeping (the ELSE branch of Figure 5).

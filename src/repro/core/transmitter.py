@@ -32,9 +32,9 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.bitstrings import BitString, TAU_PRIME_CRASH
-from repro.core.events import EmitOk, EmitPacket, StationOutput
+from repro.core.events import EMIT_OK, StationOutput, make_emit_packet
 from repro.core.exceptions import ProtocolError
-from repro.core.packets import DataPacket, PollPacket
+from repro.core.packets import PollPacket, make_data_packet
 from repro.core.params import ProtocolParams
 from repro.core.random_source import RandomSource
 
@@ -144,9 +144,9 @@ class Transmitter:
             # Nothing heard from the receiver yet (e.g. right after a
             # crash); stay silent and let the receiver's polls drive us.
             return []
-        packet = DataPacket(message=message, rho=self._rho_next, tau=self._tau)
+        packet = make_data_packet(message, self._rho_next, self._tau)
         self.stats.packets_sent += 1
-        return [EmitPacket(packet)]
+        return [make_emit_packet(packet)]
 
     def on_receive_pkt(self, packet: PollPacket) -> List[StationOutput]:
         """``receive_pkt^{R→T}(ρ, τ, i)``: react to a receiver poll/ack."""
@@ -171,18 +171,16 @@ class Transmitter:
             self._t = 1
             self._num = 0
             self.stats.oks += 1
-            return [EmitOk()]
+            return [EMIT_OK]
 
         self._count_tau_error(packet.tau)
 
         if packet.retry > self._i_seen:
             self._i_seen = packet.retry
             assert self._message is not None
-            reply = DataPacket(
-                message=self._message, rho=packet.rho, tau=self._tau
-            )
+            reply = make_data_packet(self._message, packet.rho, self._tau)
             self.stats.packets_sent += 1
-            return [EmitPacket(reply)]
+            return [make_emit_packet(reply)]
         self.stats.polls_ignored += 1
         return []
 

@@ -33,13 +33,13 @@ from collections import deque
 from typing import Deque, Dict, List, Optional
 
 from repro.adversary.base import (
+    CRASH_RECEIVER,
+    CRASH_TRANSMITTER,
+    PASS,
+    TRIGGER_RETRY,
     Adversary,
-    CrashReceiver,
-    CrashTransmitter,
-    Deliver,
     Move,
-    Pass,
-    TriggerRetry,
+    make_deliver,
 )
 from repro.channel.channel import ChannelPair, PacketInfo
 from repro.core.bitstrings import BitString
@@ -119,10 +119,10 @@ class ContentAwareReplayAttacker(Adversary):
             return self._faithful_move()
         if self._phase == _Phase.CRASH_T:
             self._phase = _Phase.CRASH_R
-            return CrashTransmitter()
+            return CRASH_TRANSMITTER
         if self._phase == _Phase.CRASH_R:
             self._phase = _Phase.SURGERY
-            return CrashReceiver()
+            return CRASH_RECEIVER
         return self._surgery_move()
 
     def _surgery_move(self) -> Move:
@@ -136,11 +136,11 @@ class ContentAwareReplayAttacker(Adversary):
                 self.surgical_hits += 1
                 if self.strikes_at_first_hit is None:
                     self.strikes_at_first_hit = self._strikes
-                return Deliver(channel=hit.channel, packet_id=hit.packet_id)
+                return make_deliver(hit.channel, hit.packet_id)
         # No archived packet matches the live challenge: provoke another
         # poll and read again.  (Against the real protocol this loops until
         # the budget runs out — the index simply never contains the value.)
-        return TriggerRetry()
+        return TRIGGER_RETRY
 
     def _read_current_challenge(self) -> Optional[BitString]:
         """Peek the newest receiver poll for its challenge value."""
@@ -157,8 +157,8 @@ class ContentAwareReplayAttacker(Adversary):
     def _faithful_move(self) -> Move:
         if self._pending:
             info = self._pending.popleft()
-            return Deliver(channel=info.channel, packet_id=info.packet_id)
-        return Pass()
+            return make_deliver(info.channel, info.packet_id)
+        return PASS
 
     def describe(self) -> str:
         return (

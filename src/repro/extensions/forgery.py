@@ -32,7 +32,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional
 
-from repro.adversary.base import Adversary, Deliver, Move, Pass
+from repro.adversary.base import (
+    PASS,
+    Adversary,
+    Deliver,
+    Move,
+    make_deliver,
+)
 from repro.channel.channel import PacketInfo
 from repro.core.events import ChannelId, Event
 from repro.core.packets import DataPacket, PollPacket
@@ -109,6 +115,7 @@ class ForgingSimulator(Simulator):
                 tau=self._noise.random_bits(move.tau_bits),
             )
             target = self._link.receiver
+            out_channel = self._r_to_t
         else:
             packet = PollPacket(
                 rho=self._noise.random_bits(move.rho_bits),
@@ -116,13 +123,14 @@ class ForgingSimulator(Simulator):
                 retry=self._noise.randint(0, move.max_retry),
             )
             target = self._link.transmitter
+            out_channel = self._t_to_r
         self.trace.append(
             PktForged(channel=move.channel, length_bits=packet.wire_length_bits)
         )
         self.forged_deliveries += 1
         outputs = target.on_receive_pkt(packet)
-        source = "receiver" if move.channel == ChannelId.T_TO_R else "transmitter"
-        self._apply_outputs(outputs, source=source)
+        if outputs:
+            self._apply_outputs(outputs, out_channel)
 
 
 class RandomNoiseForger(Adversary):
@@ -158,8 +166,8 @@ class RandomNoiseForger(Adversary):
             )
         if self._pending:
             info = self._pending.popleft()
-            return Deliver(channel=info.channel, packet_id=info.packet_id)
-        return Pass()
+            return make_deliver(info.channel, info.packet_id)
+        return PASS
 
     def describe(self) -> str:
         return f"noise-forger(rate={self._forge_rate})"
@@ -234,8 +242,8 @@ class ForgeryLivenessAttacker(Adversary):
         if self._pending:
             info = self._pending.popleft()
             self.genuine_deliveries += 1
-            return Deliver(channel=info.channel, packet_id=info.packet_id)
-        return Pass()
+            return make_deliver(info.channel, info.packet_id)
+        return PASS
 
     def describe(self) -> str:
         return f"forgery-liveness-attack(gen={self._generation})"
@@ -282,8 +290,8 @@ class RetryFloodAttacker(Adversary):
             )
         if self._pending:
             info = self._pending.popleft()
-            return Deliver(channel=info.channel, packet_id=info.packet_id)
-        return Pass()
+            return make_deliver(info.channel, info.packet_id)
+        return PASS
 
     def describe(self) -> str:
         return f"retry-flood(stall={self._stall}, forged={self.forged_polls})"

@@ -1,0 +1,17 @@
+"""Performance harness: benchmarks and the BENCH_core.json regression gate."""
+
+from repro.perf.bench import (
+    SEED_BASELINE,
+    SEED_COMPARISON,
+    check_regression,
+    gate_ratios,
+    run_bench,
+)
+
+__all__ = [
+    "SEED_BASELINE",
+    "SEED_COMPARISON",
+    "check_regression",
+    "gate_ratios",
+    "run_bench",
+]

@@ -1,0 +1,408 @@
+"""Micro/macro benchmarks for the streaming trace engine.
+
+The harness answers three questions, repeatably:
+
+* **micro** — how fast are the primitives: raw ``Trace.append`` and the
+  online :class:`~repro.checkers.StreamingChecks` dispatch, in events/sec;
+* **macro** — how fast is the Monte-Carlo campaign path end to end
+  (simulate + record + check), in steps/sec and events/sec, under three
+  engine modes:
+
+  - ``legacy``       — full trace retention, per-step storage sampling,
+    post-hoc batch checkers: the cost model of the pre-streaming engine;
+  - ``streaming_full`` — online monitors riding a fully-retained trace
+    (today's ``run_once`` default);
+  - ``streaming_none`` — online monitors with ``retain="none"``: the
+    checker-only campaign configuration;
+
+* **memory** — peak ``tracemalloc`` footprint of one long run per mode.
+
+Absolute throughput is machine-dependent, so the regression gate
+(:func:`check_regression`) compares only *within-run ratios* — the
+streaming-vs-legacy speedup and memory reduction — against the committed
+``BENCH_core.json`` baseline.  Those ratios are stable across hosts; a
+>25 % drop means the streaming engine lost its advantage, i.e. a real
+regression.  :data:`SEED_BASELINE` additionally records the absolute
+numbers measured on the pre-streaming tree for the before/after story.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import sys
+import tracemalloc
+from time import perf_counter
+from typing import Callable, Dict, List, Optional
+
+from repro.adversary.random_faults import FaultProfile, RandomFaultAdversary
+from repro.checkers.liveness import check_liveness
+from repro.checkers.safety import check_all_safety
+from repro.checkers.streaming import StreamingChecks
+from repro.checkers.trace import Trace
+from repro.core.events import (
+    OK,
+    ChannelId,
+    Event,
+    PktDelivered,
+    PktSent,
+    ReceiveMsg,
+    SendMsg,
+)
+from repro.core.random_source import split_seed
+from repro.sim.runner import RunSpec, run_once
+from repro.sim.simulator import Simulator
+
+__all__ = [
+    "SEED_BASELINE",
+    "SEED_COMPARISON",
+    "MACRO_MODES",
+    "run_bench",
+    "gate_ratios",
+    "check_regression",
+]
+
+#: Absolute numbers measured on the pre-streaming tree (commit ec5718d,
+#: the engine this PR replaces), with the same workloads as the "full"
+#: macro benchmark.  Methodology: a git worktree of the seed commit and
+#: the current tree were benchmarked in alternating subprocesses on the
+#: same host (6-run warm-up, then best of three 6-run trials of
+#: RunSpec.default(messages=200); medians over three interleaved
+#: repetitions), which bounds the host's timing drift to well under the
+#: measured gap.  Memory is the peak tracemalloc footprint of one
+#: 400-message run.  Kept for the measured before/after table; never used
+#: by the regression gate (absolute throughput is machine-dependent).
+SEED_BASELINE: Dict[str, Dict[str, float]] = {
+    "reliable": {
+        "steps_per_second": 87_760.5,
+        "events_per_second": 174_975.3,
+    },
+    "lossy": {
+        "steps_per_second": 92_049.6,
+        "events_per_second": 139_945.1,
+    },
+    "memory": {
+        "reliable_peak_tracemalloc_bytes_400_messages": 630_109.0,
+        "lossy_peak_tracemalloc_bytes_400_messages": 762_549.0,
+    },
+}
+
+#: The paired "after" numbers from the same interleaved A/B session that
+#: produced :data:`SEED_BASELINE` (seed worktree vs this tree, alternating
+#: subprocesses, medians of three repetitions).  This is the measured
+#: before/after story: the streaming engine with ``retain="none"`` clears
+#: 2x steps/sec on both campaign workloads and roughly halves the peak
+#: footprint.  Like the baseline, these absolutes are host-specific.
+SEED_COMPARISON: Dict[str, Dict[str, float]] = {
+    "reliable": {
+        "seed_steps_per_second": 87_760.5,
+        "streaming_none_steps_per_second": 175_209.8,
+        "steps_speedup": 2.00,
+        "seed_peak_tracemalloc_bytes": 630_109.0,
+        "streaming_none_peak_tracemalloc_bytes": 320_087.0,
+        "memory_reduction": 1.97,
+    },
+    "lossy": {
+        "seed_steps_per_second": 92_049.6,
+        "streaming_none_steps_per_second": 203_840.0,
+        "steps_speedup": 2.21,
+        "seed_peak_tracemalloc_bytes": 762_549.0,
+        "streaming_none_peak_tracemalloc_bytes": 377_999.0,
+        "memory_reduction": 2.02,
+    },
+}
+
+MACRO_MODES = ("legacy", "streaming_full", "streaming_none")
+
+#: Ratios the regression gate compares against the committed baseline.
+_GATE_KEYS = (
+    "steps_speedup_reliable",
+    "steps_speedup_lossy",
+    "memory_reduction_reliable",
+    "memory_reduction_lossy",
+)
+
+
+def _reliable_spec(messages: int) -> RunSpec:
+    return RunSpec.default(messages=messages, label="reliable")
+
+
+def _lossy_spec(messages: int) -> RunSpec:
+    spec = RunSpec.default(messages=messages, label="lossy")
+    spec.adversary_factory = lambda: RandomFaultAdversary(FaultProfile(loss=0.2))
+    spec.max_steps = 400_000
+    return spec
+
+
+def _legacy_run(spec: RunSpec, seed: int):
+    """One run under the pre-streaming cost model.
+
+    Mirrors what ``run_once`` did before the streaming engine: record a
+    full trace with per-step storage sampling and no online monitors, then
+    evaluate safety and liveness post-hoc over the finished trace.
+    """
+    link = spec.link_factory(split_seed(seed, "link"))
+    adversary = spec.adversary_factory()
+    workload = spec.workload_factory(split_seed(seed, "workload"))
+    simulator = Simulator(
+        link=link,
+        adversary=adversary,
+        workload=workload,
+        seed=split_seed(seed, "adversary"),
+        retry_every=spec.retry_every,
+        max_steps=spec.max_steps,
+        enforce_fairness=spec.enforce_fairness,
+        fairness_patience=spec.fairness_patience,
+        retain="full",
+        storage_sample_every=1,
+        keep_storage_samples=True,
+    )
+    result = simulator.run()
+    safety = check_all_safety(result.trace)
+    liveness = check_liveness(result.trace, run_completed=result.completed)
+    if not (safety.passed and liveness.passed):
+        raise RuntimeError(f"benchmark run violated a condition: {result.trace}")
+    return result
+
+
+def _mode_runner(spec: RunSpec, mode: str) -> Callable[[int], "object"]:
+    """Returns seed -> SimulationResult for one engine mode."""
+    if mode == "legacy":
+        return lambda seed: _legacy_run(spec, seed)
+    retain = "none" if mode == "streaming_none" else "full"
+    streaming_spec = dataclasses.replace(spec, retain=retain)
+    return lambda seed: run_once(streaming_spec, seed).result
+
+
+def _bench_macro_workload(
+    spec: RunSpec, runs: int, base_seed: int
+) -> Dict[str, Dict[str, float]]:
+    """Benchmark every engine mode over one workload, interleaved.
+
+    The modes take turns run-by-run (legacy run 0, streaming run 0, …,
+    legacy run 1, …) rather than as back-to-back blocks, so slow drift in
+    the host's clock speed hits every mode about equally and the gated
+    *ratios* stay meaningful even on a noisy machine.  One untimed
+    warm-up run per mode pays the import/JIT-warming cost up front.
+    """
+    runners = {mode: _mode_runner(spec, mode) for mode in MACRO_MODES}
+    totals = {
+        mode: {"wall_seconds": 0.0, "steps": 0, "events": 0, "checker_seconds": 0.0}
+        for mode in MACRO_MODES
+    }
+    for runner in runners.values():
+        runner(split_seed(base_seed, "bench-warmup"))
+    for i in range(runs):
+        seed = split_seed(base_seed, "bench", i)
+        for mode, runner in runners.items():
+            started = perf_counter()
+            result = runner(seed)
+            wall = perf_counter() - started
+            bucket = totals[mode]
+            bucket["wall_seconds"] += wall
+            bucket["steps"] += result.steps
+            bucket["events"] += result.trace.total_events
+            bucket["checker_seconds"] += result.metrics.checker_seconds
+    stats: Dict[str, Dict[str, float]] = {}
+    for mode, bucket in totals.items():
+        wall = bucket["wall_seconds"]
+        stats[mode] = {
+            "runs": runs,
+            "wall_seconds": wall,
+            "steps": bucket["steps"],
+            "events": bucket["events"],
+            "steps_per_second": bucket["steps"] / wall if wall > 0 else 0.0,
+            "events_per_second": bucket["events"] / wall if wall > 0 else 0.0,
+            "checker_overhead_ratio": (
+                bucket["checker_seconds"] / wall if wall > 0 else 0.0
+            ),
+        }
+    return stats
+
+
+def _bench_memory_mode(spec: RunSpec, mode: str, base_seed: int) -> int:
+    """Peak tracemalloc footprint (bytes) of one run under ``mode``."""
+    runner = _mode_runner(spec, mode)
+    seed = split_seed(base_seed, "bench-mem")
+    tracemalloc.start()
+    try:
+        runner(seed)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def _synthetic_events(count: int) -> List[Event]:
+    """A protocol-shaped event mix: one handshake per message, no faults."""
+    events: List[Event] = []
+    message_index = 0
+    while len(events) < count:
+        message = message_index.to_bytes(4, "big")
+        message_index += 1
+        events.append(SendMsg(message=message))
+        events.append(
+            PktSent(channel=ChannelId.T_TO_R, packet_id=message_index, length_bits=256)
+        )
+        events.append(PktDelivered(channel=ChannelId.T_TO_R, packet_id=message_index))
+        events.append(ReceiveMsg(message=message))
+        events.append(
+            PktSent(channel=ChannelId.R_TO_T, packet_id=message_index, length_bits=128)
+        )
+        events.append(PktDelivered(channel=ChannelId.R_TO_T, packet_id=message_index))
+        events.append(OK)
+    return events[:count]
+
+
+def _bench_trace_append(events: List[Event]) -> Dict[str, float]:
+    started = perf_counter()
+    trace = Trace()
+    append = trace.append
+    for event in events:
+        append(event)
+    wall = perf_counter() - started
+    return {
+        "events": len(events),
+        "wall_seconds": wall,
+        "events_per_second": len(events) / wall if wall > 0 else 0.0,
+    }
+
+
+def _bench_streaming_checks(events: List[Event]) -> Dict[str, float]:
+    checks = StreamingChecks()
+    observe = checks.observe
+    started = perf_counter()
+    for index, event in enumerate(events):
+        observe(index, event)
+    wall = perf_counter() - started
+    if not checks.safety_report().passed:
+        raise RuntimeError("synthetic benchmark stream violated a condition")
+    return {
+        "events": len(events),
+        "wall_seconds": wall,
+        "events_per_second": len(events) / wall if wall > 0 else 0.0,
+    }
+
+
+def gate_ratios(results: dict) -> Dict[str, float]:
+    """The machine-independent ratios the regression gate compares."""
+    macro = results["macro"]
+    memory = results["memory"]
+    ratios: Dict[str, float] = {}
+    for workload in ("reliable", "lossy"):
+        legacy = macro[workload]["legacy"]
+        fast = macro[workload]["streaming_none"]
+        if legacy["steps_per_second"] > 0:
+            ratios[f"steps_speedup_{workload}"] = (
+                fast["steps_per_second"] / legacy["steps_per_second"]
+            )
+        if memory[workload]["streaming_none"] > 0:
+            ratios[f"memory_reduction_{workload}"] = (
+                memory[workload]["legacy"] / memory[workload]["streaming_none"]
+            )
+    return ratios
+
+
+def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
+    """Run the full benchmark matrix; returns the BENCH_core.json payload.
+
+    ``quick=True`` shrinks workloads and run counts for CI smoke (the
+    gated ratios stay meaningful; only their variance grows).
+    """
+    if quick:
+        messages, runs, micro_events = 60, 4, 40_000
+    else:
+        messages, runs, micro_events = 200, 12, 200_000
+    memory_messages = messages * 2
+    specs = {
+        "reliable": _reliable_spec(messages),
+        "lossy": _lossy_spec(messages),
+    }
+    macro: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for workload, spec in specs.items():
+        macro[workload] = _bench_macro_workload(spec, runs, base_seed)
+    memory_specs = {
+        "reliable": _reliable_spec(memory_messages),
+        "lossy": _lossy_spec(memory_messages),
+    }
+    memory: Dict[str, Dict[str, int]] = {}
+    for workload, spec in memory_specs.items():
+        memory[workload] = {
+            mode: _bench_memory_mode(spec, mode, base_seed) for mode in MACRO_MODES
+        }
+    events = _synthetic_events(micro_events)
+    micro = {
+        "trace_append": _bench_trace_append(events),
+        "streaming_checks": _bench_streaming_checks(events),
+    }
+    results = {
+        "macro": macro,
+        "memory": memory,
+        "micro": micro,
+    }
+    return {
+        "schema": 1,
+        "quick": quick,
+        "config": {
+            "messages": messages,
+            "runs": runs,
+            "memory_messages": memory_messages,
+            "micro_events": micro_events,
+            "base_seed": base_seed,
+        },
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "seed_baseline": SEED_BASELINE,
+        "seed_comparison": SEED_COMPARISON,
+        "results": results,
+        "ratios": gate_ratios(results),
+    }
+
+
+def check_regression(
+    current: dict, baseline: dict, threshold: float = 0.25
+) -> List[str]:
+    """Compare gated ratios against a baseline payload.
+
+    Returns a list of human-readable failures; empty means the gate
+    passes.  A ratio regresses when it falls more than ``threshold``
+    below the baseline's value.  Ratios absent from the baseline are
+    skipped (forward compatibility), ratios absent from the current run
+    are failures.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    failures: List[str] = []
+    baseline_ratios = baseline.get("ratios", {})
+    current_ratios = current.get("ratios", {})
+    for key in _GATE_KEYS:
+        expected = baseline_ratios.get(key)
+        if expected is None:
+            continue
+        actual = current_ratios.get(key)
+        if actual is None:
+            failures.append(f"{key}: missing from current results")
+            continue
+        floor = expected * (1.0 - threshold)
+        if actual < floor:
+            failures.append(
+                f"{key}: {actual:.2f} fell below {floor:.2f} "
+                f"(baseline {expected:.2f}, threshold {threshold:.0%})"
+            )
+    return failures
+
+
+def dump(payload: dict, path: str) -> None:
+    """Write a benchmark payload as pretty JSON."""
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def load(path: str) -> dict:
+    """Read a benchmark payload written by :func:`dump`."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return json.load(stream)

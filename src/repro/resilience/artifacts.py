@@ -82,6 +82,7 @@ def write_run_artifact(
             "error": report.error,
             "spec_label": spec_label,
             "has_trace": report.trace_jsonl is not None,
+            "trace_dropped_events": report.trace_dropped_events,
         },
     )
     if report.safety_summary is not None:
@@ -133,6 +134,7 @@ def write_campaign_artifacts(root: str, result) -> str:
             "jobs": result.config.jobs,
             "timeout": result.config.timeout,
             "retries": result.config.retries,
+            "retain": result.spec.retain,
             "fault_plan": (
                 result.fault_plan.to_dict() if result.fault_plan else None
             ),

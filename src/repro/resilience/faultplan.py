@@ -33,12 +33,13 @@ from dataclasses import dataclass, fields, replace
 from typing import Dict, Iterable, List, Optional, Tuple, Type
 
 from repro.adversary.base import (
+    CRASH_RECEIVER,
+    CRASH_TRANSMITTER,
+    PASS,
     Adversary,
-    CrashReceiver,
-    CrashTransmitter,
     Deliver,
     Move,
-    Pass,
+    make_deliver,
 )
 from repro.channel.channel import PacketInfo
 from repro.core.events import ChannelId
@@ -438,13 +439,13 @@ class ScriptedAdversary(Adversary):
                 while True:  # until the supervisor's watchdog interrupts
                     time.sleep(0.05)
             time.sleep(seconds)
-            return Pass()
+            return PASS
         stations = self._crashes.get(turn)
         if stations:
             station = stations.pop(0)
             if not stations:
                 del self._crashes[turn]
-            return CrashTransmitter() if station == "T" else CrashReceiver()
+            return CRASH_TRANSMITTER if station == "T" else CRASH_RECEIVER
         if turn in self._dups and self._last_announced is not None:
             for burst in self._dups.pop(turn):
                 self._redeliver.extend(
@@ -453,19 +454,19 @@ class ScriptedAdversary(Adversary):
                 )
                 self.duplicated += burst.copies
         if any(w.start <= turn <= w.end for w in self._stalls):
-            return Pass()
+            return PASS
         due = next(
             (i for i, (when, _) in enumerate(self._redeliver) if when <= turn), None
         )
         if due is not None:
             _, info = self._redeliver.pop(due)
-            return Deliver(channel=info.channel, packet_id=info.packet_id)
+            return make_deliver(info.channel, info.packet_id)
         if self.inner is not None:
             return self.inner.next_move()
         if self._queue:
             info = self._queue.pop(0)
-            return Deliver(channel=info.channel, packet_id=info.packet_id)
-        return Pass()
+            return make_deliver(info.channel, info.packet_id)
+        return PASS
 
     def describe(self) -> str:
         inner = f", inner={self.inner.describe()}" if self.inner else ""

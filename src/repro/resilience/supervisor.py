@@ -104,6 +104,9 @@ class RunReport:
     violations: Tuple[str, ...] = ()
     trace_jsonl: Optional[str] = field(repr=False, default=None)
     error: Optional[str] = None
+    #: Events the trace's retention mode discarded (0 for retain="full";
+    #: a captured tail trace is partial when this is non-zero).
+    trace_dropped_events: int = 0
 
     @property
     def has_data(self) -> bool:
@@ -218,12 +221,13 @@ def execute_attempt(
         for report in outcome.safety.all_reports
         for v in report.violations[:8]
     )
+    trace = outcome.result.trace
     trace_jsonl = None
-    if capture_trace and status is not RunStatus.OK:
+    if capture_trace and status is not RunStatus.OK and trace.retention != "none":
         from repro.checkers.serialize import dump_trace
 
         buffer = io.StringIO()
-        dump_trace(outcome.result.trace, buffer)
+        dump_trace(trace, buffer)
         trace_jsonl = buffer.getvalue()
     return RunReport(
         index=index,
@@ -237,6 +241,7 @@ def execute_attempt(
         safety_summary=dict(summary),
         violations=violations,
         trace_jsonl=trace_jsonl,
+        trace_dropped_events=trace.dropped_events,
     )
 
 
@@ -367,6 +372,44 @@ class CampaignResult:
         ]
         return sum(values) / len(values) if values else float("inf")
 
+    def _timed_metrics(self) -> List[SimulationMetrics]:
+        return [
+            r.metrics
+            for r in self.data_reports
+            if r.metrics is not None and r.metrics.wall_seconds > 0.0
+        ]
+
+    @property
+    def steps_per_second(self) -> float:
+        """Pooled per-worker simulation throughput (total steps / total wall).
+
+        Wall time is summed across runs, so this is the single-worker rate;
+        multiply by effective parallelism for campaign throughput.
+        """
+        timed = self._timed_metrics()
+        wall = sum(m.wall_seconds for m in timed)
+        if wall <= 0.0:
+            return 0.0
+        return sum(m.steps for m in timed) / wall
+
+    @property
+    def events_per_second(self) -> float:
+        """Pooled per-worker recording throughput (total events / total wall)."""
+        timed = self._timed_metrics()
+        wall = sum(m.wall_seconds for m in timed)
+        if wall <= 0.0:
+            return 0.0
+        return sum(m.events_recorded for m in timed) / wall
+
+    @property
+    def checker_overhead_ratio(self) -> float:
+        """Pooled share of run wall time spent in the online checkers."""
+        timed = self._timed_metrics()
+        wall = sum(m.wall_seconds for m in timed)
+        if wall <= 0.0:
+            return 0.0
+        return sum(m.checker_seconds for m in timed) / wall
+
     def fingerprint(self) -> tuple:
         """Deterministic identity of the whole campaign (for replay checks)."""
         return tuple(report.fingerprint() for report in self.reports)
@@ -397,6 +440,20 @@ class CampaignResult:
             title="pooled violation rates (completed runs only)",
         )
         blocks = [summary, "", rates]
+        if self._timed_metrics():
+            throughput = render_table(
+                ["steps/sec", "events/sec", "checker overhead", "retention"],
+                [
+                    [
+                        f"{self.steps_per_second:,.0f}",
+                        f"{self.events_per_second:,.0f}",
+                        f"{self.checker_overhead_ratio:.1%}",
+                        self.spec.retain,
+                    ]
+                ],
+                title="per-worker throughput (data runs)",
+            )
+            blocks += ["", throughput]
         problem_rows = [
             [
                 r.index,

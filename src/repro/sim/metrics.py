@@ -10,6 +10,10 @@ The paper makes three quantitative claims the experiments measure:
 
 :class:`MetricsCollector` samples the live system as the simulator runs;
 :class:`SimulationMetrics` is the frozen summary attached to results.
+Alongside the protocol-level quantities, the summary carries the harness's
+own throughput (``steps_per_second``, ``events_per_second``) and the cost
+of online checking (``checker_overhead_ratio``), so sweeps report speed
+next to violation rates.
 """
 
 from __future__ import annotations
@@ -30,6 +34,10 @@ class SimulationMetrics:
     ``storage_peak_bits`` / ``storage_samples`` track the combined nonce
     footprint of both stations; ``per_message_packets`` divides total
     packets by *resolved* messages (the paper's communication-cost unit).
+    ``wall_seconds`` is the wall-clock time of the run loop,
+    ``checker_seconds`` the share spent in the online monitors (0.0 when
+    none were attached), and ``events_recorded`` the full event count of
+    the execution regardless of trace retention.
     """
 
     steps: int
@@ -49,6 +57,9 @@ class SimulationMetrics:
     storage_peak_bits: int
     storage_final_bits: int
     storage_samples: List[int] = field(repr=False, default_factory=list)
+    wall_seconds: float = 0.0
+    checker_seconds: float = 0.0
+    events_recorded: int = 0
 
     @property
     def per_message_packets(self) -> float:
@@ -71,13 +82,45 @@ class SimulationMetrics:
             return 0.0
         return self.packets_delivered / self.packets_sent
 
+    @property
+    def steps_per_second(self) -> float:
+        """Simulation steps per wall-clock second (0.0 if untimed)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.steps / self.wall_seconds
+
+    @property
+    def events_per_second(self) -> float:
+        """Recorded events per wall-clock second (0.0 if untimed)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.events_recorded / self.wall_seconds
+
+    @property
+    def checker_overhead_ratio(self) -> float:
+        """Fraction of the run's wall time spent in the online checkers."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.checker_seconds / self.wall_seconds
+
 
 class MetricsCollector:
-    """Accumulates counters during a run and freezes them at the end."""
+    """Accumulates counters during a run and freezes them at the end.
 
-    def __init__(self, link: DataLink, channels: ChannelPair) -> None:
+    ``keep_storage_samples=False`` keeps the peak/final storage figures but
+    drops the per-sample series — campaigns running thousands of runs don't
+    want a list the length of the execution pickled back per run.
+    """
+
+    def __init__(
+        self,
+        link: DataLink,
+        channels: ChannelPair,
+        keep_storage_samples: bool = True,
+    ) -> None:
         self._link = link
         self._channels = channels
+        self._keep_storage_samples = keep_storage_samples
         self._storage_samples: List[int] = []
         self._storage_peak = 0
         self.messages_submitted = 0
@@ -90,14 +133,22 @@ class MetricsCollector:
     def sample_storage(self) -> None:
         """Record the current combined nonce footprint (call per step)."""
         bits = self._link.total_storage_bits()
-        self._storage_samples.append(bits)
+        if self._keep_storage_samples:
+            self._storage_samples.append(bits)
         if bits > self._storage_peak:
             self._storage_peak = bits
 
-    def freeze(self, steps: int) -> SimulationMetrics:
+    def freeze(
+        self,
+        steps: int,
+        wall_seconds: float = 0.0,
+        checker_seconds: float = 0.0,
+        events_recorded: int = 0,
+    ) -> SimulationMetrics:
         """Produce the immutable summary for a finished run."""
         t_stats = self._link.transmitter.stats
         r_stats = self._link.receiver.stats
+        final_bits = self._link.total_storage_bits()
         return SimulationMetrics(
             steps=steps,
             messages_submitted=self.messages_submitted,
@@ -116,7 +167,10 @@ class MetricsCollector:
             receiver_extensions=r_stats.extensions,
             transmitter_errors_counted=t_stats.errors_counted,
             receiver_errors_counted=r_stats.errors_counted,
-            storage_peak_bits=self._storage_peak,
-            storage_final_bits=self._link.total_storage_bits(),
+            storage_peak_bits=max(self._storage_peak, final_bits),
+            storage_final_bits=final_bits,
             storage_samples=self._storage_samples,
+            wall_seconds=wall_seconds,
+            checker_seconds=checker_seconds,
+            events_recorded=events_recorded,
         )

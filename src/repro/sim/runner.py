@@ -14,8 +14,8 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.adversary.base import Adversary
-from repro.checkers.liveness import check_liveness, progress_gaps
-from repro.checkers.safety import SafetyReport, check_all_safety
+from repro.checkers.report import SafetyReport
+from repro.checkers.streaming import StreamingChecks
 from repro.core.protocol import DataLink, make_data_link
 from repro.core.random_source import split_seed
 from repro.sim.metrics import SimulationMetrics
@@ -44,6 +44,8 @@ class RunSpec:
     enforce_fairness: bool = True
     fairness_patience: int = 32
     label: str = ""
+    retain: str = "full"
+    tail_size: int = 256
 
     @classmethod
     def default(
@@ -81,10 +83,17 @@ class RunOutcome:
 
 
 def run_once(spec: RunSpec, seed: int) -> RunOutcome:
-    """Execute one independent run of the spec and check its trace."""
+    """Execute one independent run of the spec and check its execution.
+
+    The Section 2.6 conditions are evaluated by online monitors riding the
+    recording pass (see :class:`~repro.checkers.StreamingChecks`), so the
+    verdicts are available whatever the spec's trace retention mode — no
+    post-hoc rescans of the trace.
+    """
     link = spec.link_factory(split_seed(seed, "link"))
     adversary = spec.adversary_factory()
     workload = spec.workload_factory(split_seed(seed, "workload"))
+    checks = StreamingChecks(timed=True)
     simulator = Simulator(
         link=link,
         adversary=adversary,
@@ -94,10 +103,13 @@ def run_once(spec: RunSpec, seed: int) -> RunOutcome:
         max_steps=spec.max_steps,
         enforce_fairness=spec.enforce_fairness,
         fairness_patience=spec.fairness_patience,
+        retain=spec.retain,
+        tail_size=spec.tail_size,
+        checks=checks,
     )
     result = simulator.run()
-    safety = check_all_safety(result.trace)
-    liveness = check_liveness(result.trace, run_completed=result.completed)
+    safety = checks.safety_report()
+    liveness = checks.liveness_report(run_completed=result.completed)
     return RunOutcome(
         seed=seed, result=result, safety=safety, liveness_passed=liveness.passed
     )
@@ -177,6 +189,30 @@ class MonteCarloResult:
         return sum(o.metrics.storage_peak_bits for o in self.outcomes) / len(
             self.outcomes
         )
+
+    @property
+    def steps_per_second(self) -> float:
+        """Pooled simulation throughput: total steps over total wall time."""
+        wall = sum(o.metrics.wall_seconds for o in self.outcomes)
+        if wall <= 0.0:
+            return 0.0
+        return sum(o.metrics.steps for o in self.outcomes) / wall
+
+    @property
+    def events_per_second(self) -> float:
+        """Pooled recording throughput: total events over total wall time."""
+        wall = sum(o.metrics.wall_seconds for o in self.outcomes)
+        if wall <= 0.0:
+            return 0.0
+        return sum(o.metrics.events_recorded for o in self.outcomes) / wall
+
+    @property
+    def checker_overhead_ratio(self) -> float:
+        """Pooled share of wall time spent in the online checkers."""
+        wall = sum(o.metrics.wall_seconds for o in self.outcomes)
+        if wall <= 0.0:
+            return 0.0
+        return sum(o.metrics.checker_seconds for o in self.outcomes) / wall
 
 
 def monte_carlo(

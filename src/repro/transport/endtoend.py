@@ -15,7 +15,12 @@ from __future__ import annotations
 import heapq
 from typing import List, Optional, Tuple
 
-from repro.adversary.base import Adversary, Deliver, Move, Pass
+from repro.adversary.base import (
+    PASS,
+    Adversary,
+    Move,
+    make_deliver,
+)
 from repro.channel.channel import PacketInfo
 from repro.core.events import ChannelId
 from repro.transport.network import Network
@@ -68,8 +73,8 @@ class NetworkRelay(Adversary):
         if self._heap and self._heap[0][0] <= self._now:
             __, __, info = heapq.heappop(self._heap)
             self.delivered_copies += 1
-            return Deliver(channel=info.channel, packet_id=info.packet_id)
-        return Pass()
+            return make_deliver(info.channel, info.packet_id)
+        return PASS
 
     def _inject_pending(self) -> None:
         for info in self._pending_injections:

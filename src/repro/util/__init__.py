@@ -1,5 +1,6 @@
-"""Shared utilities: statistics and table rendering."""
+"""Shared utilities: statistics, table rendering, hot-path constructors."""
 
+from repro.util.hotpath import trusted_constructor
 from repro.util.stats import BernoulliEstimate, SeriesSummary, summarize, wilson_interval
 from repro.util.tables import format_cell, render_table
 
@@ -9,5 +10,6 @@ __all__ = [
     "format_cell",
     "render_table",
     "summarize",
+    "trusted_constructor",
     "wilson_interval",
 ]

@@ -1,0 +1,150 @@
+"""Unit tests for the perf-regression gate (no timing involved).
+
+The gate's arithmetic must be exact and boring: everything here runs on
+hand-built payload dicts, so the tests are immune to host speed.  The
+actual measured numbers live in the committed ``BENCH_core.json``; the CI
+smoke job exercises the real ``repro bench --quick --check`` path.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.perf.bench import (
+    SEED_BASELINE,
+    SEED_COMPARISON,
+    check_regression,
+    dump,
+    gate_ratios,
+    load,
+)
+
+
+def payload_with_ratios(**ratios) -> dict:
+    return {"ratios": dict(ratios)}
+
+
+def full_ratios(value: float) -> dict:
+    return payload_with_ratios(
+        steps_speedup_reliable=value,
+        steps_speedup_lossy=value,
+        memory_reduction_reliable=value,
+        memory_reduction_lossy=value,
+    )
+
+
+def test_gate_ratios_from_results():
+    results = {
+        "macro": {
+            "reliable": {
+                "legacy": {"steps_per_second": 100.0},
+                "streaming_none": {"steps_per_second": 150.0},
+            },
+            "lossy": {
+                "legacy": {"steps_per_second": 80.0},
+                "streaming_none": {"steps_per_second": 120.0},
+            },
+        },
+        "memory": {
+            "reliable": {"legacy": 600, "streaming_none": 300},
+            "lossy": {"legacy": 900, "streaming_none": 450},
+        },
+    }
+    ratios = gate_ratios(results)
+    assert ratios == {
+        "steps_speedup_reliable": pytest.approx(1.5),
+        "steps_speedup_lossy": pytest.approx(1.5),
+        "memory_reduction_reliable": pytest.approx(2.0),
+        "memory_reduction_lossy": pytest.approx(2.0),
+    }
+
+
+def test_check_regression_passes_within_threshold():
+    baseline = full_ratios(1.4)
+    # 25% below 1.4 is 1.05; anything at or above passes.
+    assert check_regression(full_ratios(1.4), baseline) == []
+    assert check_regression(full_ratios(1.06), baseline) == []
+    assert check_regression(full_ratios(2.0), baseline) == []
+
+
+def test_check_regression_flags_a_drop():
+    failures = check_regression(full_ratios(1.0), full_ratios(1.4))
+    assert len(failures) == 4
+    assert all("fell below" in failure for failure in failures)
+
+
+def test_check_regression_flags_missing_current_ratio():
+    current = payload_with_ratios(steps_speedup_reliable=1.4)
+    failures = check_regression(current, full_ratios(1.4))
+    assert any("missing" in failure for failure in failures)
+
+
+def test_check_regression_skips_ratios_absent_from_baseline():
+    # Forward compatibility: an old baseline without a key gates nothing.
+    assert check_regression(full_ratios(1.4), payload_with_ratios()) == []
+
+
+def test_check_regression_threshold_validation():
+    for bad in (0.0, 1.0, -0.1, 1.5):
+        with pytest.raises(ValueError):
+            check_regression(full_ratios(1.0), full_ratios(1.0), threshold=bad)
+
+
+def test_dump_load_round_trip(tmp_path):
+    payload = full_ratios(1.23)
+    path = tmp_path / "bench.json"
+    dump(payload, str(path))
+    assert load(str(path)) == payload
+
+
+def test_committed_bench_core_passes_its_own_gate():
+    # The committed baseline must be self-consistent: its ratios compared
+    # against itself always pass, and they carry every gated key.
+    baseline = load(str(Path(__file__).resolve().parents[2] / "BENCH_core.json"))
+    assert check_regression(baseline, baseline) == []
+    for key in (
+        "steps_speedup_reliable",
+        "steps_speedup_lossy",
+        "memory_reduction_reliable",
+        "memory_reduction_lossy",
+    ):
+        assert baseline["ratios"][key] > 1.0
+
+
+def test_seed_comparison_backs_the_two_x_claim():
+    # The before/after story in the docs is generated from these numbers;
+    # keep them arithmetically consistent with themselves.
+    for workload in ("reliable", "lossy"):
+        entry = SEED_COMPARISON[workload]
+        assert entry["steps_speedup"] == pytest.approx(
+            entry["streaming_none_steps_per_second"]
+            / entry["seed_steps_per_second"],
+            abs=0.01,
+        )
+        assert entry["memory_reduction"] == pytest.approx(
+            entry["seed_peak_tracemalloc_bytes"]
+            / entry["streaming_none_peak_tracemalloc_bytes"],
+            abs=0.01,
+        )
+        assert entry["steps_speedup"] >= 2.0
+        assert entry["memory_reduction"] > 1.0
+        assert (
+            entry["seed_steps_per_second"]
+            == SEED_BASELINE[workload]["steps_per_second"]
+        )
+
+
+def test_bench_cli_parser_accepts_the_documented_flags():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(
+        ["bench", "--quick", "--out", "x.json", "--check", "y.json",
+         "--threshold", "0.3", "--base-seed", "7"]
+    )
+    assert args.command == "bench"
+    assert args.quick and args.out == "x.json" and args.check == "y.json"
+    assert args.threshold == pytest.approx(0.3)
+    assert args.base_seed == 7

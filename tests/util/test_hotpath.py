@@ -1,0 +1,61 @@
+"""Unit tests for the trusted fast constructors."""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import FrozenInstanceError, dataclass
+
+import pytest
+
+from repro.core.events import PktSent, SendMsg, make_pkt_sent, make_send_msg
+from repro.core.events import ChannelId
+from repro.util.hotpath import trusted_constructor
+
+_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
+
+
+@dataclass(frozen=True, **_SLOTS)
+class Point:
+    x: int
+    y: int
+
+    def __post_init__(self) -> None:
+        if self.x < 0:
+            raise ValueError("x must be non-negative")
+
+
+make_point = trusted_constructor(Point, "x", "y")
+
+
+def test_trusted_instance_equals_init_built_twin():
+    assert make_point(1, 2) == Point(x=1, y=2)
+    assert isinstance(make_point(1, 2), Point)
+    assert hash(make_point(1, 2)) == hash(Point(x=1, y=2))
+
+
+def test_trusted_instance_is_still_frozen():
+    point = make_point(1, 2)
+    with pytest.raises((FrozenInstanceError, AttributeError)):
+        point.x = 9  # type: ignore[misc]
+
+
+def test_trusted_constructor_skips_post_init_validation():
+    # The whole point: callers guarantee invariants, so no validation runs.
+    rogue = make_point(-1, 0)
+    assert rogue.x == -1
+    with pytest.raises(ValueError):
+        Point(x=-1, y=0)
+
+
+def test_trusted_constructor_argument_errors():
+    with pytest.raises(ValueError):
+        trusted_constructor(Point)
+    with pytest.raises(ValueError):
+        trusted_constructor(Point, "x; import os", "y")
+
+
+def test_event_fast_constructors_match_dataclass_init():
+    assert make_send_msg(b"m") == SendMsg(message=b"m")
+    assert make_pkt_sent(ChannelId.T_TO_R, 7, 128) == PktSent(
+        channel=ChannelId.T_TO_R, packet_id=7, length_bits=128
+    )
