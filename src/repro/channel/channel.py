@@ -79,6 +79,19 @@ class Channel:
         self._delivered_count = 0
         self._bits_sent = 0
 
+    def reset(self) -> None:
+        """Empty the channel for a new execution, keeping identity and wiring.
+
+        Identifiers restart from 0 — a reused channel must mint the exact
+        id sequence a fresh one would, or replay-style adversaries and the
+        determinism guarantees of campaign sharding break.
+        """
+        self._store.clear()
+        self._next_id = 0
+        self._sent_count = 0
+        self._delivered_count = 0
+        self._bits_sent = 0
+
     # -- model actions ------------------------------------------------------------
 
     def send_pkt(self, packet: Packet) -> PacketInfo:
@@ -164,6 +177,11 @@ class ChannelPair:
     ) -> None:
         self.t_to_r = Channel(ChannelId.T_TO_R, on_new_pkt)
         self.r_to_t = Channel(ChannelId.R_TO_T, on_new_pkt)
+
+    def reset(self) -> None:
+        """Reset both directions (see :meth:`Channel.reset`)."""
+        self.t_to_r.reset()
+        self.r_to_t.reset()
 
     def by_id(self, channel_id: ChannelId) -> Channel:
         """Look a channel up by direction."""

@@ -78,6 +78,16 @@ class StreamMonitor:
         """The verdict over everything observed so far."""
         raise NotImplementedError
 
+    def reset(self) -> None:
+        """Return to the freshly-constructed state, in place.
+
+        Resetting instead of rebuilding keeps every bound handler in an
+        already-built dispatch table valid, which is what lets a
+        :class:`StreamingChecks` (and the simulator session holding it) be
+        reused across runs.
+        """
+        raise NotImplementedError
+
 
 class CausalityMonitor(StreamMonitor):
     """Theorem 1's condition: deliveries only of previously sent messages."""
@@ -111,6 +121,11 @@ class CausalityMonitor(StreamMonitor):
         return CheckReport(
             condition="causality", trials=self._trials, violations=list(self._violations)
         )
+
+    def reset(self) -> None:
+        self._sent_at.clear()
+        self._trials = 0
+        self._violations.clear()
 
 
 class OrderMonitor(StreamMonitor):
@@ -174,6 +189,13 @@ class OrderMonitor(StreamMonitor):
             condition="order", trials=self._trials, violations=list(self._violations)
         )
 
+    def reset(self) -> None:
+        self._pending = None
+        self._pending_index = 0
+        self._delivered_pending = False
+        self._trials = 0
+        self._violations.clear()
+
 
 class NoDuplicationMonitor(StreamMonitor):
     """Theorem 8's condition: at most one delivery per message, absent crash^R."""
@@ -213,6 +235,11 @@ class NoDuplicationMonitor(StreamMonitor):
             trials=self._trials,
             violations=list(self._violations),
         )
+
+    def reset(self) -> None:
+        self._delivered_since_crash.clear()
+        self._trials = 0
+        self._violations.clear()
 
 
 class NoReplayMonitor(StreamMonitor):
@@ -274,6 +301,13 @@ class NoReplayMonitor(StreamMonitor):
             condition="no-replay", trials=self._trials, violations=list(self._violations)
         )
 
+    def reset(self) -> None:
+        self._resolution_index.clear()
+        self._pending = None
+        self._boundary = -1
+        self._trials = 0
+        self._violations.clear()
+
 
 class LivenessMonitor(StreamMonitor):
     """Theorem 9's condition, operationalised for bounded runs.
@@ -318,6 +352,10 @@ class LivenessMonitor(StreamMonitor):
             condition="liveness", trials=self._trials, violations=violations
         )
 
+    def reset(self) -> None:
+        self._trials = 0
+        self._last_send = None
+
 
 class ProgressGapMonitor(StreamMonitor):
     """Waiting times between each send_msg and its first progress event.
@@ -347,6 +385,11 @@ class ProgressGapMonitor(StreamMonitor):
 
     def report(self) -> CheckReport:
         return CheckReport(condition="progress-gaps", trials=len(self.gaps))
+
+    def reset(self) -> None:
+        # Fresh list, not clear(): callers may have kept the old series.
+        self.gaps = []
+        self._last_send = None
 
 
 class Axiom1Monitor(StreamMonitor):
@@ -385,6 +428,11 @@ class Axiom1Monitor(StreamMonitor):
             condition="axiom-1", trials=self._trials, violations=list(self._violations)
         )
 
+    def reset(self) -> None:
+        self._armed = None
+        self._trials = 0
+        self._violations.clear()
+
 
 class Axiom2Monitor(StreamMonitor):
     """Axiom 2: every message value is sent at most once."""
@@ -420,6 +468,11 @@ class Axiom2Monitor(StreamMonitor):
         return CheckReport(
             condition="axiom-2", trials=self._trials, violations=list(self._violations)
         )
+
+    def reset(self) -> None:
+        self._first_seen.clear()
+        self._trials = 0
+        self._violations.clear()
 
 
 class Axiom3BoundedMonitor(StreamMonitor):
@@ -460,6 +513,11 @@ class Axiom3BoundedMonitor(StreamMonitor):
         return CheckReport(
             condition="axiom-3", trials=self._trials, violations=list(self._violations)
         )
+
+    def reset(self) -> None:
+        self._sends_since_delivery = 0
+        self._trials = 0
+        self._violations.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -597,6 +655,20 @@ class StreamingChecks:
                 handlers = _resolve_subclass(table, type(event))
             for handler in handlers:
                 handler(index, event)
+
+    def reset(self) -> None:
+        """Reset every monitor for a new run, keeping the dispatch table.
+
+        Each monitor is reset *in place* (never replaced), so the bound
+        handlers baked into ``_table`` — including any cached subclass
+        resolutions — remain correct.  A reset checker is observationally
+        identical to a freshly-constructed one with the same monitor set.
+        """
+        for monitor in self.monitors:
+            monitor.reset()
+        self.events_seen = 0
+        self._timed_samples = 0
+        self._sampled_seconds = 0.0
 
     # -- verdicts -----------------------------------------------------------------
 

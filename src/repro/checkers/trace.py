@@ -226,6 +226,27 @@ class Trace:
         for observer in observers:
             observer(index, event)
 
+    def reset(self) -> None:
+        """Forget the recorded execution, keeping mode and observers.
+
+        After a reset the trace is observationally identical to a freshly
+        constructed one with the same ``retain``/``tail_size``, except that
+        existing subscriptions survive — that is the point: a simulator
+        session re-records into the same trace with the same streaming
+        checkers attached, skipping the rebuild of the observer wiring.
+        """
+        self._events.clear()
+        if self._tail is not None:
+            self._tail.clear()
+        self._total = 0
+        self._dropped = 0
+        self._counts.clear()
+        self._indexes.clear()
+        # count()/indexes_of() answer from _counts keys; stale cached type
+        # lists would index into cleared dicts.
+        self._query_cache.clear()
+        self._outcomes_cache = None
+
     def tally(self, event_type: Type[Event], count: int = 1) -> None:
         """Count ``count`` occurrences of ``event_type`` without storing them.
 

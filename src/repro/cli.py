@@ -99,8 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="supervised fault-tolerant Monte-Carlo campaign",
     )
     camp.add_argument("--runs", type=int, default=50)
-    camp.add_argument("--jobs", type=int, default=2,
+    camp.add_argument("--jobs", "--workers", type=int, default=2, dest="jobs",
                       help="parallel worker processes")
+    camp.add_argument("--chunk-size", type=int, default=None,
+                      help="runs per dispatched shard (default: auto-size "
+                           "to about four shards per worker)")
     camp.add_argument("--timeout", type=float, default=None,
                       help="per-run wall-clock budget in seconds")
     camp.add_argument("--retries", type=int, default=0,
@@ -338,6 +341,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             retries=args.retries,
             artifacts_dir=args.artifacts_dir,
+            chunk_size=args.chunk_size,
         )
     except ValueError as error:
         raise SystemExit(str(error))

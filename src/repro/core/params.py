@@ -39,6 +39,12 @@ __all__ = [
 ]
 
 
+# Memo for SizeBoundPolicy.is_sound: (policy type, policy attrs, ε, horizon)
+# → verdict.  Bounded in practice by the handful of distinct policy/ε pairs a
+# process ever constructs.
+_SOUNDNESS_CACHE: dict = {}
+
+
 def log2_inverse(epsilon: float) -> int:
     """Return ⌈log2(1/ε)⌉, the number of bits needed to push a uniform
     guess below ε."""
@@ -84,8 +90,29 @@ class SizeBoundPolicy(ABC):
         return sum(self.generation_failure_mass(t, epsilon) for t in range(1, horizon + 1))
 
     def is_sound(self, epsilon: float, horizon: int = 64) -> bool:
-        """True iff the union bound telescopes to at most ε/4."""
-        return self.total_failure_mass(epsilon, horizon) <= epsilon / 4.0
+        """True iff the union bound telescopes to at most ε/4.
+
+        The verdict is a pure function of the policy's state and (ε,
+        horizon), yet :class:`ProtocolParams` re-asks it for every link —
+        once per run in a campaign, always with identical inputs.  A
+        class-level memo keyed on the policy's type and attributes makes
+        repeat validation free; policies with unhashable state skip the
+        cache rather than corrupt it.
+        """
+        key = (
+            type(self),
+            tuple(sorted(self.__dict__.items())),
+            epsilon,
+            horizon,
+        )
+        try:
+            verdict = _SOUNDNESS_CACHE.get(key)
+        except TypeError:
+            return self.total_failure_mass(epsilon, horizon) <= epsilon / 4.0
+        if verdict is None:
+            verdict = self.total_failure_mass(epsilon, horizon) <= epsilon / 4.0
+            _SOUNDNESS_CACHE[key] = verdict
+        return verdict
 
     def cumulative_size(self, t: int, epsilon: float) -> int:
         """Total nonce length after ``t`` generations (storage metric)."""

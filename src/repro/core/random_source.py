@@ -24,6 +24,26 @@ from repro.core.bitstrings import BitString
 __all__ = ["RandomSource", "split_seed"]
 
 
+# repr()+encode() of the label tokens is a measurable share of split_seed
+# when campaigns derive seeds for every component of every run; labels come
+# from a small fixed vocabulary, so their byte forms are cached.  Keyed by
+# (type, value) because repr(1) == repr(True) must not collide with "1".
+_TOKEN_BYTES: dict = {}
+
+
+def _token_bytes(token: object) -> bytes:
+    key = (type(token), token)
+    try:
+        data = _TOKEN_BYTES.get(key)
+    except TypeError:  # unhashable token: derive directly
+        return repr(token).encode("utf-8")
+    if data is None:
+        data = repr(token).encode("utf-8")
+        if len(_TOKEN_BYTES) < 4096:  # labels are few; seeds must not pile up
+            _TOKEN_BYTES[key] = data
+    return data
+
+
 def split_seed(seed: int, *labels: object) -> int:
     """Derive an independent child seed from ``seed`` and a label path.
 
@@ -32,8 +52,11 @@ def split_seed(seed: int, *labels: object) -> int:
     The derivation is stable across runs and platforms.
     """
     h = 0x811C9DC5
-    for token in (seed,) + labels:
-        for byte in repr(token).encode("utf-8"):
+    for byte in repr(seed).encode("utf-8"):
+        h ^= byte
+        h = (h * 0x01000193) & 0xFFFFFFFFFFFFFFFF
+    for token in labels:
+        for byte in _token_bytes(token):
             h ^= byte
             h = (h * 0x01000193) & 0xFFFFFFFFFFFFFFFF
     return h
@@ -51,12 +74,22 @@ class RandomSource:
 
     def __init__(self, seed: Optional[int] = None) -> None:
         self._seed = seed
-        self._rng = random.Random(seed)
         self._bits_drawn = 0
-        # Shadow random_float with the Twister's bound method: the uniform
-        # draw is made once per adversary turn, and the wrapper frame is
-        # pure overhead on that path.  Identical stream, same API.
-        self.random_float = self._rng.random
+
+    def __getattr__(self, name: str):
+        # The Twister is materialized on first draw, not at construction:
+        # seeding Mersenne state is the dominant cost of a RandomSource, and
+        # several sources per run exist only to fork children (which derive
+        # purely from the seed).  Laziness changes no tape — a source that
+        # never draws never touches its generator.  ``random_float`` is the
+        # Twister's own bound method (the uniform draw is made once per
+        # adversary turn, and a wrapper frame is pure overhead there), so
+        # asking for it also materializes.
+        if name in ("_rng", "random_float"):
+            rng = self._rng = random.Random(self._seed)
+            self.random_float = rng.random
+            return rng if name == "_rng" else rng.random
+        raise AttributeError(name)
 
     @property
     def seed(self) -> Optional[int]:
@@ -92,9 +125,8 @@ class RandomSource:
 
     # -- generic sampling helpers ----------------------------------------------
 
-    def random_float(self) -> float:
-        """Uniform float in [0, 1)."""
-        return self._rng.random()
+    # random_float (uniform float in [0, 1)) is served by __getattr__ as the
+    # underlying Twister's bound ``random`` method.
 
     def bernoulli(self, probability: float) -> bool:
         """Return True with the given probability."""

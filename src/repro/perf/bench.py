@@ -15,7 +15,14 @@ The harness answers three questions, repeatably:
   - ``streaming_none`` — online monitors with ``retain="none"``: the
     checker-only campaign configuration;
 
-* **memory** — peak ``tracemalloc`` footprint of one long run per mode.
+* **memory** — peak ``tracemalloc`` footprint of one long run per mode;
+
+* **campaign** — end-to-end throughput of the parallel campaign
+  supervisor on a many-run lossy campaign of short runs (the regime where
+  dispatch overhead rivals simulation), batched sharded dispatch vs
+  per-run dispatch (``chunk_size=1``) at the default worker count.  The
+  two dispatches are also asserted to produce identical campaign
+  fingerprints, so the speedup can never silently come from skipped work.
 
 Absolute throughput is machine-dependent, so the regression gate
 (:func:`check_regression`) compares only *within-run ratios* — the
@@ -30,6 +37,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import platform
 import sys
 import tracemalloc
@@ -121,6 +129,7 @@ _GATE_KEYS = (
     "steps_speedup_lossy",
     "memory_reduction_reliable",
     "memory_reduction_lossy",
+    "campaign_dispatch_speedup",
 )
 
 
@@ -234,6 +243,82 @@ def _bench_memory_mode(spec: RunSpec, mode: str, base_seed: int) -> int:
     return peak
 
 
+#: Wall-clock repetitions per campaign dispatch mode; best-of is recorded.
+_CAMPAIGN_REPEATS = 3
+
+
+def _campaign_spec() -> RunSpec:
+    """Short lossy runs: the regime where per-run dispatch overhead bites.
+
+    One message under 20% loss keeps each run around a dozen steps, so the
+    measured difference between the two dispatch modes is almost entirely
+    dispatch cost rather than simulation time.
+    """
+    spec = RunSpec.default(messages=1, label="campaign-lossy")
+    spec.adversary_factory = lambda: RandomFaultAdversary(FaultProfile(loss=0.2))
+    spec.retain = "none"
+    spec.max_steps = 50_000
+    return spec
+
+
+def _bench_campaign(runs: int, base_seed: int) -> Dict[str, Dict[str, float]]:
+    """Batched sharded dispatch vs per-run dispatch, same campaign.
+
+    Both configurations run the identical ``runs``-run lossy campaign with
+    the same worker count; only the shard size differs (``chunk_size=1``
+    reproduces the old one-pool-task-per-run engine).  Every campaign
+    fingerprint — across both dispatch modes and all repetitions — must
+    match exactly: a dispatch path that changed any verdict or seed would
+    invalidate the comparison, so it raises instead.  Each leg is measured
+    ``_CAMPAIGN_REPEATS`` times and the best wall clock kept (the usual
+    timeit discipline: the minimum is the run least disturbed by the rest
+    of the machine).
+    """
+    from repro.resilience.supervisor import CampaignConfig, run_campaign
+
+    spec = _campaign_spec()
+    seed = split_seed(base_seed, "bench-campaign")
+    # Default worker count (one): a single worker isolates dispatch
+    # amortization — the thing sharding changes — from parallel scaling,
+    # which varies with host core count and would drown the gated ratio in
+    # machine-shape noise.
+    configs = {
+        "per_run": CampaignConfig(chunk_size=1),
+        "batched": CampaignConfig(),
+    }
+    stats: Dict[str, Dict[str, float]] = {}
+    fingerprints: Dict[str, tuple] = {}
+    for name, config in configs.items():
+        wall = math.inf
+        total_steps = 0
+        for _ in range(_CAMPAIGN_REPEATS):
+            started = perf_counter()
+            result = run_campaign(spec, runs, base_seed=seed, config=config)
+            wall = min(wall, perf_counter() - started)
+            fingerprint = result.fingerprint()
+            if fingerprints.setdefault(name, fingerprint) != fingerprint:
+                raise RuntimeError(
+                    f"{name} campaign dispatch is not deterministic across "
+                    "repetitions"
+                )
+            total_steps = sum(r.steps for r in result.reports)
+        stats[name] = {
+            "runs": runs,
+            "jobs": config.jobs,
+            "chunk_size": config.resolve_chunk_size(runs),
+            "wall_seconds": wall,
+            "steps": total_steps,
+            "steps_per_second": total_steps / wall if wall > 0 else 0.0,
+            "runs_per_second": runs / wall if wall > 0 else 0.0,
+        }
+    if fingerprints["per_run"] != fingerprints["batched"]:
+        raise RuntimeError(
+            "batched campaign dispatch diverged from per-run dispatch: "
+            "identical fingerprints are a precondition of the comparison"
+        )
+    return stats
+
+
 def _synthetic_events(count: int) -> List[Event]:
     """A protocol-shaped event mix: one handshake per message, no faults."""
     events: List[Event] = []
@@ -301,6 +386,12 @@ def gate_ratios(results: dict) -> Dict[str, float]:
             ratios[f"memory_reduction_{workload}"] = (
                 memory[workload]["legacy"] / memory[workload]["streaming_none"]
             )
+    campaign = results.get("campaign")
+    if campaign and campaign["per_run"]["steps_per_second"] > 0:
+        ratios["campaign_dispatch_speedup"] = (
+            campaign["batched"]["steps_per_second"]
+            / campaign["per_run"]["steps_per_second"]
+        )
     return ratios
 
 
@@ -310,6 +401,12 @@ def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
     ``quick=True`` shrinks workloads and run counts for CI smoke (the
     gated ratios stay meaningful; only their variance grows).
     """
+    # The campaign benchmark keeps the same run count in both modes: its
+    # gated ratio is not size-invariant (per-run dispatch cost grows with
+    # the number of in-flight futures), so quick CI measurements must use
+    # the same campaign the committed baseline recorded.  At ~a dozen steps
+    # per run the campaign leg costs about a second, well within CI budget.
+    campaign_runs = 1024
     if quick:
         messages, runs, micro_events = 60, 4, 40_000
     else:
@@ -336,10 +433,12 @@ def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
         "trace_append": _bench_trace_append(events),
         "streaming_checks": _bench_streaming_checks(events),
     }
+    campaign = _bench_campaign(campaign_runs, base_seed)
     results = {
         "macro": macro,
         "memory": memory,
         "micro": micro,
+        "campaign": campaign,
     }
     return {
         "schema": 1,
@@ -349,6 +448,7 @@ def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
             "runs": runs,
             "memory_messages": memory_messages,
             "micro_events": micro_events,
+            "campaign_runs": campaign_runs,
             "base_seed": base_seed,
         },
         "host": {

@@ -19,10 +19,24 @@ production harness needs:
   produced data, with the missing runs reported explicitly per status
   instead of silently dropped.
 
-Determinism: every per-run seed is ``split_seed(base_seed, "campaign-run",
-index, attempt)`` and retry/blame decisions depend only on per-run results,
-so a campaign's reports are identical for ``jobs=1`` and ``jobs=4``
-(wall-clock ``duration`` aside).
+Dispatch is **sharded**: runs are grouped into chunks of
+``CampaignConfig.chunk_size`` (auto-sized by default) so one pool task
+executes many seeds in a single worker round-trip.  Inside a shard the
+worker recycles one :class:`~repro.sim.runner.RunSession` — simulator,
+channels, trace and streaming checkers are reset per run instead of
+rebuilt — and streams back compact tuple-encoded summaries
+(:func:`encode_report`) rather than pickled ``RunReport`` objects; full
+forensics (trace JSONL) ride along only for non-ok runs.  Retries,
+timeouts and blame still operate per run: a retried run is resubmitted as
+its own single-run shard, and worker-death quarantine rounds run one run
+per pool exactly as before.
+
+Determinism: every per-run seed is ``derive_run_seed(base_seed, index,
+attempt)`` — shared with serial :func:`~repro.sim.runner.monte_carlo` —
+and retry/blame decisions depend only on per-run results, so a campaign's
+reports are identical for any ``jobs``/``chunk_size`` combination,
+including fully serial in-process execution (wall-clock ``duration``
+aside).
 
 Workers inherit the (possibly unpicklable) spec by forking, so arbitrary
 ``RunSpec`` factories — lambdas included — work unchanged.  On platforms
@@ -49,10 +63,10 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.random_source import split_seed
 from repro.resilience.faultplan import FaultPlan, apply_fault_plan, enable_hard_aborts
 from repro.sim.metrics import SimulationMetrics
-from repro.sim.runner import RunSpec, run_once
+from repro.sim.runner import RunSession, RunSpec, derive_run_seed, run_once
+
 from repro.util.stats import BernoulliEstimate, wilson_interval
 from repro.util.tables import render_table
 
@@ -63,6 +77,8 @@ __all__ = [
     "CampaignResult",
     "run_campaign",
     "derive_run_seed",
+    "encode_report",
+    "decode_report",
 ]
 
 
@@ -78,11 +94,6 @@ class RunStatus(str, Enum):
 
 #: Statuses that were produced by the run itself and may be retried.
 _RETRYABLE = (RunStatus.TIMEOUT, RunStatus.CRASHED)
-
-
-def derive_run_seed(base_seed: int, index: int, attempt: int) -> int:
-    """The deterministic seed for one (run, attempt) pair."""
-    return split_seed(base_seed, "campaign-run", index, attempt)
 
 
 @dataclass(frozen=True)
@@ -131,6 +142,71 @@ class RunReport:
         )
 
 
+# -- compact wire format ----------------------------------------------------------
+
+#: Status <-> small-int codes for the wire tuples (order = enum order).
+_STATUS_BY_CODE: Tuple[RunStatus, ...] = tuple(RunStatus)
+_CODE_BY_STATUS: Dict[RunStatus, int] = {
+    status: code for code, status in enumerate(_STATUS_BY_CODE)
+}
+
+
+def encode_report(report: RunReport) -> tuple:
+    """Flatten a worker-side :class:`RunReport` into a slotted tuple.
+
+    This is what shard workers ship back instead of pickled dataclasses:
+    status as a small int, metrics as :meth:`SimulationMetrics.to_wire`,
+    the safety summary as ``(condition, (failures, trials))`` pairs.  The
+    heavyweight forensics field (``trace_jsonl``) is only ever non-None
+    for failed runs, so ok runs — the overwhelming majority — cost a few
+    dozen scalars each.  ``attempts``/``worker_deaths`` are excluded: the
+    parent stamps those during classification (:func:`_finalize`), the
+    worker has nothing to say about them.  Positions are the wire
+    contract; :func:`decode_report` and the round-trip test change in
+    lockstep.
+    """
+    metrics = report.metrics
+    summary = report.safety_summary
+    return (
+        report.index,
+        report.seed,
+        _CODE_BY_STATUS[report.status],
+        report.completed,
+        report.steps,
+        report.duration,
+        report.liveness_passed,
+        None if metrics is None else metrics.to_wire(),
+        None if summary is None else tuple(summary.items()),
+        report.violations,
+        report.trace_jsonl,
+        report.error,
+        report.trace_dropped_events,
+    )
+
+
+def decode_report(wire: tuple) -> RunReport:
+    """Rebuild the :class:`RunReport` a shard worker encoded."""
+    metrics_wire = wire[7]
+    summary_wire = wire[8]
+    return RunReport(
+        index=wire[0],
+        seed=wire[1],
+        status=_STATUS_BY_CODE[wire[2]],
+        completed=wire[3],
+        steps=wire[4],
+        duration=wire[5],
+        liveness_passed=wire[6],
+        metrics=(
+            None if metrics_wire is None else SimulationMetrics.from_wire(metrics_wire)
+        ),
+        safety_summary=None if summary_wire is None else dict(summary_wire),
+        violations=wire[9],
+        trace_jsonl=wire[10],
+        error=wire[11],
+        trace_dropped_events=wire[12],
+    )
+
+
 @dataclass(frozen=True)
 class CampaignConfig:
     """Supervisor knobs (all orthogonal to the spec under test)."""
@@ -143,6 +219,7 @@ class CampaignConfig:
     artifacts_dir: Optional[str] = None
     capture_traces: bool = True  # archive traces of non-ok runs
     in_process: bool = False  # debugging: skip the pool entirely
+    chunk_size: Optional[int] = None  # runs per pool task; None = auto
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -151,6 +228,20 @@ class CampaignConfig:
             raise ValueError("retries must be >= 0")
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError("timeout must be positive (or None)")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 (or None for auto)")
+
+    def resolve_chunk_size(self, runs: int) -> int:
+        """The shard size actually used for a campaign of ``runs`` runs.
+
+        Auto mode targets ~4 shards per worker: big enough to amortize the
+        pool round-trip and per-shard session warm-up, small enough that a
+        straggler or a mid-shard worker death forfeits little work.  Capped
+        at 32 so huge campaigns still rebalance across workers.
+        """
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, min(32, -(-runs // (self.jobs * 4))))
 
 
 class _AttemptTimeout(Exception):
@@ -183,17 +274,29 @@ def execute_attempt(
     seed: int,
     timeout: Optional[float],
     capture_trace: bool,
+    session: Optional[RunSession] = None,
 ) -> RunReport:
     """One supervised attempt of one run, classified into a :class:`RunReport`.
 
     Runs in the current process — the workers call this, and the shrink
-    minimizer reuses it in-process for its probes.
+    minimizer reuses it in-process for its probes.  ``session`` (built over
+    the *same* ``spec``) recycles the simulator across calls; fault plans
+    still apply, injected as a per-run adversary-factory override, and a
+    run that dies mid-flight invalidates the session so the next attempt
+    rebuilds clean.
     """
     effective = spec if fault_plan is None else apply_fault_plan(spec, fault_plan, index)
     started = time.monotonic()
     try:
         with _deadline(timeout):
-            outcome = run_once(effective, seed)
+            if session is None:
+                outcome = run_once(effective, seed)
+            else:
+                # apply_fault_plan returns `spec` itself (same object) when
+                # this run's projected plan is empty, so identity tells us
+                # whether an override is in play.
+                override = None if effective is spec else effective.adversary_factory
+                outcome = session.run(seed, adversary_factory=override)
     except _AttemptTimeout:
         return RunReport(
             index=index,
@@ -211,16 +314,20 @@ def execute_attempt(
             error=traceback.format_exc(limit=16),
         )
     duration = time.monotonic() - started
-    status = RunStatus.OK if outcome.safety.passed else RunStatus.SAFETY_FAILED
-    summary = OrderedDict(
-        (report.condition, (report.failure_count, report.trials))
-        for report in outcome.safety.all_reports
-    )
-    violations = tuple(
-        f"{v.condition}@{v.event_index}: {v.detail}"
-        for report in outcome.safety.all_reports
-        for v in report.violations[:8]
-    )
+    reports = outcome.safety.all_reports
+    passed = all(not report.violations for report in reports)
+    status = RunStatus.OK if passed else RunStatus.SAFETY_FAILED
+    summary = {
+        report.condition: (report.failure_count, report.trials)
+        for report in reports
+    }
+    violations: Tuple[str, ...] = ()
+    if not passed:
+        violations = tuple(
+            f"{v.condition}@{v.event_index}: {v.detail}"
+            for report in reports
+            for v in report.violations[:8]
+        )
     trace = outcome.result.trace
     trace_jsonl = None
     if capture_trace and status is not RunStatus.OK and trace.retention != "none":
@@ -238,7 +345,7 @@ def execute_attempt(
         duration=duration,
         liveness_passed=outcome.liveness_passed,
         metrics=outcome.metrics,
-        safety_summary=dict(summary),
+        safety_summary=summary,
         violations=violations,
         trace_jsonl=trace_jsonl,
         trace_dropped_events=trace.dropped_events,
@@ -260,25 +367,44 @@ def _worker_init() -> None:
         signal.signal(signal.SIGALRM, signal.SIG_DFL)
 
 
-def _campaign_worker(
-    index: int,
-    seed: int,
+def _campaign_shard_worker(
+    items: List[Tuple[int, int]],
     timeout: Optional[float],
     capture_trace: bool,
     marker_dir: str,
-) -> RunReport:
-    marker = os.path.join(marker_dir, f"running-{index}")
-    with open(marker, "w", encoding="utf-8") as stream:
-        stream.write(f"{os.getpid()}\n")
-    try:
-        spec: RunSpec = _FORK_STATE["spec"]  # type: ignore[assignment]
-        plan: Optional[FaultPlan] = _FORK_STATE.get("fault_plan")  # type: ignore
-        return execute_attempt(spec, plan, index, seed, timeout, capture_trace)
-    finally:
+) -> List[tuple]:
+    """Execute one shard of ``(index, seed)`` runs in this worker process.
+
+    One :class:`RunSession` serves the whole shard, so per-run cost is a
+    reset instead of a full harness rebuild.  Results stream back as
+    compact :func:`encode_report` tuples.  The running-marker protocol is
+    per *run*, not per shard: exactly the run executing when a worker dies
+    leaves a marker behind, so the parent's blame logic keeps per-run
+    resolution.  Results completed before a mid-shard death are lost with
+    the worker — those runs simply re-run under unchanged seeds, which is
+    harmless because reports are deterministic functions of (index, seed).
+    """
+    spec: RunSpec = _FORK_STATE["spec"]  # type: ignore[assignment]
+    plan: Optional[FaultPlan] = _FORK_STATE.get("fault_plan")  # type: ignore
+    session = RunSession(spec)
+    encoded: List[tuple] = []
+    for index, seed in items:
+        # The blame protocol reads only the filename; an empty file via raw
+        # os.open is a third the cost of a buffered text write, which counts
+        # when every short run in the shard pays for one.
+        marker = os.path.join(marker_dir, f"running-{index}")
+        os.close(os.open(marker, os.O_CREAT | os.O_WRONLY, 0o644))
         try:
-            os.remove(marker)
-        except OSError:
-            pass
+            report = execute_attempt(
+                spec, plan, index, seed, timeout, capture_trace, session=session
+            )
+        finally:
+            try:
+                os.remove(marker)
+            except OSError:
+                pass
+        encoded.append(encode_report(report))
+    return encoded
 
 
 # -- aggregation ------------------------------------------------------------------
@@ -300,6 +426,9 @@ class CampaignResult:
     reports: List[RunReport] = field(repr=False, default_factory=list)
     fault_plan: Optional[FaultPlan] = None
     artifacts_path: Optional[str] = None
+    #: True wall-clock duration of the whole campaign (dispatch included);
+    #: 0.0 on results built by hand.  Deliberately outside fingerprint().
+    wall_seconds: float = 0.0
 
     @property
     def label(self) -> str:
@@ -381,10 +510,12 @@ class CampaignResult:
 
     @property
     def steps_per_second(self) -> float:
-        """Pooled per-worker simulation throughput (total steps / total wall).
+        """Pooled *aggregate-CPU* simulation rate (total steps / summed run wall).
 
-        Wall time is summed across runs, so this is the single-worker rate;
-        multiply by effective parallelism for campaign throughput.
+        Per-run wall times are summed across runs, so under parallel
+        workers this is the single-worker rate — it deliberately does NOT
+        grow with ``jobs``.  For campaign throughput as experienced by the
+        caller, use :attr:`wall_steps_per_second`.
         """
         timed = self._timed_metrics()
         wall = sum(m.wall_seconds for m in timed)
@@ -394,12 +525,34 @@ class CampaignResult:
 
     @property
     def events_per_second(self) -> float:
-        """Pooled per-worker recording throughput (total events / total wall)."""
+        """Pooled aggregate-CPU recording rate (total events / summed run wall)."""
         timed = self._timed_metrics()
         wall = sum(m.wall_seconds for m in timed)
         if wall <= 0.0:
             return 0.0
         return sum(m.events_recorded for m in timed) / wall
+
+    @property
+    def wall_steps_per_second(self) -> float:
+        """True campaign throughput: data-run steps over campaign wall time.
+
+        Divides by the supervisor's single wall-clock measurement, so this
+        *does* scale with workers and shrinks with dispatch overhead — the
+        number the batched-dispatch benchmark compares.  0.0 on results
+        that were built without a measured campaign duration.
+        """
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return sum(m.steps for m in self._timed_metrics()) / self.wall_seconds
+
+    @property
+    def wall_events_per_second(self) -> float:
+        """True campaign recording throughput over campaign wall time."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return (
+            sum(m.events_recorded for m in self._timed_metrics()) / self.wall_seconds
+        )
 
     @property
     def checker_overhead_ratio(self) -> float:
@@ -441,17 +594,36 @@ class CampaignResult:
         )
         blocks = [summary, "", rates]
         if self._timed_metrics():
+            wall_steps = (
+                f"{self.wall_steps_per_second:,.0f}"
+                if self.wall_seconds > 0.0
+                else "-"
+            )
+            wall_events = (
+                f"{self.wall_events_per_second:,.0f}"
+                if self.wall_seconds > 0.0
+                else "-"
+            )
             throughput = render_table(
-                ["steps/sec", "events/sec", "checker overhead", "retention"],
+                [
+                    "steps/sec (cpu)",
+                    "steps/sec (wall)",
+                    "events/sec (cpu)",
+                    "events/sec (wall)",
+                    "checker overhead",
+                    "retention",
+                ],
                 [
                     [
                         f"{self.steps_per_second:,.0f}",
+                        wall_steps,
                         f"{self.events_per_second:,.0f}",
+                        wall_events,
                         f"{self.checker_overhead_ratio:.1%}",
                         self.spec.retain,
                     ]
                 ],
-                title="per-worker throughput (data runs)",
+                title="throughput (data runs; cpu = per-worker, wall = campaign)",
             )
             blocks += ["", throughput]
         problem_rows = [
@@ -505,11 +677,21 @@ def _finalize(report: RunReport, state: _RunState, config: CampaignConfig) -> Ru
             f"retries exhausted after {state.attempt + 1} attempts "
             f"(last failure: {report.status.value}): {report.error}"
         )
+    attempts = state.attempt + 1
+    if (
+        status is report.status
+        and attempts == report.attempts
+        and state.deaths == report.worker_deaths
+    ):
+        # Clean first attempt — the defaults already say so.  Skipping the
+        # field-introspecting dataclasses.replace here matters: the parent
+        # finalizes every report of every campaign through this function.
+        return report
     return dataclasses.replace(
         report,
         status=status,
         error=error,
-        attempts=state.attempt + 1,
+        attempts=attempts,
         worker_deaths=state.deaths,
     )
 
@@ -547,10 +729,12 @@ def run_campaign(
         not config.in_process
         and "fork" in multiprocessing.get_all_start_methods()
     )
+    started = time.monotonic()
     if use_pool:
         _run_with_pool(spec, runs, base_seed, config, fault_plan, states, final)
     else:
         _run_in_process(spec, runs, base_seed, config, fault_plan, states, final)
+    wall_seconds = time.monotonic() - started
 
     reports = [final[index] for index in sorted(final)]
     result = CampaignResult(
@@ -560,6 +744,7 @@ def run_campaign(
         config=config,
         reports=reports,
         fault_plan=fault_plan,
+        wall_seconds=wall_seconds,
     )
     if config.artifacts_dir:
         from repro.resilience.artifacts import write_campaign_artifacts
@@ -616,6 +801,7 @@ def _run_with_pool(
     _FORK_STATE["spec"] = spec
     _FORK_STATE["fault_plan"] = fault_plan
     marker_dir = tempfile.mkdtemp(prefix="repro-campaign-")
+    chunk = config.resolve_chunk_size(runs)
     quarantine = False
     try:
         while len(final) < runs:
@@ -627,13 +813,13 @@ def _run_with_pool(
                     if index in final:
                         continue
                     _pool_round(
-                        [index], 1, context, marker_dir, spec, base_seed,
+                        [index], 1, 1, context, marker_dir, spec, base_seed,
                         config, states, final,
                     )
                 quarantine = False
             else:
                 quarantine = _pool_round(
-                    unfinished, config.jobs, context, marker_dir, spec,
+                    unfinished, config.jobs, chunk, context, marker_dir, spec,
                     base_seed, config, states, final,
                 )
     finally:
@@ -650,6 +836,7 @@ def _run_with_pool(
 def _pool_round(
     indices: List[int],
     jobs: int,
+    chunk: int,
     context,
     marker_dir: str,
     spec: RunSpec,
@@ -658,52 +845,80 @@ def _pool_round(
     states: Dict[int, _RunState],
     final: Dict[int, RunReport],
 ) -> bool:
-    """One executor's lifetime.  Returns True on an ambiguous pool break."""
+    """One executor's lifetime.  Returns True on an ambiguous pool break.
+
+    Dispatch is sharded: ``chunk`` consecutive runs ride each pool task
+    (see :func:`_campaign_shard_worker`).  Runs flagged for retry are
+    resubmitted as single-run shards — a retry already paid a backoff
+    sleep, so batching it with strangers would only couple their fates.
+    """
     broken = False
-    futures: Dict[object, int] = {}
+    futures: Dict[object, List[int]] = {}
     pool = ProcessPoolExecutor(
         max_workers=min(jobs, len(indices)),
         mp_context=context,
         initializer=_worker_init,
     )
 
-    def submit(index: int) -> None:
-        seed = derive_run_seed(base_seed, index, states[index].attempt)
+    def submit_shard(shard: List[int]) -> None:
+        items = [
+            (index, derive_run_seed(base_seed, index, states[index].attempt))
+            for index in shard
+        ]
         future = pool.submit(
-            _campaign_worker,
-            index,
-            seed,
+            _campaign_shard_worker,
+            items,
             config.timeout,
             config.capture_traces,
             marker_dir,
         )
-        futures[future] = index
+        futures[future] = shard
 
     try:
-        for index in indices:
-            submit(index)
+        for start in range(0, len(indices), chunk):
+            submit_shard(indices[start : start + chunk])
         while futures:
             done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
             for future in done:
-                index = futures.pop(future)
+                shard = futures.pop(future)
+                wires: Optional[List[tuple]] = None
+                shard_error: Optional[str] = None
                 try:
-                    report = future.result()
+                    wires = future.result()
                 except BrokenExecutor:
                     broken = True
                     continue
                 except Exception:
-                    report = RunReport(
-                        index=index,
-                        seed=derive_run_seed(base_seed, index, states[index].attempt),
-                        status=RunStatus.CRASHED,
-                        error=traceback.format_exc(limit=8),
-                    )
-                retry = _classify(index, report, states[index], config, final)
-                if retry and not broken:
+                    # Harness failure outside execute_attempt's own guards
+                    # (it classifies per-run exceptions itself): every run
+                    # of the shard is charged a crash, retryable as usual.
+                    shard_error = traceback.format_exc(limit=8)
+                retry_indices: List[int] = []
+                if wires is None:
+                    for index in shard:
+                        report = RunReport(
+                            index=index,
+                            seed=derive_run_seed(
+                                base_seed, index, states[index].attempt
+                            ),
+                            status=RunStatus.CRASHED,
+                            error=shard_error,
+                        )
+                        if _classify(index, report, states[index], config, final):
+                            retry_indices.append(index)
+                else:
+                    for wire in wires:
+                        report = decode_report(wire)
+                        index = report.index
+                        if _classify(index, report, states[index], config, final):
+                            retry_indices.append(index)
+                for index in retry_indices:
+                    if broken:
+                        break  # attempt already bumped; next round reruns it
                     try:
-                        submit(index)
+                        submit_shard([index])
                     except BrokenExecutor:
-                        broken = True  # attempt already bumped; next round reruns it
+                        broken = True
             if broken:
                 break
     finally:
@@ -756,13 +971,25 @@ def _run_in_process(
     states: Dict[int, _RunState],
     final: Dict[int, RunReport],
 ) -> None:
-    """Fallback without process isolation (hard aborts degrade to soft)."""
+    """Fallback without process isolation (hard aborts degrade to soft).
+
+    One :class:`RunSession` serves the whole campaign — the serial analogue
+    of shard-level simulator reuse, and what keeps the in-process
+    fingerprint bit-identical to pool execution.
+    """
+    session = RunSession(spec)
     for index in range(runs):
         state = states[index]
         while True:
             seed = derive_run_seed(base_seed, index, state.attempt)
             report = execute_attempt(
-                spec, fault_plan, index, seed, config.timeout, config.capture_traces
+                spec,
+                fault_plan,
+                index,
+                seed,
+                config.timeout,
+                config.capture_traces,
+                session=session,
             )
             if not _classify(index, report, state, config, final):
                 break

@@ -19,7 +19,7 @@ next to violation rates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.channel.channel import ChannelPair
 from repro.core.protocol import DataLink
@@ -102,6 +102,66 @@ class SimulationMetrics:
         if self.wall_seconds <= 0.0:
             return 0.0
         return self.checker_seconds / self.wall_seconds
+
+    # -- compact wire format (campaign result streaming) -----------------------
+
+    def to_wire(self) -> Tuple:
+        """Encode as a flat tuple for cheap cross-process transfer.
+
+        Campaign workers ship one of these per run instead of pickling the
+        dataclass (attribute dict, field names and all).  The per-sample
+        storage series is deliberately dropped: campaign collectors run with
+        ``keep_storage_samples=False``, and no campaign aggregate or
+        fingerprint reads it.  Field order is the wire contract —
+        :meth:`from_wire` and the round-trip test must change in lockstep.
+        """
+        return (
+            self.steps,
+            self.messages_submitted,
+            self.messages_ok,
+            self.messages_delivered,
+            self.packets_sent,
+            self.packets_delivered,
+            self.bits_sent,
+            self.retries,
+            self.crashes_t,
+            self.crashes_r,
+            self.transmitter_extensions,
+            self.receiver_extensions,
+            self.transmitter_errors_counted,
+            self.receiver_errors_counted,
+            self.storage_peak_bits,
+            self.storage_final_bits,
+            self.wall_seconds,
+            self.checker_seconds,
+            self.events_recorded,
+        )
+
+    @classmethod
+    def from_wire(cls, wire: Tuple) -> "SimulationMetrics":
+        """Decode a :meth:`to_wire` tuple (storage series comes back empty)."""
+        return cls(
+            steps=wire[0],
+            messages_submitted=wire[1],
+            messages_ok=wire[2],
+            messages_delivered=wire[3],
+            packets_sent=wire[4],
+            packets_delivered=wire[5],
+            bits_sent=wire[6],
+            retries=wire[7],
+            crashes_t=wire[8],
+            crashes_r=wire[9],
+            transmitter_extensions=wire[10],
+            receiver_extensions=wire[11],
+            transmitter_errors_counted=wire[12],
+            receiver_errors_counted=wire[13],
+            storage_peak_bits=wire[14],
+            storage_final_bits=wire[15],
+            storage_samples=[],
+            wall_seconds=wire[16],
+            checker_seconds=wire[17],
+            events_recorded=wire[18],
+        )
 
 
 class MetricsCollector:

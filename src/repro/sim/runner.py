@@ -23,7 +23,27 @@ from repro.sim.simulator import SimulationResult, Simulator
 from repro.sim.workload import SequentialWorkload, Workload
 from repro.util.stats import BernoulliEstimate, wilson_interval
 
-__all__ = ["RunSpec", "RunOutcome", "MonteCarloResult", "run_once", "monte_carlo"]
+__all__ = [
+    "RunSpec",
+    "RunOutcome",
+    "RunSession",
+    "MonteCarloResult",
+    "derive_run_seed",
+    "run_once",
+    "monte_carlo",
+]
+
+
+def derive_run_seed(base_seed: int, index: int, attempt: int) -> int:
+    """The seed of one run of a batch: a pure function of its coordinates.
+
+    Every execution path — serial :func:`monte_carlo`, the in-process
+    campaign loop, and sharded pool workers — derives run seeds through
+    this one function, which is what makes their per-seed verdicts
+    bit-identical regardless of scheduling.  Retries get fresh tapes via
+    ``attempt`` without perturbing any other run's seed.
+    """
+    return split_seed(base_seed, "campaign-run", index, attempt)
 
 
 @dataclass
@@ -82,37 +102,97 @@ class RunOutcome:
         return self.result.metrics
 
 
+class RunSession:
+    """A reusable harness executing many runs of one spec, one at a time.
+
+    The first :meth:`run` builds the simulator and its streaming checker
+    suite; subsequent calls recycle them via :meth:`Simulator.reset`, which
+    skips the object construction and observer wiring that dominates short
+    runs.  Component seeds are derived exactly as a fresh :func:`run_once`
+    would derive them (``split_seed(seed, "link"/"workload"/"adversary")``),
+    so a session's outcomes are bit-identical to per-run construction —
+    the shard-determinism and reset property tests pin this down.
+
+    A session is single-threaded and yields *live* results: the trace and
+    checker objects inside the returned :class:`RunOutcome` are reused by
+    the next :meth:`run`.  Callers that keep outcomes (rather than
+    extracting summaries immediately) should use :func:`run_once`.
+    """
+
+    def __init__(self, spec: RunSpec) -> None:
+        self.spec = spec
+        self._simulator: Optional[Simulator] = None
+        self._checks: Optional[StreamingChecks] = None
+
+    def invalidate(self) -> None:
+        """Discard the recycled harness; the next run rebuilds from scratch."""
+        self._simulator = None
+        self._checks = None
+
+    def run(
+        self,
+        seed: int,
+        adversary_factory: Optional[Callable[[], Adversary]] = None,
+    ) -> RunOutcome:
+        """Execute one run of the spec under ``seed`` and check it.
+
+        ``adversary_factory`` overrides the spec's factory for this run
+        only — the hook the campaign supervisor uses to inject per-run
+        scripted fault plans without rebuilding specs or sessions.
+        """
+        spec = self.spec
+        factory = adversary_factory if adversary_factory is not None else (
+            spec.adversary_factory
+        )
+        link = spec.link_factory(split_seed(seed, "link"))
+        adversary = factory()
+        workload = spec.workload_factory(split_seed(seed, "workload"))
+        simulator = self._simulator
+        try:
+            if simulator is None:
+                self._checks = checks = StreamingChecks(timed=True)
+                self._simulator = simulator = Simulator(
+                    link=link,
+                    adversary=adversary,
+                    workload=workload,
+                    seed=split_seed(seed, "adversary"),
+                    retry_every=spec.retry_every,
+                    max_steps=spec.max_steps,
+                    enforce_fairness=spec.enforce_fairness,
+                    fairness_patience=spec.fairness_patience,
+                    retain=spec.retain,
+                    tail_size=spec.tail_size,
+                    checks=checks,
+                )
+            else:
+                checks = self._checks
+                simulator.reset(
+                    link, adversary, workload, seed=split_seed(seed, "adversary")
+                )
+            result = simulator.run()
+        except BaseException:
+            # The run died mid-flight (timeout alarm, injected abort,
+            # harness exception) and left the simulator mid-execution;
+            # drop it so the next run rebuilds clean.
+            self.invalidate()
+            raise
+        safety = checks.safety_report()
+        liveness = checks.liveness_report(run_completed=result.completed)
+        return RunOutcome(
+            seed=seed, result=result, safety=safety, liveness_passed=liveness.passed
+        )
+
+
 def run_once(spec: RunSpec, seed: int) -> RunOutcome:
     """Execute one independent run of the spec and check its execution.
 
     The Section 2.6 conditions are evaluated by online monitors riding the
     recording pass (see :class:`~repro.checkers.StreamingChecks`), so the
     verdicts are available whatever the spec's trace retention mode — no
-    post-hoc rescans of the trace.
+    post-hoc rescans of the trace.  (One-shot form of :class:`RunSession`;
+    the returned outcome owns its trace and checkers.)
     """
-    link = spec.link_factory(split_seed(seed, "link"))
-    adversary = spec.adversary_factory()
-    workload = spec.workload_factory(split_seed(seed, "workload"))
-    checks = StreamingChecks(timed=True)
-    simulator = Simulator(
-        link=link,
-        adversary=adversary,
-        workload=workload,
-        seed=split_seed(seed, "adversary"),
-        retry_every=spec.retry_every,
-        max_steps=spec.max_steps,
-        enforce_fairness=spec.enforce_fairness,
-        fairness_patience=spec.fairness_patience,
-        retain=spec.retain,
-        tail_size=spec.tail_size,
-        checks=checks,
-    )
-    result = simulator.run()
-    safety = checks.safety_report()
-    liveness = checks.liveness_report(run_completed=result.completed)
-    return RunOutcome(
-        seed=seed, result=result, safety=safety, liveness_passed=liveness.passed
-    )
+    return RunSession(spec).run(seed)
 
 
 @dataclass
@@ -223,17 +303,23 @@ def monte_carlo(
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
     retries: int = 0,
+    chunk_size: Optional[int] = None,
 ):
     """Run ``runs`` independent simulations of ``spec`` and aggregate.
 
     With ``parallel=False`` (the default) every run executes serially
     in-process and the return value is a :class:`MonteCarloResult`.  With
     ``parallel=True`` the batch is delegated to the fault-tolerant campaign
-    supervisor (worker processes, per-run ``timeout``, bounded ``retries``)
-    and the return value is a
-    :class:`~repro.resilience.supervisor.CampaignResult`, which exposes the
-    same aggregate properties (violation rates, completion rate, ...) while
-    additionally reporting per-status counts for runs that produced no data.
+    supervisor (worker processes, sharded dispatch with ``chunk_size`` runs
+    per pool task, per-run ``timeout``, bounded ``retries``) and the return
+    value is a :class:`~repro.resilience.supervisor.CampaignResult`, which
+    exposes the same aggregate properties (violation rates, completion
+    rate, ...) while additionally reporting per-status counts for runs that
+    produced no data.
+
+    Both paths run the *same* spec (factories, retention, budgets) under
+    the same per-run seeds (:func:`derive_run_seed`), so per-seed verdicts
+    are identical serial vs parallel for any ``jobs``/``chunk_size``.
     """
     if runs < 1:
         raise ValueError("runs must be >= 1")
@@ -246,7 +332,10 @@ def monte_carlo(
             jobs=jobs if jobs is not None else (os.cpu_count() or 1),
             timeout=timeout,
             retries=retries,
+            chunk_size=chunk_size,
         )
         return run_campaign(spec, runs, base_seed=base_seed, config=config)
-    outcomes = [run_once(spec, split_seed(base_seed, "run", i)) for i in range(runs)]
+    # Fresh objects per run (not a RunSession): MonteCarloResult keeps every
+    # outcome alive, so their traces must not share one recycled simulator.
+    outcomes = [run_once(spec, derive_run_seed(base_seed, i, 0)) for i in range(runs)]
     return MonteCarloResult(spec=spec, runs=runs, outcomes=outcomes)

@@ -168,15 +168,48 @@ class Simulator:
             raise ValueError("storage_sample_every must be >= 0")
         if keep_storage_samples is None:
             keep_storage_samples = retain == "full"
+        self._retry_every = retry_every
+        self._max_steps = max_steps
+        self._storage_sample_every = storage_sample_every
+        self._enforce_fairness = enforce_fairness
+        self._fairness_patience = fairness_patience
+        self._keep_storage_samples = keep_storage_samples
+        self._channels = ChannelPair(on_new_pkt=self._on_new_pkt)
+        self._t_to_r = self._channels.t_to_r
+        self._r_to_t = self._channels.r_to_t
+        self._trace = Trace(retain=retain, tail_size=tail_size)
+        self._checks = checks
+        if checks is not None:
+            self._trace.subscribe(checks.observe, types=checks.observed_types)
+        self._move_handlers: Dict[type, Callable[[Move], None]] = {
+            Deliver: self._deliver,
+            CrashTransmitter: self._crash_transmitter,
+            CrashReceiver: self._crash_receiver,
+            TriggerRetry: self._trigger_retry,
+            Pass: self._pass,
+        }
+        self._install(link, adversary, workload, seed)
+
+    def _install(
+        self,
+        link: DataLink,
+        adversary: Adversary,
+        workload: Workload,
+        seed: Optional[int],
+    ) -> None:
+        """Wire fresh run participants into this (new or recycled) harness.
+
+        Everything per-run lives here; everything per-session (channels,
+        trace, checks, move-handler cache, config) lives in ``__init__``.
+        A reused simulator must make exactly the choices a fresh one would,
+        so this re-derives every run-scoped attribute from scratch.
+        """
         self._link = link
         self._transmitter = link.transmitter
         self._receiver = link.receiver
         self._workload = workload
-        self._retry_every = retry_every
-        self._max_steps = max_steps
-        self._storage_sample_every = storage_sample_every
-        if enforce_fairness and not isinstance(adversary, FairnessEnforcer):
-            adversary = FairnessEnforcer(adversary, patience=fairness_patience)
+        if self._enforce_fairness and not isinstance(adversary, FairnessEnforcer):
+            adversary = FairnessEnforcer(adversary, patience=self._fairness_patience)
         self._adversary = adversary
         self._adversary.bind(RandomSource(seed).fork("adversary"))
         # When the adversary uses the stock Adversary.next_move (every
@@ -187,13 +220,6 @@ class Simulator:
             if type(adversary).next_move is Adversary.next_move
             else None
         )
-        self._channels = ChannelPair(on_new_pkt=self._on_new_pkt)
-        self._t_to_r = self._channels.t_to_r
-        self._r_to_t = self._channels.r_to_t
-        self._trace = Trace(retain=retain, tail_size=tail_size)
-        self._checks = checks
-        if checks is not None:
-            self._trace.subscribe(checks.observe, types=checks.observed_types)
         # Packet-level events are ~half the execution; skip allocating them
         # when neither retention nor an observer would ever see one.  The
         # skipped events are counted in plain ints here and flushed to the
@@ -206,15 +232,8 @@ class Simulator:
         self._pkt_delivered_tally = 0
         self._retry_tally = 0
         self._metrics = MetricsCollector(
-            link, self._channels, keep_storage_samples=keep_storage_samples
+            link, self._channels, keep_storage_samples=self._keep_storage_samples
         )
-        self._move_handlers: Dict[type, Callable[[Move], None]] = {
-            Deliver: self._deliver,
-            CrashTransmitter: self._crash_transmitter,
-            CrashReceiver: self._crash_receiver,
-            TriggerRetry: self._trigger_retry,
-            Pass: self._pass,
-        }
         self._message_iter: Iterator[bytes] = iter(workload)
         self._next_message: Optional[bytes] = None
         self._workload_exhausted = False
@@ -224,9 +243,31 @@ class Simulator:
         # the simulator itself drives (send_msg, EmitOk, crash^T), so the
         # per-step idle check is one attribute load instead of a property.
         self._tx_busy = self._transmitter.busy
-        self._retry_countdown = retry_every
-        self._storage_countdown = storage_sample_every
+        self._retry_countdown = self._retry_every
+        self._storage_countdown = self._storage_sample_every
         self._advance_workload()
+
+    def reset(
+        self,
+        link: DataLink,
+        adversary: Adversary,
+        workload: Workload,
+        seed: Optional[int] = None,
+    ) -> None:
+        """Recycle this simulator for a fresh run with new participants.
+
+        Clears the trace, channels and streaming checkers in place and
+        installs the new ``D(A, ADV)`` composition — skipping the object
+        construction and observer wiring that dominates short runs in
+        campaign mode.  The reused harness is required to produce
+        bit-identical executions to a freshly constructed ``Simulator``
+        with the same arguments; the reset property tests pin this down.
+        """
+        self._trace.reset()
+        self._channels.reset()
+        if self._checks is not None:
+            self._checks.reset()
+        self._install(link, adversary, workload, seed)
 
     # -- channel callback -------------------------------------------------------------
 

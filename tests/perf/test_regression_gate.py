@@ -51,6 +51,10 @@ def test_gate_ratios_from_results():
             "reliable": {"legacy": 600, "streaming_none": 300},
             "lossy": {"legacy": 900, "streaming_none": 450},
         },
+        "campaign": {
+            "per_run": {"steps_per_second": 10_000.0},
+            "batched": {"steps_per_second": 35_000.0},
+        },
     }
     ratios = gate_ratios(results)
     assert ratios == {
@@ -58,7 +62,29 @@ def test_gate_ratios_from_results():
         "steps_speedup_lossy": pytest.approx(1.5),
         "memory_reduction_reliable": pytest.approx(2.0),
         "memory_reduction_lossy": pytest.approx(2.0),
+        "campaign_dispatch_speedup": pytest.approx(3.5),
     }
+
+
+def test_gate_ratios_without_campaign_results():
+    # Payloads predating the campaign benchmark still produce the other
+    # ratios instead of KeyError-ing.
+    results = {
+        "macro": {
+            workload: {
+                "legacy": {"steps_per_second": 100.0},
+                "streaming_none": {"steps_per_second": 150.0},
+            }
+            for workload in ("reliable", "lossy")
+        },
+        "memory": {
+            workload: {"legacy": 600, "streaming_none": 300}
+            for workload in ("reliable", "lossy")
+        },
+    }
+    ratios = gate_ratios(results)
+    assert "campaign_dispatch_speedup" not in ratios
+    assert ratios["steps_speedup_reliable"] == pytest.approx(1.5)
 
 
 def test_check_regression_passes_within_threshold():
@@ -109,8 +135,12 @@ def test_committed_bench_core_passes_its_own_gate():
         "steps_speedup_lossy",
         "memory_reduction_reliable",
         "memory_reduction_lossy",
+        "campaign_dispatch_speedup",
     ):
         assert baseline["ratios"][key] > 1.0
+    # The headline claim of the batched campaign engine: sharded dispatch
+    # clears 3x over per-run dispatch on the recorded lossy campaign.
+    assert baseline["ratios"]["campaign_dispatch_speedup"] >= 3.0
 
 
 def test_seed_comparison_backs_the_two_x_claim():
