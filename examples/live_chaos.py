@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Live wire: the protocol over real UDP through a chaos proxy.
+
+Deploys the transmitter and receiver automata as concurrent asyncio
+datagram endpoints on the loopback interface and routes every datagram
+through an in-path chaos proxy (docs/PROTOCOL.md §11) that injects:
+
+* stochastic wire faults — 8% drop, 5% duplication, 5% reordering, plus
+  1–3 ms of one-way latency;
+* two scripted amnesia crashes from a campaign-style fault plan: the
+  transmitter dies at wire turn 30, the receiver at wire turn 80, each
+  cold-restarting with empty volatile state;
+
+then prints the streaming checkers' Section 2.6 verdicts for the live
+trace, followed by a black-hole run showing the bounded give-up path
+(UNRECONCILABLE as graceful degradation — never a hang).
+
+Run:  python examples/live_chaos.py
+"""
+
+from __future__ import annotations
+
+from repro.live import BackoffPolicy, LinkProfile, LiveScenario, run_live_scenario
+from repro.resilience.faultplan import CrashAt, FaultPlan
+
+POLL = BackoffPolicy(base=0.005, factor=2.0, cap=0.1, jitter=0.5)
+
+
+def chaos_delivery() -> None:
+    report = run_live_scenario(LiveScenario(
+        messages=50,
+        seed=42,
+        profile=LinkProfile(
+            drop=0.08, duplicate=0.05, reorder=0.05, delay=0.001, jitter=0.002
+        ),
+        plan=FaultPlan.of(
+            CrashAt(step=30, station="T"),
+            CrashAt(step=80, station="R"),
+            label="one amnesia crash per station",
+        ),
+        poll=POLL,
+        budget=45.0,
+        give_up_idle=6.0,
+        label="chaos delivery",
+    ))
+    print(report.render())
+    print()
+    verdict = "all conditions satisfied" if report.ok else "CHECKS FAILED"
+    print(f"=> {verdict} over a real lossy link with two live crashes\n")
+
+
+def bounded_give_up() -> None:
+    report = run_live_scenario(LiveScenario(
+        messages=5,
+        seed=3,
+        profile=LinkProfile(drop=1.0),  # a black hole: nothing gets through
+        poll=POLL,
+        budget=15.0,
+        give_up_idle=1.0,
+        label="black hole",
+    ))
+    print(report.render())
+    print()
+    print(f"=> gave up explicitly after {report.wall_seconds:.1f}s: "
+          f"{report.reason}")
+
+
+if __name__ == "__main__":
+    chaos_delivery()
+    print("=" * 72)
+    print()
+    bounded_give_up()

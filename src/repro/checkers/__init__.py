@@ -7,11 +7,17 @@ Two evaluation styles over one set of condition state machines:
   :mod:`repro.checkers.streaming`, which consume events online as the
   simulator records them (O(1) amortized per event, bounded state).
 
+A third driver, :class:`LiveEventLog` (:mod:`repro.checkers.live`), feeds
+the same streaming monitors from *live* deployments — real sockets and
+wall-clock crashes (:mod:`repro.live`) — so live traces get the identical
+Section 2.6 verdicts.
+
 Both report through the same :class:`CheckReport`/:class:`SafetyReport`
 types and produce identical verdicts by construction.
 """
 
 from repro.checkers.axioms import check_axiom1, check_axiom2, check_axiom3_bounded
+from repro.checkers.live import LiveEventLog
 from repro.checkers.liveness import LivenessStats, check_liveness, progress_gaps
 from repro.checkers.report import CheckReport, SafetyReport, Violation
 from repro.checkers.serialize import (
@@ -50,6 +56,7 @@ __all__ = [
     "CausalityMonitor",
     "CheckReport",
     "EventsView",
+    "LiveEventLog",
     "LivenessMonitor",
     "LivenessStats",
     "MessageOutcome",

@@ -1,0 +1,88 @@
+"""Live event adapter: feed wire-level executions to the streaming checkers.
+
+The online monitors of :mod:`repro.checkers.streaming` were built for the
+discrete-event simulator, but nothing in them depends on simulated time —
+they consume ``(index, event)`` pairs.  :class:`LiveEventLog` is the thin
+bridge that lets a *live* deployment (real sockets, real crashes, real
+wall-clock; see :mod:`repro.live`) mirror every externally visible action
+into the same Section 2.6 state machines, so safety and liveness verdicts
+for live traces are produced by the exact code paths the simulator uses —
+one checker implementation, three drivers (batch, streaming, live).
+
+Event indices are assigned by arrival order at the log.  A live system has
+no global step counter, so the indices define the observation order — the
+order in which one observer (the harness) saw the external actions, which
+is the only total order the paper's conditions ever quantify over.
+
+The log also keeps a bounded forensic tail (like the simulator's
+``retain="tail"`` mode) so a failing live run can archive its last events
+without the memory cost of full retention on long-lived deployments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.checkers.report import CheckReport, SafetyReport
+from repro.checkers.streaming import StreamingChecks
+from repro.core.events import Event
+
+__all__ = ["LiveEventLog"]
+
+
+class LiveEventLog:
+    """Single-writer event sink mirroring live executions into checkers.
+
+    Designed for one asyncio event loop: all records happen on the loop
+    thread, so a plain counter is race-free.  ``checks`` defaults to the
+    standard safety+liveness suite (the same set ``run_once`` verifies).
+    """
+
+    def __init__(
+        self,
+        checks: Optional[StreamingChecks] = None,
+        tail_size: int = 4096,
+    ) -> None:
+        if tail_size < 1:
+            raise ValueError("tail_size must be >= 1")
+        self.checks = checks if checks is not None else StreamingChecks(timed=True)
+        self._tail: Deque[Tuple[int, Event]] = deque(maxlen=tail_size)
+        self._next_index = 0
+
+    @property
+    def events_seen(self) -> int:
+        """Total events recorded since construction."""
+        return self._next_index
+
+    @property
+    def tail(self) -> List[Tuple[int, Event]]:
+        """The retained ``(index, event)`` forensic tail, oldest first."""
+        return list(self._tail)
+
+    @property
+    def dropped_events(self) -> int:
+        """Events no longer in the forensic tail."""
+        return self._next_index - len(self._tail)
+
+    def record(self, event: Event) -> int:
+        """Mirror one live event into the monitors; returns its index."""
+        index = self._next_index
+        self._next_index = index + 1
+        self._tail.append((index, event))
+        self.checks.observe(index, event)
+        return index
+
+    # -- verdicts ---------------------------------------------------------------
+
+    def safety_report(self) -> SafetyReport:
+        """Section 2.6 safety verdicts over everything recorded so far."""
+        return self.checks.safety_report()
+
+    def liveness_report(self, run_completed: bool) -> CheckReport:
+        """Liveness verdict; ``run_completed=False`` for give-up/truncated runs."""
+        return self.checks.liveness_report(run_completed=run_completed)
+
+    def tail_lines(self) -> List[str]:
+        """Human-readable forensic tail (for artifacts and CLI output)."""
+        return [f"{index:>8}  {event!r}" for index, event in self._tail]

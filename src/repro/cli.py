@@ -16,6 +16,9 @@ The subcommands cover the common workflows::
     python -m repro shrink --fault-plan artifacts/.../faultplan.json \\
         --seed 1234 --messages 40 --out minimal.json
 
+    python -m repro live --messages 50 --drop 0.08 --duplicate 0.05 \\
+        --reorder 0.05 --fault-plan crashes.json --budget 45
+
     python -m repro bench --out BENCH_core.json
     python -m repro bench --quick --check BENCH_core.json
 
@@ -26,8 +29,10 @@ crash-then-replay attack against either the fixed-nonce strawman
 reproduces the E7 cost curve; ``campaign`` runs a supervised,
 fault-tolerant Monte-Carlo campaign with scripted fault injection and
 failure forensics; ``shrink`` minimizes an archived failing repro;
-``bench`` runs the streaming-engine performance suite and enforces the
-regression gate against a committed baseline.
+``live`` deploys the stations as real asyncio UDP endpoints behind the
+chaos proxy (docs/PROTOCOL.md §11); ``bench`` runs the streaming-engine
+performance suite and enforces the regression gate against a committed
+baseline.
 """
 
 from __future__ import annotations
@@ -149,6 +154,41 @@ def build_parser() -> argparse.ArgumentParser:
     shr.add_argument("--max-probes", type=int, default=200)
     shr.add_argument("--out", default=None,
                      help="write the minimal fault plan JSON here")
+
+    live = sub.add_parser(
+        "live",
+        help="run the protocol over real UDP through the chaos proxy",
+    )
+    live.add_argument("--messages", type=int, default=50)
+    live.add_argument("--seed", type=int, default=0)
+    live.add_argument("--epsilon-bits", type=int, default=16,
+                      help="security parameter as epsilon = 2^-BITS")
+    live.add_argument("--drop", type=float, default=0.0,
+                      help="per-datagram stochastic drop rate")
+    live.add_argument("--duplicate", type=float, default=0.0,
+                      help="per-datagram stochastic duplication rate")
+    live.add_argument("--reorder", type=float, default=0.0,
+                      help="per-datagram stochastic reorder rate")
+    live.add_argument("--delay", type=float, default=0.0,
+                      help="fixed one-way latency in seconds")
+    live.add_argument("--jitter", type=float, default=0.0,
+                      help="extra uniform latency in seconds")
+    live.add_argument("--fault-plan", default=None,
+                      help="scripted JSON fault plan (campaign schema; "
+                           "turns count proxy-observed datagrams)")
+    live.add_argument("--budget", type=float, default=60.0,
+                      help="hard wall-clock ceiling in seconds")
+    live.add_argument("--give-up", type=float, default=5.0,
+                      help="no-progress deadline before UNRECONCILABLE")
+    live.add_argument("--poll-base", type=float, default=0.01,
+                      help="base poll retransmission delay in seconds")
+    live.add_argument("--poll-cap", type=float, default=0.25,
+                      help="poll backoff delay cap in seconds")
+    live.add_argument("--poll-jitter", type=float, default=0.5,
+                      help="poll backoff jitter fraction in [0, 1)")
+    live.add_argument("--restart-delay", type=float, default=0.02,
+                      help="how long a crashed station stays down")
+    live.add_argument("--label", default="", help="row label for the report")
 
     bench = sub.add_parser(
         "bench",
@@ -390,6 +430,44 @@ def _cmd_shrink(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_live(args: argparse.Namespace) -> int:
+    from repro.live import BackoffPolicy, LinkProfile, LiveScenario, run_live_scenario
+    from repro.resilience.faultplan import FaultPlan
+
+    plan = _load_fault_plan(args.fault_plan) if args.fault_plan else None
+    try:
+        scenario = LiveScenario(
+            messages=args.messages,
+            seed=args.seed,
+            epsilon=2.0 ** -args.epsilon_bits,
+            profile=LinkProfile(
+                drop=args.drop,
+                duplicate=args.duplicate,
+                reorder=args.reorder,
+                delay=args.delay,
+                jitter=args.jitter,
+            ),
+            plan=plan if plan is not None else FaultPlan(),
+            poll=BackoffPolicy(
+                base=args.poll_base, cap=args.poll_cap, jitter=args.poll_jitter
+            ),
+            budget=args.budget,
+            give_up_idle=args.give_up,
+            restart_delay=args.restart_delay,
+            label=args.label,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    report = run_live_scenario(scenario)
+    print(report.render())
+    if report.forensic_tail:
+        print()
+        print("forensic tail (most recent events):")
+        for line in report.forensic_tail[-20:]:
+            print(f"  {line}")
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import check_regression, dump, load, run_bench
 
@@ -478,6 +556,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_campaign(args)
     if args.command == "shrink":
         return _cmd_shrink(args)
+    if args.command == "live":
+        return _cmd_live(args)
     if args.command == "bench":
         return _cmd_bench(args)
     raise SystemExit(f"unknown command {args.command!r}")

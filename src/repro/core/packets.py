@@ -33,8 +33,10 @@ __all__ = [
     "DataPacket",
     "PollPacket",
     "Packet",
+    "WireInfo",
     "encode_packet",
     "decode_packet",
+    "peek_wire_info",
     "make_data_packet",
     "make_poll_packet",
 ]
@@ -178,6 +180,42 @@ def encode_packet(packet: Packet) -> bytes:
     if isinstance(packet, (DataPacket, PollPacket)):
         return packet.encode()
     raise CodecError(f"not a protocol packet: {type(packet).__name__}")
+
+
+@dataclass(frozen=True, **_SLOTS)
+class WireInfo:
+    """What the adversary may learn from one wire datagram (Section 2.3).
+
+    The model restricts adversary visibility to packet *identifiers* and
+    *lengths* — never contents.  The chaos proxy's fault decisions go
+    through this view exclusively: ``kind_byte`` is the on-wire identifier
+    octet, ``kind`` its symbolic name, ``length_bits`` the full datagram
+    length.  Nothing here requires (or performs) a content decode.
+    """
+
+    kind_byte: int
+    kind: str
+    length_bits: int
+
+
+_KIND_NAMES = {_KIND_DATA: "data", _KIND_POLL: "poll"}
+
+
+def peek_wire_info(data: bytes) -> WireInfo:
+    """Identifier/length-only view of an encoded packet.
+
+    This is the *maximum* the channel adversary is allowed to observe:
+    the leading kind octet and the datagram length.  Raises
+    :class:`CodecError` on an empty datagram or an unknown kind byte so
+    that in-path components can reject foreign traffic without ever
+    looking at payloads.
+    """
+    if not data:
+        raise CodecError("empty packet")
+    kind = _KIND_NAMES.get(data[0])
+    if kind is None:
+        raise CodecError(f"unknown packet kind byte 0x{data[0]:02x}")
+    return WireInfo(kind_byte=data[0], kind=kind, length_bits=len(data) * 8)
 
 
 def decode_packet(data: bytes) -> Packet:

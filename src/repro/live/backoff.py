@@ -1,0 +1,89 @@
+"""Adaptive poll retransmission: jittered exponential backoff with reset.
+
+The paper's RM owes the protocol an infinitely recurring RETRY action; a
+live deployment must pace those retries against a real clock.  Polling at
+a fixed interval either hammers a congested link or crawls on a healthy
+one, so the receiver endpoint adapts: each poll that produces no progress
+doubles the delay (up to a cap), any progress — a delivery or a nonce
+update — snaps the delay back to the base.  Jitter decorrelates the two
+stations' timers (the classic thundering-herd fix), and every draw comes
+from a seeded :class:`~repro.core.random_source.RandomSource`, so the
+schedule is a deterministic function of (policy, seed, progress history)
+— which is what the unit tests pin down.
+
+The same policy also drives the scenario supervisor's give-up bookkeeping:
+``attempts_without_progress`` is the count a bounded give-up compares
+against, surfacing UNRECONCILABLE instead of polling forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.random_source import RandomSource
+
+__all__ = ["BackoffPolicy", "AdaptiveBackoff"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Shape of the retransmission schedule (all times in seconds).
+
+    The n-th consecutive no-progress delay is
+    ``min(cap, base * factor**n) * u`` with ``u`` uniform in
+    ``[1 - jitter, 1 + jitter)``.
+    """
+
+    base: float = 0.01
+    factor: float = 2.0
+    cap: float = 0.25
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base <= 0.0:
+            raise ValueError("base delay must be positive")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if self.cap < self.base:
+            raise ValueError("cap must be >= base")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+
+class AdaptiveBackoff:
+    """Stateful schedule: next delay grows without progress, resets with it."""
+
+    def __init__(self, policy: BackoffPolicy, rng: RandomSource) -> None:
+        self.policy = policy
+        self._rng = rng
+        self._attempts = 0
+
+    @property
+    def attempts_without_progress(self) -> int:
+        """Delays handed out since the last :meth:`note_progress` (or start)."""
+        return self._attempts
+
+    def next_delay(self) -> float:
+        """The delay to sleep before the next poll retransmission."""
+        policy = self.policy
+        raw = policy.base * (policy.factor ** self._attempts)
+        self._attempts += 1
+        bounded = min(policy.cap, raw)
+        if policy.jitter == 0.0:
+            return bounded
+        span = 2.0 * policy.jitter
+        return bounded * (1.0 - policy.jitter + span * self._rng.random_float())
+
+    def note_progress(self) -> None:
+        """Snap back to the base delay (a delivery or nonce update landed)."""
+        self._attempts = 0
+
+    def reset(self) -> None:
+        """Forget everything — volatile state, erased by a station crash."""
+        self._attempts = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveBackoff(attempts={self._attempts}, "
+            f"base={self.policy.base}, cap={self.policy.cap})"
+        )

@@ -1,0 +1,394 @@
+"""Live station endpoints: the TM and RM automata behind real UDP sockets.
+
+The core automata (:class:`~repro.core.transmitter.Transmitter`,
+:class:`~repro.core.receiver.Receiver`) are pure state machines — the
+simulator drives them with scheduled actions, and this module drives the
+*same objects* with datagrams and timers instead.  Each endpoint:
+
+* binds an ephemeral loopback UDP socket and exchanges the canonical
+  byte encoding of :mod:`repro.core.packets` with the chaos proxy;
+* mirrors every externally visible action (``send_msg``, ``OK``,
+  ``receive_msg``, ``crash``, packet sends/deliveries, RETRY) into a
+  :class:`~repro.checkers.live.LiveEventLog`, so the Section 2.6 streaming
+  verdicts apply to the live run unchanged;
+* survives **crash-amnesia**: :meth:`crash` kills the endpoint's tasks and
+  wipes every bit of volatile state — the automaton's memory via its own
+  ``crash()`` transition (the paper's model: memory dies, the entropy
+  source does not) *and* the harness-side volatile state (backoff
+  schedule, in-flight bookkeeping).  The station stays dead for
+  ``restart_delay`` seconds (datagrams arriving meanwhile are lost, as
+  they would be at a down host), then cold-restarts.
+
+Malformed datagrams are rejected by the codec and counted, never raised:
+a live port is exposed to whatever bytes arrive, and the causality axiom
+that lets the simulator treat decode failures as bugs does not protect a
+real socket.
+
+The transmitter's workload is a sequence of *slots*.  A slot whose
+handshake dies with a transmitter crash is re-queued under a fresh attempt
+suffix — a **distinct** message value, keeping Axiom 2 (no value is ever
+sent twice) while still getting every logical slot delivered.  This is the
+live analogue of a higher layer resubmitting lost work under a new id.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
+
+from repro.checkers.live import LiveEventLog
+from repro.core.events import (
+    CRASH_R,
+    CRASH_T,
+    OK,
+    RETRY,
+    ChannelId,
+    EmitOk,
+    EmitPacket,
+    EmitReceiveMsg,
+    StationOutput,
+    make_pkt_delivered,
+    make_pkt_sent,
+    make_receive_msg,
+    make_send_msg,
+)
+from repro.core.exceptions import CodecError
+from repro.core.packets import (
+    DataPacket,
+    PollPacket,
+    decode_packet,
+    encode_packet,
+)
+from repro.core.receiver import Receiver
+from repro.core.transmitter import Transmitter
+from repro.live.backoff import AdaptiveBackoff
+
+__all__ = ["TransmitterEndpoint", "ReceiverEndpoint"]
+
+Address = Tuple[str, int]
+
+
+class _StationProtocol(asyncio.DatagramProtocol):
+    def __init__(self, endpoint: "_EndpointBase") -> None:
+        self._endpoint = endpoint
+        self.transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        self._endpoint._on_datagram(bytes(data))
+
+
+class _EndpointBase:
+    """Socket plumbing and crash-amnesia scaffolding shared by both stations."""
+
+    #: ChannelId this station sends on (the other one is its inbound side).
+    outbound: ChannelId
+    inbound: ChannelId
+
+    def __init__(
+        self,
+        log: LiveEventLog,
+        proxy_addr: Address,
+        restart_delay: float = 0.02,
+    ) -> None:
+        self.log = log
+        self.proxy_addr = proxy_addr
+        self.restart_delay = restart_delay
+        self.dead = False
+        self.crashes = 0
+        self.malformed = 0
+        self.dropped_while_dead = 0
+        self._protocol = _StationProtocol(self)
+        self._out_ids = 0
+        self._in_ids = 0
+        self._restart_handle: Optional[asyncio.TimerHandle] = None
+        self._closed = False
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        await loop.create_datagram_endpoint(
+            lambda: self._protocol, local_addr=("127.0.0.1", 0)
+        )
+
+    @property
+    def local_address(self) -> Address:
+        return self._protocol.transport.get_extra_info("sockname")
+
+    def close(self) -> None:
+        self._closed = True
+        if self._restart_handle is not None:
+            self._restart_handle.cancel()
+        if self._protocol.transport is not None:
+            self._protocol.transport.close()
+
+    # -- wire I/O ---------------------------------------------------------------
+
+    def _send_packet(self, packet) -> None:
+        data = encode_packet(packet)
+        self._out_ids += 1
+        # Packet ids on a live wire are log-local bookkeeping: datagrams
+        # carry no id field, so sends and deliveries number independently.
+        # The default monitors only ever count these events.
+        self.log.record(
+            make_pkt_sent(self.outbound, self._out_ids, packet.wire_length_bits)
+        )
+        transport = self._protocol.transport
+        if transport is not None and not self._closed:
+            transport.sendto(data, self.proxy_addr)
+
+    def _on_datagram(self, data: bytes) -> None:
+        if self._closed:
+            return
+        if self.dead:
+            self.dropped_while_dead += 1
+            return
+        try:
+            packet = decode_packet(data)
+        except CodecError:
+            self.malformed += 1
+            return
+        if not isinstance(packet, self._expected_packet):
+            self.malformed += 1
+            return
+        self._in_ids += 1
+        self.log.record(make_pkt_delivered(self.inbound, self._in_ids))
+        self._handle_packet(packet)
+
+    # -- crash-amnesia -----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill the station mid-whatever and schedule a cold restart.
+
+        All volatile state dies; the entropy source and the socket (the
+        "hardware") survive, as in the paper's crash model.
+        """
+        if self.dead or self._closed:
+            return
+        self.dead = True
+        self.crashes += 1
+        self._wipe_volatile_state()
+        loop = asyncio.get_running_loop()
+        self._restart_handle = loop.call_later(self.restart_delay, self._restart)
+
+    def _restart(self) -> None:
+        self._restart_handle = None
+        if self._closed:
+            return
+        self.dead = False
+        self._on_restarted()
+
+    # subclass hooks
+    _expected_packet: type = object
+
+    def _handle_packet(self, packet) -> None:
+        raise NotImplementedError
+
+    def _wipe_volatile_state(self) -> None:
+        raise NotImplementedError
+
+    def _on_restarted(self) -> None:
+        raise NotImplementedError
+
+
+class _Slot:
+    """One logical workload message; ``attempt`` disambiguates resubmissions."""
+
+    __slots__ = ("prefix", "attempt")
+
+    def __init__(self, prefix: bytes, attempt: int = 0) -> None:
+        self.prefix = prefix
+        self.attempt = attempt
+
+    def value(self) -> bytes:
+        if self.attempt == 0:
+            return self.prefix
+        return self.prefix + b"+r%d" % self.attempt
+
+
+class TransmitterEndpoint(_EndpointBase):
+    """The TM behind a socket: drains a workload of slots, one OK at a time.
+
+    ``on_ok`` fires per acknowledged slot, ``on_done`` once when every slot
+    has been OK'd — the scenario supervisor's completion signal.
+    """
+
+    outbound = ChannelId.T_TO_R
+    inbound = ChannelId.R_TO_T
+    _expected_packet = PollPacket
+
+    def __init__(
+        self,
+        transmitter: Transmitter,
+        log: LiveEventLog,
+        proxy_addr: Address,
+        payloads: Sequence[bytes],
+        on_ok: Optional[Callable[[], None]] = None,
+        on_done: Optional[Callable[[], None]] = None,
+        restart_delay: float = 0.02,
+    ) -> None:
+        super().__init__(log, proxy_addr, restart_delay)
+        self.tm = transmitter
+        self.queue: Deque[_Slot] = deque(_Slot(p) for p in payloads)
+        self.total_slots = len(self.queue)
+        self.current: Optional[_Slot] = None
+        self.oks = 0
+        self.resubmissions = 0
+        self._on_ok = on_ok
+        self._on_done = on_done
+
+    async def start(self) -> None:
+        await super().start()
+        self.maybe_send_next()
+
+    @property
+    def all_delivered(self) -> bool:
+        return self.oks >= self.total_slots
+
+    def maybe_send_next(self) -> None:
+        """Submit the next slot if the TM is idle (Axiom 1 discipline)."""
+        if self.dead or self._closed or self.current is not None:
+            return
+        if self.tm.busy or not self.queue:
+            return
+        slot = self.queue.popleft()
+        self.current = slot
+        value = slot.value()
+        self.log.record(make_send_msg(value))
+        # A freshly(-re)started TM holds no receiver challenge and opens
+        # silently; the RM's polls will draw the data packet out of it.
+        self._dispatch(self.tm.send_msg(value))
+
+    def _dispatch(self, outputs: List[StationOutput]) -> None:
+        for output in outputs:
+            if isinstance(output, EmitPacket):
+                self._send_packet(output.packet)
+            elif isinstance(output, EmitOk):
+                self.log.record(OK)
+                self.oks += 1
+                self.current = None
+                if self._on_ok is not None:
+                    self._on_ok()
+                if self.all_delivered and not self.queue:
+                    if self._on_done is not None:
+                        self._on_done()
+                else:
+                    self.maybe_send_next()
+
+    def _handle_packet(self, packet: PollPacket) -> None:
+        self._dispatch(self.tm.on_receive_pkt(packet))
+
+    def _wipe_volatile_state(self) -> None:
+        self.log.record(CRASH_T)
+        self.tm.crash()
+        if self.current is not None:
+            # The in-flight message died with the memory.  Re-queue the slot
+            # under a fresh attempt suffix: a distinct value (Axiom 2), same
+            # logical payload, delivered on a later handshake.
+            slot = self.current
+            self.current = None
+            self.resubmissions += 1
+            self.queue.appendleft(_Slot(slot.prefix, slot.attempt + 1))
+
+    def _on_restarted(self) -> None:
+        self.maybe_send_next()
+
+
+class ReceiverEndpoint(_EndpointBase):
+    """The RM behind a socket: a poll loop paced by adaptive backoff.
+
+    The RETRY action becomes a timer task: poll, sleep ``next_delay()``,
+    repeat.  Progress (a delivery or a nonce update) resets the backoff and
+    triggers an immediate acknowledging poll, which is what keeps handshake
+    latency near the base delay on a healthy link while a congested or
+    partitioned one decays toward the cap.
+    """
+
+    outbound = ChannelId.R_TO_T
+    inbound = ChannelId.T_TO_R
+    _expected_packet = DataPacket
+
+    def __init__(
+        self,
+        receiver: Receiver,
+        log: LiveEventLog,
+        proxy_addr: Address,
+        backoff: AdaptiveBackoff,
+        on_progress: Optional[Callable[[], None]] = None,
+        on_delivery: Optional[Callable[[bytes], None]] = None,
+        restart_delay: float = 0.02,
+    ) -> None:
+        super().__init__(log, proxy_addr, restart_delay)
+        self.rm = receiver
+        self.backoff = backoff
+        self.deliveries = 0
+        self.delivered: List[bytes] = []
+        self._on_progress = on_progress
+        self._on_delivery = on_delivery
+        self._poll_task: Optional[asyncio.Task] = None
+
+    async def start(self) -> None:
+        await super().start()
+        self._start_poll_loop()
+
+    def close(self) -> None:
+        if self._poll_task is not None:
+            self._poll_task.cancel()
+            self._poll_task = None
+        super().close()
+
+    @property
+    def polls_without_progress(self) -> int:
+        """How far the backoff has decayed (the give-up policy's input)."""
+        return self.backoff.attempts_without_progress
+
+    def _start_poll_loop(self) -> None:
+        self._poll_task = asyncio.get_running_loop().create_task(self._poll_loop())
+
+    async def _poll_loop(self) -> None:
+        while not self._closed:
+            self._send_poll()
+            await asyncio.sleep(self.backoff.next_delay())
+
+    def _send_poll(self) -> None:
+        if self.dead or self._closed:
+            return
+        self.log.record(RETRY)
+        for output in self.rm.retry():
+            if isinstance(output, EmitPacket):
+                self._send_packet(output.packet)
+
+    def _handle_packet(self, packet: DataPacket) -> None:
+        tau_before = self.rm.tau
+        outputs = self.rm.on_receive_pkt(packet)
+        progressed = False
+        for output in outputs:
+            if isinstance(output, EmitReceiveMsg):
+                self.log.record(make_receive_msg(output.message))
+                self.deliveries += 1
+                self.delivered.append(output.message)
+                progressed = True
+                if self._on_delivery is not None:
+                    self._on_delivery(output.message)
+        if not progressed and self.rm.tau != tau_before:
+            progressed = True  # same handshake, the TM extended its nonce
+        if progressed:
+            self.backoff.note_progress()
+            if self._on_progress is not None:
+                self._on_progress()
+            # Acknowledge immediately instead of waiting out the timer —
+            # the poll carries the new (rho, tau) the TM needs for its OK.
+            self._send_poll()
+
+    def _wipe_volatile_state(self) -> None:
+        self.log.record(CRASH_R)
+        if self._poll_task is not None:
+            self._poll_task.cancel()
+            self._poll_task = None
+        self.rm.crash()
+        self.backoff.reset()
+
+    def _on_restarted(self) -> None:
+        self._start_poll_loop()

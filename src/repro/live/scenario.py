@@ -1,0 +1,289 @@
+"""Scripted live scenarios: stations + chaos proxy + crash orchestration.
+
+:func:`run_live_scenario` is the live analogue of one supervised campaign
+run.  It wires a real deployment on the loopback interface —
+
+    TM endpoint  ⇄  chaos proxy  ⇄  RM endpoint
+
+— runs a message workload through it under scripted and stochastic wire
+faults, crash-kills stations on cue, and reduces the whole thing to a
+:class:`LiveRunReport` whose Section 2.6 verdicts come from the same
+streaming checkers the simulator uses.
+
+Three guarantees make the harness CI-safe:
+
+* **hard wall-clock budget** — the entire scenario runs under a deadline;
+  whatever happens on the wire, the coroutine returns;
+* **bounded give-up** — a supervisor task watches for progress (deliveries,
+  nonce updates, OKs); if none lands within ``give_up_idle`` seconds, or
+  the RM's backoff has decayed through ``give_up_polls`` fruitless polls,
+  the run is torn down with status :data:`LiveStatus.UNRECONCILABLE` — the
+  paper's ε-probability bad case surfaced as graceful degradation instead
+  of a hang;
+* **deterministic teardown** — tasks are cancelled and sockets closed in
+  ``finally``, so a failing scenario cannot leak file descriptors or tasks
+  into the next test.
+
+Crash orchestration reuses the campaign fault-plan schema: a
+``{"kind": "crash", "step": N, "station": "T"}`` event kills the named
+station when the proxy observes its N-th datagram — necessarily
+mid-handshake when traffic is flowing — and cold-restarts it with empty
+volatile state after ``restart_delay`` seconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.checkers.live import LiveEventLog
+from repro.checkers.report import SafetyReport
+from repro.core.protocol import make_data_link
+from repro.core.random_source import RandomSource, split_seed
+from repro.live.backoff import AdaptiveBackoff, BackoffPolicy
+from repro.live.endpoints import ReceiverEndpoint, TransmitterEndpoint
+from repro.live.proxy import ChaosProxy, LinkProfile, ProxyStats
+from repro.resilience.faultplan import FaultPlan
+from repro.util.tables import render_table
+
+__all__ = ["LiveStatus", "LiveScenario", "LiveRunReport", "run_live_scenario",
+           "run_live_scenario_async"]
+
+
+class LiveStatus(str, Enum):
+    """Terminal status of one live scenario."""
+
+    DELIVERED = "delivered"  # every workload slot OK'd
+    UNRECONCILABLE = "unreconcilable"  # bounded give-up fired (no hang)
+    ABORTED = "aborted"  # a scripted abort tore the harness down
+
+
+@dataclass(frozen=True)
+class LiveScenario:
+    """Everything one live run needs (all wall-clock knobs in seconds)."""
+
+    messages: int = 50
+    seed: int = 0
+    epsilon: float = 2.0 ** -16
+    profile: LinkProfile = field(default_factory=LinkProfile)
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    poll: BackoffPolicy = field(default_factory=BackoffPolicy)
+    budget: float = 60.0  # hard wall-clock ceiling for the whole run
+    give_up_idle: float = 5.0  # no-progress deadline
+    give_up_polls: int = 0  # fruitless-poll bound (0 = idle deadline only)
+    restart_delay: float = 0.02  # how long a crashed station stays down
+    tail_size: int = 4096  # forensic event tail retained by the log
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.messages < 1:
+            raise ValueError("messages must be >= 1")
+        if self.budget <= 0.0 or self.give_up_idle <= 0.0:
+            raise ValueError("budget and give_up_idle must be positive")
+        if self.give_up_polls < 0:
+            raise ValueError("give_up_polls must be >= 0")
+
+
+@dataclass
+class LiveRunReport:
+    """One live run, reduced to verdicts plus wire/crash accounting."""
+
+    scenario: LiveScenario
+    status: LiveStatus
+    reason: str
+    safety: SafetyReport
+    liveness_passed: bool
+    deliveries: int
+    oks: int
+    resubmissions: int
+    crashes_t: int
+    crashes_r: int
+    malformed_datagrams: int
+    events_seen: int
+    wall_seconds: float
+    proxy: ProxyStats
+    forensic_tail: List[str] = field(repr=False, default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        return self.status is LiveStatus.DELIVERED
+
+    @property
+    def ok(self) -> bool:
+        """Delivered, safe, and live — the CI gate."""
+        return self.completed and self.safety.passed and self.liveness_passed
+
+    def render(self) -> str:
+        summary = render_table(
+            ["metric", "value"],
+            [
+                ["scenario", self.scenario.label or "-"],
+                ["status", self.status.value],
+                ["reason", self.reason],
+                ["messages OK", f"{self.oks}/{self.scenario.messages}"],
+                ["deliveries", self.deliveries],
+                ["slot resubmissions", self.resubmissions],
+                ["crashes (T/R)", f"{self.crashes_t}/{self.crashes_r}"],
+                ["events checked", self.events_seen],
+                ["wall seconds", f"{self.wall_seconds:.2f}"],
+            ],
+            title="live scenario",
+        )
+        wire = render_table(
+            ["observed", "forwarded", "dropped", "duplicated", "reordered",
+             "stalled", "foreign"],
+            [[self.proxy.observed, self.proxy.forwarded, self.proxy.dropped,
+              self.proxy.duplicated, self.proxy.reordered, self.proxy.stalled,
+              self.proxy.foreign]],
+            title="wire (chaos proxy)",
+        )
+        checks = render_table(
+            ["condition", "verdict", "trials"],
+            [
+                [c.condition, "OK" if c.passed else "VIOLATED", c.trials]
+                for c in self.safety.all_reports
+            ]
+            + [["liveness", "OK" if self.liveness_passed else "VIOLATED", "-"]],
+            title="Section 2.6 conditions (live trace)",
+        )
+        return "\n".join([summary, "", wire, "", checks])
+
+
+async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
+    """Execute one scripted live scenario end to end (see module docstring)."""
+    loop = asyncio.get_running_loop()
+    root = RandomSource(scenario.seed)
+    link = make_data_link(
+        epsilon=scenario.epsilon, seed=split_seed(scenario.seed, "live-link")
+    )
+    log = LiveEventLog(tail_size=scenario.tail_size)
+
+    done = asyncio.Event()
+    outcome = {"status": LiveStatus.UNRECONCILABLE, "reason": ""}
+    progress = {"at": loop.time()}
+
+    def finish(status: LiveStatus, reason: str) -> None:
+        if not done.is_set():
+            outcome["status"] = status
+            outcome["reason"] = reason
+            done.set()
+
+    def note_progress() -> None:
+        progress["at"] = loop.time()
+
+    proxy = ChaosProxy(
+        plan=scenario.plan,
+        profile=scenario.profile,
+        rng=root.fork("chaos"),
+        on_crash=lambda station, turn: _crash_station(station, turn),
+        on_abort=lambda turn: finish(
+            LiveStatus.ABORTED, f"scripted abort at wire turn {turn}"
+        ),
+    )
+    payloads = [b"live-%05d" % i for i in range(scenario.messages)]
+    await proxy.start()
+
+    tm = TransmitterEndpoint(
+        link.transmitter,
+        log,
+        proxy.t_facing_address,
+        payloads,
+        on_ok=note_progress,
+        on_done=lambda: finish(LiveStatus.DELIVERED, "workload complete"),
+        restart_delay=scenario.restart_delay,
+    )
+    rm = ReceiverEndpoint(
+        link.receiver,
+        log,
+        proxy.r_facing_address,
+        AdaptiveBackoff(scenario.poll, root.fork("poll-backoff")),
+        on_progress=note_progress,
+        restart_delay=scenario.restart_delay,
+    )
+
+    def _crash_station(station: str, turn: int) -> None:
+        # The orchestrator's kill switch: invoked by the proxy when a
+        # scripted crash's wire turn arrives.  Mid-handshake by
+        # construction — a turn only advances when a datagram is in flight.
+        if station == "T":
+            tm.crash()
+        else:
+            rm.crash()
+        note_progress()  # a crash resets the pending-send clock (Axiom 1)
+
+    started = time.monotonic()
+    supervisor: Optional[asyncio.Task] = None
+    try:
+        await tm.start()
+        await rm.start()
+        proxy.connect(tm.local_address, rm.local_address)
+
+        async def _give_up_watch() -> None:
+            # Deadline-based supervision: the poll backoff retransmits, this
+            # task decides when retransmission has stopped being worth it.
+            interval = min(0.05, scenario.give_up_idle / 4)
+            while not done.is_set():
+                await asyncio.sleep(interval)
+                idle = loop.time() - progress["at"]
+                if idle > scenario.give_up_idle:
+                    finish(
+                        LiveStatus.UNRECONCILABLE,
+                        f"no progress for {idle:.2f}s "
+                        f"(give_up_idle={scenario.give_up_idle:g}s)",
+                    )
+                elif (
+                    scenario.give_up_polls
+                    and rm.polls_without_progress >= scenario.give_up_polls
+                ):
+                    finish(
+                        LiveStatus.UNRECONCILABLE,
+                        f"{rm.polls_without_progress} polls without progress "
+                        f"(give_up_polls={scenario.give_up_polls})",
+                    )
+
+        supervisor = loop.create_task(_give_up_watch())
+        try:
+            await asyncio.wait_for(done.wait(), timeout=scenario.budget)
+        except asyncio.TimeoutError:
+            finish(
+                LiveStatus.UNRECONCILABLE,
+                f"wall-clock budget of {scenario.budget:g}s exhausted",
+            )
+    finally:
+        if supervisor is not None:
+            supervisor.cancel()
+        rm.close()
+        tm.close()
+        proxy.close()
+        # Let transport close callbacks drain so nothing leaks into the
+        # caller's loop (and pytest's unraisable checks stay quiet).
+        await asyncio.sleep(0)
+
+    status: LiveStatus = outcome["status"]  # type: ignore[assignment]
+    return LiveRunReport(
+        scenario=scenario,
+        status=status,
+        reason=str(outcome["reason"]),
+        safety=log.safety_report(),
+        liveness_passed=log.liveness_report(
+            run_completed=status is LiveStatus.DELIVERED
+        ).passed,
+        deliveries=rm.deliveries,
+        oks=tm.oks,
+        resubmissions=tm.resubmissions,
+        crashes_t=tm.crashes,
+        crashes_r=rm.crashes,
+        malformed_datagrams=tm.malformed + rm.malformed,
+        events_seen=log.events_seen,
+        wall_seconds=time.monotonic() - started,
+        proxy=proxy.stats,
+        forensic_tail=log.tail_lines() if status is not LiveStatus.DELIVERED else [],
+    )
+
+
+def run_live_scenario(scenario: LiveScenario) -> LiveRunReport:
+    """Synchronous wrapper: run the scenario on a fresh event loop."""
+    return asyncio.run(run_live_scenario_async(scenario))

@@ -4,7 +4,8 @@
 in parallel worker processes with the retry/timeout/isolation behaviour a
 production harness needs:
 
-* **per-run wall-clock timeout** — a SIGALRM watchdog inside the worker
+* **per-run wall-clock timeout** — a watchdog inside the worker (SIGALRM
+  on the main thread, an async-exception watchdog thread elsewhere)
   interrupts hung runs (e.g. an adversary that stops returning) and
   reports terminal status ``timeout`` instead of wedging the campaign;
 * **bounded retries** — runs that time out or crash are retried with
@@ -46,6 +47,7 @@ the same retry/timeout semantics (hard aborts degrade to soft).
 
 from __future__ import annotations
 
+import ctypes
 import dataclasses
 import io
 import multiprocessing
@@ -53,6 +55,7 @@ import os
 import random
 import signal
 import tempfile
+import threading
 import time
 import traceback
 from collections import OrderedDict
@@ -248,23 +251,81 @@ class _AttemptTimeout(Exception):
     """Raised by the in-worker watchdog when a run blows its wall budget."""
 
 
+def _can_use_sigalrm() -> bool:
+    """SIGALRM works only on the main thread of the main interpreter."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
 @contextmanager
 def _deadline(seconds: Optional[float]):
-    """SIGALRM-based wall-clock guard (no-op without a timeout or SIGALRM)."""
-    if seconds is None or not hasattr(signal, "SIGALRM"):
+    """Wall-clock guard: interrupt the protected block after ``seconds``.
+
+    Two implementations behind one interface:
+
+    * **SIGALRM** (preferred) — a real interval timer that can break out of
+      almost anything, including blocking C calls.  Only legal on the main
+      thread of the main interpreter; ``signal.signal`` raises
+      ``ValueError`` anywhere else.
+    * **watchdog thread** (fallback) — a daemon timer that injects
+      :class:`_AttemptTimeout` into the protected thread via
+      ``PyThreadState_SetAsyncExc``.  Async exceptions land only at
+      bytecode boundaries, so a block wedged inside a single C call is not
+      interrupted until it returns — fine for the hot loops this guards
+      (simulator steps), weaker than SIGALRM for arbitrary code.
+
+    The fallback makes the timeout machinery usable from worker threads —
+    e.g. ``run_campaign(in_process=True)`` called off the main thread, or
+    embedders running campaigns from a thread pool — instead of silently
+    running unguarded as the SIGALRM-only version did.
+    """
+    if seconds is None:
         yield
         return
 
-    def _on_alarm(signum, frame):
-        raise _AttemptTimeout()
+    if _can_use_sigalrm():
+        def _on_alarm(signum, frame):
+            raise _AttemptTimeout()
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+        return
+
+    # Watchdog-thread fallback.  ``armed`` (under the lock) closes the race
+    # where the timer fires concurrently with a normal exit: once disarmed,
+    # a late-firing timer does nothing, and any exception already injected
+    # but not yet raised is cleared before control leaves the guard.
+    target_id = threading.get_ident()
+    lock = threading.Lock()
+    state = {"armed": True}
+
+    def _fire() -> None:
+        with lock:
+            if not state["armed"]:
+                return
+            ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                ctypes.c_ulong(target_id), ctypes.py_object(_AttemptTimeout)
+            )
+
+    timer = threading.Timer(seconds, _fire)
+    timer.daemon = True
+    timer.start()
     try:
         yield
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        timer.cancel()
+        with lock:
+            state["armed"] = False
+        # Clear a pending (injected but not yet raised) async exception so
+        # it cannot detonate in the caller's code after the guard exits.
+        ctypes.pythonapi.PyThreadState_SetAsyncExc(ctypes.c_ulong(target_id), None)
 
 
 def execute_attempt(

@@ -1,0 +1,149 @@
+"""Wire-codec hardening: fuzzed roundtrips, truncation, and the peek view.
+
+The live deployment (docs/PROTOCOL.md §11) exposes the codec to a real
+socket, where datagrams arrive truncated, duplicated mid-flush, or from
+foreign senders.  These tests pin down the properties the endpoints and
+the chaos proxy rely on:
+
+* encode/decode is a perfect roundtrip through the module-level functions
+  the endpoints use, including extreme ρ/τ bit-string lengths;
+* **every** strict prefix of a valid encoding is rejected with
+  :class:`CodecError` — a truncated datagram can never decode to a
+  different valid packet;
+* :func:`peek_wire_info` agrees with the full decode on kind and length
+  while revealing nothing else, and rejects foreign traffic.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitstrings import BitString
+from repro.core.exceptions import CodecError
+from repro.core.packets import (
+    DataPacket,
+    PollPacket,
+    decode_packet,
+    encode_packet,
+    peek_wire_info,
+)
+
+_KIND_BYTES = {0xD1, 0xA5}
+
+
+@st.composite
+def long_bitstrings(draw, max_bits: int = 4096) -> BitString:
+    """Bit strings up to ``max_bits`` — far beyond any protocol nonce."""
+    n = draw(st.integers(min_value=0, max_value=max_bits))
+    value = draw(st.integers(min_value=0, max_value=(1 << n) - 1)) if n else 0
+    return BitString.from_int(value, n)
+
+
+bitstrings = st.text(alphabet="01", max_size=200).map(BitString)
+messages = st.binary(max_size=500)
+retries = st.integers(min_value=0, max_value=2 ** 63 - 1)
+
+data_packets = st.builds(DataPacket, message=messages, rho=bitstrings,
+                         tau=bitstrings)
+poll_packets = st.builds(PollPacket, rho=bitstrings, tau=bitstrings,
+                         retry=retries)
+packets = st.one_of(data_packets, poll_packets)
+
+
+# -- roundtrips ------------------------------------------------------------------
+
+
+@given(packets)
+def test_module_level_roundtrip(packet):
+    assert decode_packet(encode_packet(packet)) == packet
+
+
+@settings(max_examples=25)
+@given(messages, long_bitstrings(), long_bitstrings())
+def test_data_roundtrip_with_max_length_nonces(m, rho, tau):
+    packet = DataPacket(message=m, rho=rho, tau=tau)
+    wire = encode_packet(packet)
+    assert decode_packet(wire) == packet
+    assert packet.wire_length_bits == len(wire) * 8
+
+
+@settings(max_examples=25)
+@given(long_bitstrings(), long_bitstrings(), retries)
+def test_poll_roundtrip_with_max_length_nonces(rho, tau, retry):
+    packet = PollPacket(rho=rho, tau=tau, retry=retry)
+    wire = encode_packet(packet)
+    assert decode_packet(wire) == packet
+    assert packet.wire_length_bits == len(wire) * 8
+
+
+# -- truncation ------------------------------------------------------------------
+
+
+@settings(max_examples=50)
+@given(packets)
+def test_every_strict_prefix_is_rejected(packet):
+    # The live endpoints count on this: a datagram cut anywhere cannot
+    # silently decode into a different valid packet.
+    wire = encode_packet(packet)
+    for cut in range(len(wire)):
+        with pytest.raises(CodecError):
+            decode_packet(wire[:cut])
+
+
+@given(packets, st.binary(min_size=1, max_size=16))
+def test_trailing_bytes_are_rejected(packet, extra):
+    with pytest.raises(CodecError):
+        decode_packet(encode_packet(packet) + extra)
+
+
+@given(packets, st.integers(min_value=0, max_value=255))
+def test_foreign_kind_byte_is_rejected(packet, kind):
+    wire = encode_packet(packet)
+    if kind in _KIND_BYTES:
+        return
+    with pytest.raises(CodecError):
+        decode_packet(bytes([kind]) + wire[1:])
+
+
+def test_empty_datagram_is_rejected():
+    with pytest.raises(CodecError):
+        decode_packet(b"")
+    with pytest.raises(CodecError):
+        peek_wire_info(b"")
+
+
+# -- the adversary's peek --------------------------------------------------------
+
+
+@given(packets)
+def test_peek_agrees_with_decode(packet):
+    wire = encode_packet(packet)
+    info = peek_wire_info(wire)
+    assert info.kind_byte == wire[0]
+    assert info.kind == ("data" if isinstance(packet, DataPacket) else "poll")
+    assert info.length_bits == len(wire) * 8 == packet.wire_length_bits
+
+
+@given(packets)
+def test_peek_works_on_any_nonempty_prefix(packet):
+    # The proxy peeks before anything validates the datagram; the peek
+    # must never require more than the identifier octet.
+    wire = encode_packet(packet)
+    for cut in range(1, len(wire) + 1):
+        info = peek_wire_info(wire[:cut])
+        assert info.kind_byte == wire[0]
+        assert info.length_bits == cut * 8
+
+
+@given(st.binary(min_size=1, max_size=64))
+def test_peek_rejects_foreign_identifiers(data):
+    if data[0] in _KIND_BYTES:
+        return
+    with pytest.raises(CodecError):
+        peek_wire_info(data)
+
+
+def test_encode_packet_rejects_non_packets():
+    with pytest.raises(CodecError):
+        encode_packet("not a packet")

@@ -1,0 +1,91 @@
+"""Adaptive poll backoff: jitter bounds, cap, reset, and determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.random_source import RandomSource
+from repro.live.backoff import AdaptiveBackoff, BackoffPolicy
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        BackoffPolicy(base=0.0)
+    with pytest.raises(ValueError):
+        BackoffPolicy(factor=0.5)
+    with pytest.raises(ValueError):
+        BackoffPolicy(base=0.1, cap=0.05)
+    with pytest.raises(ValueError):
+        BackoffPolicy(jitter=1.0)
+    with pytest.raises(ValueError):
+        BackoffPolicy(jitter=-0.1)
+
+
+def test_jitter_free_schedule_is_exact_doubling():
+    policy = BackoffPolicy(base=0.01, factor=2.0, cap=1.0, jitter=0.0)
+    backoff = AdaptiveBackoff(policy, RandomSource(0))
+    assert [backoff.next_delay() for _ in range(4)] == [0.01, 0.02, 0.04, 0.08]
+
+
+def test_every_delay_stays_inside_jitter_bounds():
+    policy = BackoffPolicy(base=0.01, factor=2.0, cap=0.25, jitter=0.5)
+    backoff = AdaptiveBackoff(policy, RandomSource(99))
+    expected_raw = [min(policy.cap, policy.base * policy.factor ** n)
+                    for n in range(40)]
+    for raw in expected_raw:
+        delay = backoff.next_delay()
+        assert raw * (1.0 - policy.jitter) <= delay
+        assert delay < raw * (1.0 + policy.jitter)
+
+
+def test_cap_bounds_the_unjittered_delay():
+    policy = BackoffPolicy(base=0.01, factor=2.0, cap=0.05, jitter=0.0)
+    backoff = AdaptiveBackoff(policy, RandomSource(0))
+    delays = [backoff.next_delay() for _ in range(10)]
+    assert max(delays) == policy.cap
+    assert delays[-1] == policy.cap  # stays pinned once reached
+
+
+def test_progress_resets_the_schedule():
+    policy = BackoffPolicy(base=0.01, factor=2.0, cap=1.0, jitter=0.0)
+    backoff = AdaptiveBackoff(policy, RandomSource(0))
+    for _ in range(5):
+        backoff.next_delay()
+    assert backoff.attempts_without_progress == 5
+    backoff.note_progress()
+    assert backoff.attempts_without_progress == 0
+    assert backoff.next_delay() == policy.base
+
+
+def test_crash_reset_matches_progress_reset():
+    policy = BackoffPolicy(jitter=0.0)
+    backoff = AdaptiveBackoff(policy, RandomSource(0))
+    for _ in range(3):
+        backoff.next_delay()
+    backoff.reset()
+    assert backoff.attempts_without_progress == 0
+    assert backoff.next_delay() == policy.base
+
+
+def test_schedule_is_deterministic_for_a_seed():
+    policy = BackoffPolicy(jitter=0.5)
+
+    def tape(seed: int, progress_at: int = 4) -> list:
+        backoff = AdaptiveBackoff(policy, RandomSource(seed))
+        out = []
+        for n in range(12):
+            if n == progress_at:
+                backoff.note_progress()
+            out.append(backoff.next_delay())
+        return out
+
+    assert tape(7) == tape(7)
+    assert tape(7) != tape(8)
+
+
+def test_attempt_counter_tracks_handouts():
+    backoff = AdaptiveBackoff(BackoffPolicy(), RandomSource(1))
+    assert backoff.attempts_without_progress == 0
+    backoff.next_delay()
+    backoff.next_delay()
+    assert backoff.attempts_without_progress == 2

@@ -163,3 +163,53 @@ class TestShrinkCommand:
                 "shrink", "--fault-plan", str(plan_path),
                 "--seed", "1", "--messages", "3",
             ])
+
+
+class TestLiveCommand:
+    def test_live_defaults(self):
+        args = build_parser().parse_args(["live"])
+        assert args.messages == 50
+        assert args.budget == 60.0
+        assert args.give_up == 5.0
+        assert args.fault_plan is None
+
+    def test_clean_live_run_exits_zero(self, capsys):
+        code = main([
+            "live", "--messages", "5", "--seed", "1",
+            "--poll-base", "0.002", "--poll-cap", "0.05",
+            "--budget", "20", "--give-up", "3", "--label", "cli-clean",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "delivered" in out
+        assert "cli-clean" in out
+
+    def test_live_with_crash_plan_and_chaos(self, tmp_path, capsys):
+        plan_path = tmp_path / "crashes.json"
+        FaultPlan.of(CrashAt(step=5, station="T")).save(str(plan_path))
+        code = main([
+            "live", "--messages", "8", "--seed", "2",
+            "--drop", "0.05", "--duplicate", "0.05",
+            "--fault-plan", str(plan_path),
+            "--poll-base", "0.002", "--poll-cap", "0.05",
+            "--budget", "30", "--give-up", "4",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "crashes (T/R)" in out
+        assert "1/0" in out
+
+    def test_unreconcilable_flips_exit_code(self, capsys):
+        code = main([
+            "live", "--messages", "3", "--seed", "3", "--drop", "1.0",
+            "--poll-base", "0.002", "--poll-cap", "0.05",
+            "--budget", "10", "--give-up", "0.5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "unreconcilable" in out
+        assert "forensic tail" in out
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["live", "--drop", "1.5"])
