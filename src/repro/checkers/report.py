@@ -15,7 +15,7 @@ from typing import List
 
 from repro.core.exceptions import CheckFailure
 
-__all__ = ["Violation", "CheckReport", "SafetyReport"]
+__all__ = ["Violation", "CheckReport", "SafetyReport", "merge_safety_reports"]
 
 
 @dataclass(frozen=True)
@@ -81,3 +81,34 @@ class SafetyReport:
         """Raise :class:`CheckFailure` for the first failing condition."""
         for report in self.all_reports:
             report.raise_on_failure()
+
+
+def merge_safety_reports(reports: List[SafetyReport]) -> SafetyReport:
+    """Combine per-component verdicts into one aggregate report.
+
+    A multi-lane deployment checks each lane's trace independently (each
+    lane is its own instance of the protocol, with its own Section 2.6
+    conditions); the aggregate sums trial counts and concatenates
+    violations per condition, so the merged report passes iff every lane
+    passed.  Requires at least one input report.
+    """
+    if not reports:
+        raise ValueError("cannot merge zero safety reports")
+
+    def merged(condition_index: int) -> CheckReport:
+        parts = [report.all_reports[condition_index] for report in reports]
+        violations: List[Violation] = []
+        for part in parts:
+            violations.extend(part.violations)
+        return CheckReport(
+            condition=parts[0].condition,
+            trials=sum(part.trials for part in parts),
+            violations=violations,
+        )
+
+    return SafetyReport(
+        causality=merged(0),
+        order=merged(1),
+        no_duplication=merged(2),
+        no_replay=merged(3),
+    )

@@ -186,6 +186,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="poll backoff delay cap in seconds")
     live.add_argument("--poll-jitter", type=float, default=0.5,
                       help="poll backoff jitter fraction in [0, 1)")
+    live.add_argument("--lanes", type=int, default=1,
+                      help="protocol instances striped over the socket pair")
     live.add_argument("--restart-delay", type=float, default=0.02,
                       help="how long a crashed station stays down")
     live.add_argument("--label", default="", help="row label for the report")
@@ -454,6 +456,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
             budget=args.budget,
             give_up_idle=args.give_up,
             restart_delay=args.restart_delay,
+            lanes=args.lanes,
             label=args.label,
         )
     except ValueError as error:
@@ -484,6 +487,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             for mode, stats in modes.items()
         ],
         title="macro benchmark (Monte-Carlo campaign path)",
+    ))
+    print()
+    live = payload["results"]["live"]
+    print(render_table(
+        ["lanes", "messages/sec", "wall seconds", "reseq high-water"],
+        [
+            [stats["lanes"],
+             f"{stats['messages_per_second']:,.0f}",
+             f"{stats['wall_seconds']:.3f}",
+             stats["resequencer_high_water"]]
+            for __, stats in sorted(live.items(), key=lambda kv: kv[1]["lanes"])
+        ],
+        title="live benchmark (loopback UDP, lossless profile)",
     ))
     print()
     print(render_table(

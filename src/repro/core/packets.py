@@ -23,7 +23,7 @@ from __future__ import annotations
 import struct
 import sys
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 from repro.core.bitstrings import BitString
 from repro.core.exceptions import CodecError
@@ -33,9 +33,14 @@ __all__ = [
     "DataPacket",
     "PollPacket",
     "Packet",
+    "PollEncoder",
     "WireInfo",
+    "MAX_LANES",
     "encode_packet",
     "decode_packet",
+    "encode_lane_frame",
+    "decode_lane_frame",
+    "lane_prefix",
     "peek_wire_info",
     "make_data_packet",
     "make_poll_packet",
@@ -46,6 +51,14 @@ _SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 _KIND_DATA = 0xD1
 _KIND_POLL = 0xA5
+
+#: Highest lane count a multi-lane deployment may use.  Lane ids occupy the
+#: range [0, MAX_LANES) so a lane byte can never collide with the packet
+#: kind bytes (both >= 0x80), which is what keeps laned and unlaned frames
+#: distinguishable from their first octet alone.
+MAX_LANES = 64
+
+_LANE_PREFIXES = tuple(bytes([lane]) for lane in range(MAX_LANES))
 
 
 def _encode_bitstring(bits: BitString) -> bytes:
@@ -190,12 +203,15 @@ class WireInfo:
     *lengths* — never contents.  The chaos proxy's fault decisions go
     through this view exclusively: ``kind_byte`` is the on-wire identifier
     octet, ``kind`` its symbolic name, ``length_bits`` the full datagram
-    length.  Nothing here requires (or performs) a content decode.
+    length.  ``lane`` is the lane id of a multi-lane frame (``None`` for
+    the classic unlaned wire) — structural framing, like the identifier,
+    not content.  Nothing here requires (or performs) a content decode.
     """
 
     kind_byte: int
     kind: str
     length_bits: int
+    lane: Optional[int] = None
 
 
 _KIND_NAMES = {_KIND_DATA: "data", _KIND_POLL: "poll"}
@@ -205,17 +221,98 @@ def peek_wire_info(data: bytes) -> WireInfo:
     """Identifier/length-only view of an encoded packet.
 
     This is the *maximum* the channel adversary is allowed to observe:
-    the leading kind octet and the datagram length.  Raises
-    :class:`CodecError` on an empty datagram or an unknown kind byte so
-    that in-path components can reject foreign traffic without ever
-    looking at payloads.
+    the leading kind octet (plus the lane id, for a laned frame) and the
+    datagram length.  Raises :class:`CodecError` on an empty datagram or
+    an unknown kind byte so that in-path components can reject foreign
+    traffic without ever looking at payloads.
     """
     if not data:
         raise CodecError("empty packet")
-    kind = _KIND_NAMES.get(data[0])
-    if kind is None:
-        raise CodecError(f"unknown packet kind byte 0x{data[0]:02x}")
-    return WireInfo(kind_byte=data[0], kind=kind, length_bits=len(data) * 8)
+    first = data[0]
+    kind = _KIND_NAMES.get(first)
+    if kind is not None:
+        return WireInfo(kind_byte=first, kind=kind, length_bits=len(data) * 8)
+    if first < MAX_LANES and len(data) >= 2:
+        kind = _KIND_NAMES.get(data[1])
+        if kind is not None:
+            return WireInfo(
+                kind_byte=data[1], kind=kind, length_bits=len(data) * 8,
+                lane=first,
+            )
+        raise CodecError(
+            f"unknown packet kind byte 0x{data[1]:02x} on lane {first}"
+        )
+    raise CodecError(f"unknown packet kind byte 0x{first:02x}")
+
+
+def lane_prefix(lane: int) -> bytes:
+    """The cached one-byte frame prefix for ``lane`` (validated)."""
+    if not 0 <= lane < MAX_LANES:
+        raise CodecError(f"lane id {lane} outside [0, {MAX_LANES})")
+    return _LANE_PREFIXES[lane]
+
+
+def encode_lane_frame(lane: int, payload: bytes) -> bytes:
+    """Frame one encoded packet for a multi-lane wire: lane byte + payload."""
+    return lane_prefix(lane) + payload
+
+
+def decode_lane_frame(data: bytes) -> "tuple[int, bytes]":
+    """Split a laned datagram into ``(lane, encoded_packet)``.
+
+    Rejects empty frames, foreign lane ids, and frames with no body; the
+    body itself is *not* decoded here — callers hand it to
+    :func:`decode_packet`, which preserves the strict-prefix rejection
+    property lane by lane.
+    """
+    if len(data) < 2:
+        raise CodecError("truncated lane frame")
+    lane = data[0]
+    if lane >= MAX_LANES:
+        raise CodecError(f"invalid lane id {lane}")
+    return lane, data[1:]
+
+
+_RETRY_STRUCT = struct.Struct(">Q")
+
+
+class PollEncoder:
+    """Cached wire encoding for the RM's repeated RETRY polls.
+
+    Between two progress events every poll a receiver sends carries the
+    same ``(ρ, τ_prev)`` pair — only the retry counter ``i`` advances — so
+    the poll backoff loop used to re-encode two identical bit strings per
+    resend.  This encoder caches the encoded ``(kind, ρ, τ)`` prefix
+    (optionally behind a lane-frame byte, so the lane-frame buffer is
+    built once and reused too) and re-packs only the 8-byte counter.
+
+    The cache keys on *object identity*: the receiver automaton replaces
+    its ρ/τ references exactly when their values change, and BitStrings
+    are immutable, so identity is a sound (and O(1)) freshness test.
+    Equal-but-distinct objects merely re-encode — never corrupt.
+    """
+
+    __slots__ = ("_prefix", "_rho", "_tau", "_cached")
+
+    def __init__(self, lane: Optional[int] = None) -> None:
+        self._prefix = lane_prefix(lane) if lane is not None else b""
+        self._rho: Optional[BitString] = None
+        self._tau: Optional[BitString] = None
+        self._cached = b""
+
+    def encode(self, packet: PollPacket) -> bytes:
+        """Byte-identical to ``encode_lane_frame``/``encode_packet``."""
+        rho, tau = packet.rho, packet.tau
+        if rho is not self._rho or tau is not self._tau:
+            self._rho = rho
+            self._tau = tau
+            self._cached = (
+                self._prefix
+                + bytes([_KIND_POLL])
+                + _encode_bitstring(rho)
+                + _encode_bitstring(tau)
+            )
+        return self._cached + _RETRY_STRUCT.pack(packet.retry)
 
 
 def decode_packet(data: bytes) -> Packet:

@@ -16,6 +16,7 @@ the paper's analysis needs and a reproduction must preserve:
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Optional, Sequence
 
@@ -153,13 +154,43 @@ class RandomSource:
         self._rng.shuffle(items)
 
     def geometric(self, probability: float) -> int:
-        """Number of Bernoulli(p) trials up to and including the first success."""
+        """Number of Bernoulli(p) trials up to and including the first success.
+
+        Draws one uniform per trial, so a tape that interleaved per-trial
+        coin flips with other draws replays unchanged.  New code that does
+        not need tape-compatibility with old seeds should prefer
+        :meth:`geometric_fast`.
+        """
         if not 0.0 < probability <= 1.0:
             raise ValueError("probability must be in (0, 1]")
         count = 1
         while not self.bernoulli(probability):
             count += 1
         return count
+
+    def geometric_fast(self, probability: float) -> int:
+        """Geometric(p) trial count from a single inverse-CDF draw.
+
+        Same distribution as :meth:`geometric` — ``P(X = k) = (1-p)^(k-1) p``
+        — but always exactly one uniform draw, however small ``p`` is.  The
+        closed form ``⌊ln(U) / ln(1-p)⌋ + 1`` maps a uniform ``U ∈ (0, 1]``
+        through the inverse CDF, so a ``geometric(0.01)`` that used to cost
+        ~100 Bernoulli trials costs one draw.
+
+        **Tape note:** the draw *count* differs from :meth:`geometric` (one
+        vs one-per-trial) and the draw→value mapping differs even when the
+        counts coincide, so switching a consumer changes every schedule
+        derived from its seed.  Adopt it only where old-seed compatibility
+        is not a contract (documented at each adoption site).
+        """
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        # Consume a draw even for p=1 so the p→1 limit keeps draw parity
+        # with every other probability (and with geometric(1.0)).
+        u = 1.0 - self.random_float()  # uniform in (0, 1]
+        if probability == 1.0:
+            return 1
+        return int(math.log(u) / math.log1p(-probability)) + 1
 
     def __repr__(self) -> str:
         return f"RandomSource(seed={self._seed!r})"

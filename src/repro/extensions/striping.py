@@ -27,7 +27,7 @@ from repro.core.random_source import split_seed
 from repro.sim.simulator import Simulator
 from repro.sim.workload import ExplicitWorkload
 
-__all__ = ["StripedLink", "StripedSimulator", "StripedResult"]
+__all__ = ["Resequencer", "StripedLink", "StripedSimulator", "StripedResult"]
 
 _HEADER = struct.Struct(">Q")
 
@@ -39,6 +39,57 @@ def _wrap(sequence: int, payload: bytes) -> bytes:
 def _unwrap(framed: bytes) -> "tuple[int, bytes]":
     (sequence,) = _HEADER.unpack_from(framed, 0)
     return sequence, framed[_HEADER.size :]
+
+
+class Resequencer:
+    """Restores global order over messages delivered by independent lanes.
+
+    Shared by the simulated :class:`StripedLink` and the live multi-lane
+    endpoints (:mod:`repro.live.lanes`).  Lanes hand in ``(sequence,
+    payload)`` pairs in whatever order their handshakes complete; the
+    resequencer buffers gaps and releases the longest in-order run.
+    Duplicate sequence numbers — possible on the live wire when a lane
+    crash resubmits a slot whose first incarnation was already delivered —
+    are counted and dropped, never re-released.
+    """
+
+    __slots__ = ("_next", "_pending", "delivered_in_order", "duplicates",
+                 "high_water")
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._pending: Dict[int, bytes] = {}
+        self.delivered_in_order: List[bytes] = []
+        self.duplicates = 0
+        #: Most messages ever buffered while waiting for an earlier one.
+        self.high_water = 0
+
+    @property
+    def next_expected(self) -> int:
+        return self._next
+
+    @property
+    def backlog(self) -> int:
+        """Messages held back waiting for an earlier sequence number."""
+        return len(self._pending)
+
+    def accept(self, sequence: int, payload: bytes) -> List[bytes]:
+        """Feed one lane delivery; returns the messages newly in order."""
+        if sequence < self._next or sequence in self._pending:
+            self.duplicates += 1
+            return []
+        self._pending[sequence] = payload
+        released: List[bytes] = []
+        while self._next in self._pending:
+            released.append(self._pending.pop(self._next))
+            self._next += 1
+        self.delivered_in_order.extend(released)
+        # Measured after the release sweep so it means the same thing as
+        # ``backlog``: messages actually held back waiting for a gap (an
+        # arrival that immediately releases is never "buffered").
+        if len(self._pending) > self.high_water:
+            self.high_water = len(self._pending)
+        return released
 
 
 class StripedLink:
@@ -57,9 +108,11 @@ class StripedLink:
             make_data_link(epsilon=epsilon, seed=split_seed(seed or 0, "lane", i))
             for i in range(lanes)
         ]
-        self._next_expected = 0
-        self._out_of_order: Dict[int, bytes] = {}
-        self.delivered_in_order: List[bytes] = []
+        self.resequencer = Resequencer()
+
+    @property
+    def delivered_in_order(self) -> List[bytes]:
+        return self.resequencer.delivered_in_order
 
     def lane_of(self, sequence: int) -> int:
         """Which lane carries the message with this sequence number."""
@@ -75,17 +128,12 @@ class StripedLink:
     def accept(self, framed: bytes) -> None:
         """Feed one lane delivery into the resequencer."""
         sequence, payload = _unwrap(framed)
-        self._out_of_order[sequence] = payload
-        while self._next_expected in self._out_of_order:
-            self.delivered_in_order.append(
-                self._out_of_order.pop(self._next_expected)
-            )
-            self._next_expected += 1
+        self.resequencer.accept(sequence, payload)
 
     @property
     def reorder_buffer_size(self) -> int:
         """Messages held back waiting for an earlier sequence number."""
-        return len(self._out_of_order)
+        return self.resequencer.backlog
 
 
 @dataclass

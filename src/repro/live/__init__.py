@@ -19,12 +19,20 @@ Layout:
   and lengths only);
 * :mod:`repro.live.endpoints` — the TM/RM automata behind sockets, with
   crash-amnesia restarts;
+* :mod:`repro.live.lanes` — K independent protocol instances striped over
+  one socket pair (lane-framed wire, shared resequencer) for pipelined
+  throughput past Axiom 1's one-message window;
 * :mod:`repro.live.scenario` — scripted end-to-end runs with a hard
   wall-clock budget and a bounded give-up (UNRECONCILABLE, never a hang).
 """
 
 from repro.live.backoff import AdaptiveBackoff, BackoffPolicy
 from repro.live.endpoints import ReceiverEndpoint, TransmitterEndpoint
+from repro.live.lanes import (
+    LaneMetrics,
+    LanedReceiverEndpoint,
+    LanedTransmitterEndpoint,
+)
 from repro.live.proxy import ChaosProxy, LinkProfile, ProxyStats
 from repro.live.scenario import (
     LiveRunReport,
@@ -38,6 +46,9 @@ __all__ = [
     "AdaptiveBackoff",
     "BackoffPolicy",
     "ChaosProxy",
+    "LaneMetrics",
+    "LanedReceiverEndpoint",
+    "LanedTransmitterEndpoint",
     "LinkProfile",
     "LiveRunReport",
     "LiveScenario",

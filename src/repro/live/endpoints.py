@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import asyncio
 from collections import deque
-from typing import Callable, Deque, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, List, Optional, Sequence, Set, Tuple
 
 from repro.checkers.live import LiveEventLog
 from repro.core.events import (
@@ -56,6 +56,7 @@ from repro.core.events import (
 from repro.core.exceptions import CodecError
 from repro.core.packets import (
     DataPacket,
+    PollEncoder,
     PollPacket,
     decode_packet,
     encode_packet,
@@ -70,7 +71,7 @@ Address = Tuple[str, int]
 
 
 class _StationProtocol(asyncio.DatagramProtocol):
-    def __init__(self, endpoint: "_EndpointBase") -> None:
+    def __init__(self, endpoint: "_SocketBase") -> None:
         self._endpoint = endpoint
         self.transport: Optional[asyncio.DatagramTransport] = None
 
@@ -81,30 +82,21 @@ class _StationProtocol(asyncio.DatagramProtocol):
         self._endpoint._on_datagram(bytes(data))
 
 
-class _EndpointBase:
-    """Socket plumbing and crash-amnesia scaffolding shared by both stations."""
+class _SocketBase:
+    """One UDP socket plus audited timer bookkeeping.
 
-    #: ChannelId this station sends on (the other one is its inbound side).
-    outbound: ChannelId
-    inbound: ChannelId
+    Every volatile timer an endpoint schedules goes through
+    :meth:`_call_later` and is tracked until it fires or is cancelled;
+    :meth:`_cancel_timers` sweeps them all.  This is the structural fix for
+    stale-callback bugs: a backoff/retry callback scheduled before a crash
+    must never fire into the automaton that cold-restarts afterwards, and
+    teardown must leave nothing pending on the caller's loop.
+    """
 
-    def __init__(
-        self,
-        log: LiveEventLog,
-        proxy_addr: Address,
-        restart_delay: float = 0.02,
-    ) -> None:
-        self.log = log
+    def __init__(self, proxy_addr: Address) -> None:
         self.proxy_addr = proxy_addr
-        self.restart_delay = restart_delay
-        self.dead = False
-        self.crashes = 0
-        self.malformed = 0
-        self.dropped_while_dead = 0
         self._protocol = _StationProtocol(self)
-        self._out_ids = 0
-        self._in_ids = 0
-        self._restart_handle: Optional[asyncio.TimerHandle] = None
+        self._timers: Set[asyncio.TimerHandle] = set()
         self._closed = False
 
     async def start(self) -> None:
@@ -117,17 +109,80 @@ class _EndpointBase:
     def local_address(self) -> Address:
         return self._protocol.transport.get_extra_info("sockname")
 
+    @property
+    def pending_timer_count(self) -> int:
+        """Outstanding scheduled callbacks (exposed for hygiene tests)."""
+        return len(self._timers)
+
     def close(self) -> None:
         self._closed = True
-        if self._restart_handle is not None:
-            self._restart_handle.cancel()
+        self._cancel_timers()
         if self._protocol.transport is not None:
             self._protocol.transport.close()
 
+    # -- timer hygiene -----------------------------------------------------------
+
+    def _call_later(self, delay: float, callback: Callable[[], None]):
+        """Schedule a tracked one-shot callback (auto-untracked on fire)."""
+        handle: Optional[asyncio.TimerHandle] = None
+
+        def _fire() -> None:
+            self._timers.discard(handle)
+            callback()
+
+        handle = asyncio.get_running_loop().call_later(delay, _fire)
+        self._timers.add(handle)
+        return handle
+
+    def _cancel_timer(self, handle) -> None:
+        if handle is not None:
+            handle.cancel()
+            self._timers.discard(handle)
+
+    def _cancel_timers(self) -> None:
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
+
+    def _sendto(self, data: bytes) -> None:
+        transport = self._protocol.transport
+        if transport is not None and not self._closed:
+            transport.sendto(data, self.proxy_addr)
+
+    def _on_datagram(self, data: bytes) -> None:
+        raise NotImplementedError
+
+
+class _EndpointBase(_SocketBase):
+    """Crash-amnesia scaffolding shared by both single-lane stations."""
+
+    #: ChannelId this station sends on (the other one is its inbound side).
+    outbound: ChannelId
+    inbound: ChannelId
+
+    def __init__(
+        self,
+        log: LiveEventLog,
+        proxy_addr: Address,
+        restart_delay: float = 0.02,
+    ) -> None:
+        super().__init__(proxy_addr)
+        self.log = log
+        self.restart_delay = restart_delay
+        self.dead = False
+        self.crashes = 0
+        self.malformed = 0
+        self.dropped_while_dead = 0
+        self._out_ids = 0
+        self._in_ids = 0
+
     # -- wire I/O ---------------------------------------------------------------
 
+    def _encode(self, packet) -> bytes:
+        return encode_packet(packet)
+
     def _send_packet(self, packet) -> None:
-        data = encode_packet(packet)
+        data = self._encode(packet)
         self._out_ids += 1
         # Packet ids on a live wire are log-local bookkeeping: datagrams
         # carry no id field, so sends and deliveries number independently.
@@ -135,9 +190,7 @@ class _EndpointBase:
         self.log.record(
             make_pkt_sent(self.outbound, self._out_ids, packet.wire_length_bits)
         )
-        transport = self._protocol.transport
-        if transport is not None and not self._closed:
-            transport.sendto(data, self.proxy_addr)
+        self._sendto(data)
 
     def _on_datagram(self, data: bytes) -> None:
         if self._closed:
@@ -162,19 +215,20 @@ class _EndpointBase:
     def crash(self) -> None:
         """Kill the station mid-whatever and schedule a cold restart.
 
-        All volatile state dies; the entropy source and the socket (the
-        "hardware") survive, as in the paper's crash model.
+        All volatile state dies — including every scheduled backoff/retry
+        callback, which would otherwise fire into the restarted automaton;
+        the entropy source and the socket (the "hardware") survive, as in
+        the paper's crash model.
         """
         if self.dead or self._closed:
             return
         self.dead = True
         self.crashes += 1
+        self._cancel_timers()
         self._wipe_volatile_state()
-        loop = asyncio.get_running_loop()
-        self._restart_handle = loop.call_later(self.restart_delay, self._restart)
+        self._call_later(self.restart_delay, self._restart)
 
     def _restart(self) -> None:
-        self._restart_handle = None
         if self._closed:
             return
         self.dead = False
@@ -299,11 +353,18 @@ class TransmitterEndpoint(_EndpointBase):
 class ReceiverEndpoint(_EndpointBase):
     """The RM behind a socket: a poll loop paced by adaptive backoff.
 
-    The RETRY action becomes a timer task: poll, sleep ``next_delay()``,
-    repeat.  Progress (a delivery or a nonce update) resets the backoff and
-    triggers an immediate acknowledging poll, which is what keeps handshake
-    latency near the base delay on a healthy link while a congested or
-    partitioned one decays toward the cap.
+    The RETRY action becomes a chain of tracked one-shot timers: poll,
+    schedule the next poll ``next_delay()`` later, repeat.  Progress (a
+    delivery or a nonce update) resets the backoff and triggers an
+    immediate acknowledging poll, which is what keeps handshake latency
+    near the base delay on a healthy link while a congested or partitioned
+    one decays toward the cap.  Because the chain runs on the audited
+    :meth:`_call_later`, a crash or teardown cancels the pending poll
+    outright — no stale callback ever polls on behalf of a wiped automaton.
+
+    Polls between two progress events differ only in their retry counter,
+    so the wire bytes come from a :class:`PollEncoder` prefix cache instead
+    of a full re-encode per resend.
     """
 
     outbound = ChannelId.R_TO_T
@@ -327,30 +388,31 @@ class ReceiverEndpoint(_EndpointBase):
         self.delivered: List[bytes] = []
         self._on_progress = on_progress
         self._on_delivery = on_delivery
-        self._poll_task: Optional[asyncio.Task] = None
+        self._poll_handle: Optional[asyncio.TimerHandle] = None
+        self._poll_encoder = PollEncoder()
 
     async def start(self) -> None:
         await super().start()
-        self._start_poll_loop()
+        self._poll_tick()
 
-    def close(self) -> None:
-        if self._poll_task is not None:
-            self._poll_task.cancel()
-            self._poll_task = None
-        super().close()
+    def _encode(self, packet) -> bytes:
+        if type(packet) is PollPacket:
+            return self._poll_encoder.encode(packet)
+        return encode_packet(packet)
 
     @property
     def polls_without_progress(self) -> int:
         """How far the backoff has decayed (the give-up policy's input)."""
         return self.backoff.attempts_without_progress
 
-    def _start_poll_loop(self) -> None:
-        self._poll_task = asyncio.get_running_loop().create_task(self._poll_loop())
-
-    async def _poll_loop(self) -> None:
-        while not self._closed:
-            self._send_poll()
-            await asyncio.sleep(self.backoff.next_delay())
+    def _poll_tick(self) -> None:
+        self._poll_handle = None
+        if self.dead or self._closed:
+            return
+        self._send_poll()
+        self._poll_handle = self._call_later(
+            self.backoff.next_delay(), self._poll_tick
+        )
 
     def _send_poll(self) -> None:
         if self.dead or self._closed:
@@ -380,15 +442,19 @@ class ReceiverEndpoint(_EndpointBase):
                 self._on_progress()
             # Acknowledge immediately instead of waiting out the timer —
             # the poll carries the new (rho, tau) the TM needs for its OK.
-            self._send_poll()
+            # Restart the chain so the next timed poll sits one reset
+            # backoff delay after this ack, not wherever the old timer was.
+            self._cancel_timer(self._poll_handle)
+            self._poll_handle = None
+            self._poll_tick()
 
     def _wipe_volatile_state(self) -> None:
+        # crash() has already swept every tracked timer, including the
+        # pending poll; drop the dangling reference.
+        self._poll_handle = None
         self.log.record(CRASH_R)
-        if self._poll_task is not None:
-            self._poll_task.cancel()
-            self._poll_task = None
         self.rm.crash()
         self.backoff.reset()
 
     def _on_restarted(self) -> None:
-        self._start_poll_loop()
+        self._poll_tick()

@@ -18,6 +18,8 @@ behaviour:
     the window closes (reordering them behind later traffic);
   - ``crash`` → the proxy does not touch the datagram but tells the crash
     orchestrator to kill the named station (see :mod:`repro.live.scenario`);
+    on a multi-lane wire the observed datagram's lane id rides along, so a
+    scenario can crash just the lane the trigger datagram belonged to;
   - ``hang``  → the link goes silent for ``seconds`` of wall clock
     (``null`` = until the scenario's give-up deadline fires);
   - ``abort`` → the scenario is torn down (harness-failure drill).
@@ -74,6 +76,10 @@ class LinkProfile:
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} rate {rate} outside [0, 1]")
+        if self.duplicate >= 1.0:
+            # Copy counts are geometric (each copy re-flips), so p=1 would
+            # mean an infinite duplicate train for every datagram.
+            raise ValueError("duplicate rate must be < 1")
         for name in ("delay", "jitter", "reorder_hold", "duplicate_gap"):
             if getattr(self, name) < 0.0:
                 raise ValueError(f"{name} must be >= 0")
@@ -96,6 +102,9 @@ class ProxyStats:
     stalled: int = 0
     foreign: int = 0  # datagrams rejected by the identifier/length peek
     by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Datagrams observed per lane id on a multi-lane wire (structural
+    #: framing info, still no content decode); empty on a classic wire.
+    by_lane: Dict[int, int] = field(default_factory=dict)
 
 
 class _ProxySide(asyncio.DatagramProtocol):
@@ -126,7 +135,7 @@ class ChaosProxy:
         plan: Optional[FaultPlan] = None,
         profile: Optional[LinkProfile] = None,
         rng: Optional[RandomSource] = None,
-        on_crash: Optional[Callable[[str, int], None]] = None,
+        on_crash: Optional[Callable[[str, int, Optional[int]], None]] = None,
         on_abort: Optional[Callable[[int], None]] = None,
     ) -> None:
         self.plan = plan if plan is not None else FaultPlan()
@@ -217,9 +226,13 @@ class ChaosProxy:
         turn = self._turn
         self.stats.observed += 1
         self.stats.by_kind[info.kind] = self.stats.by_kind.get(info.kind, 0) + 1
+        if info.lane is not None:
+            self.stats.by_lane[info.lane] = (
+                self.stats.by_lane.get(info.lane, 0) + 1
+            )
 
         self._maybe_release_held(turn)
-        self._fire_control_events(turn)
+        self._fire_control_events(turn, info.lane)
 
         if self._scripted_drop(turn, channel):
             self.stats.dropped += 1
@@ -237,12 +250,24 @@ class ChaosProxy:
             self.stats.reordered += 1
             delay += self.profile.reorder_hold
         self._forward(channel, data, delay)
-        if self.profile.duplicate and self._rng.bernoulli(self.profile.duplicate):
-            self.stats.duplicated += 1
-            self._forward(channel, data, delay + self.profile.duplicate_gap)
+        if self.profile.duplicate:
+            # Geometric copy count from ONE uniform draw: each copy re-flips
+            # the duplicate coin, so copies ~ Geometric(1-p) - 1, which
+            # geometric_fast collapses into a single inverse-CDF draw.  This
+            # changes the proxy's tape versus per-copy bernoulli() — fine
+            # here, because live-wire schedules are timing-dependent and
+            # carry no old-seed replay contract (unlike the simulator's
+            # adversaries, which keep the per-trial form).  Copies are
+            # capped so a hot tape cannot flood the loop.
+            copies = self._rng.geometric_fast(1.0 - self.profile.duplicate) - 1
+            for k in range(min(copies, 8)):
+                self.stats.duplicated += 1
+                self._forward(
+                    channel, data, delay + (k + 1) * self.profile.duplicate_gap
+                )
         self._fire_duplicate_bursts(turn)
 
-    def _fire_control_events(self, turn: int) -> None:
+    def _fire_control_events(self, turn: int, lane: Optional[int] = None) -> None:
         if turn in self._aborts:
             del self._aborts[turn]
             if self._on_abort is not None:
@@ -251,7 +276,7 @@ class ChaosProxy:
         stations = self._crashes.pop(turn, None)
         if stations and self._on_crash is not None:
             for station in stations:
-                self._on_crash(station, turn)
+                self._on_crash(station, turn, lane)
         seconds = -1.0
         if turn in self._hangs:
             seconds = self._hangs.pop(turn)  # type: ignore[assignment]

@@ -40,11 +40,16 @@ from enum import Enum
 from typing import List, Optional
 
 from repro.checkers.live import LiveEventLog
-from repro.checkers.report import SafetyReport
+from repro.checkers.report import SafetyReport, merge_safety_reports
 from repro.core.protocol import make_data_link
 from repro.core.random_source import RandomSource, split_seed
 from repro.live.backoff import AdaptiveBackoff, BackoffPolicy
 from repro.live.endpoints import ReceiverEndpoint, TransmitterEndpoint
+from repro.live.lanes import (
+    LaneMetrics,
+    LanedReceiverEndpoint,
+    LanedTransmitterEndpoint,
+)
 from repro.live.proxy import ChaosProxy, LinkProfile, ProxyStats
 from repro.resilience.faultplan import FaultPlan
 from repro.util.tables import render_table
@@ -76,6 +81,7 @@ class LiveScenario:
     give_up_polls: int = 0  # fruitless-poll bound (0 = idle deadline only)
     restart_delay: float = 0.02  # how long a crashed station stays down
     tail_size: int = 4096  # forensic event tail retained by the log
+    lanes: int = 1  # protocol instances striped over the socket pair
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -85,6 +91,8 @@ class LiveScenario:
             raise ValueError("budget and give_up_idle must be positive")
         if self.give_up_polls < 0:
             raise ValueError("give_up_polls must be >= 0")
+        if self.lanes < 1:
+            raise ValueError("lanes must be >= 1")
 
 
 @dataclass
@@ -105,6 +113,12 @@ class LiveRunReport:
     events_seen: int
     wall_seconds: float
     proxy: ProxyStats
+    lanes: int = 1
+    lane_metrics: List[LaneMetrics] = field(default_factory=list)
+    resequencer_high_water: int = 0  # worst reorder-buffer depth observed
+    resequencer_duplicates: int = 0  # crash-resubmission replays dropped
+    in_order_delivered: int = 0  # resequenced global-stream length
+    delivered_stream: List[bytes] = field(repr=False, default_factory=list)
     forensic_tail: List[str] = field(repr=False, default_factory=list)
 
     @property
@@ -129,7 +143,17 @@ class LiveRunReport:
                 ["crashes (T/R)", f"{self.crashes_t}/{self.crashes_r}"],
                 ["events checked", self.events_seen],
                 ["wall seconds", f"{self.wall_seconds:.2f}"],
-            ],
+            ]
+            + (
+                [
+                    ["lanes", self.lanes],
+                    ["in-order stream", self.in_order_delivered],
+                    ["reseq high-water", self.resequencer_high_water],
+                    ["reseq duplicates", self.resequencer_duplicates],
+                ]
+                if self.lanes > 1
+                else []
+            ),
             title="live scenario",
         )
         wire = render_table(
@@ -149,17 +173,30 @@ class LiveRunReport:
             + [["liveness", "OK" if self.liveness_passed else "VIOLATED", "-"]],
             title="Section 2.6 conditions (live trace)",
         )
-        return "\n".join([summary, "", wire, "", checks])
+        parts = [summary, "", wire, "", checks]
+        if self.lane_metrics:
+            parts += [
+                "",
+                render_table(
+                    ["lane", "OKs", "resubs", "deliveries", "polls",
+                     "crashes T/R", "events"],
+                    [
+                        [m.lane, m.oks, m.resubmissions, m.deliveries,
+                         m.polls, f"{m.crashes_t}/{m.crashes_r}", m.events]
+                        for m in self.lane_metrics
+                    ],
+                    title="per-lane metrics",
+                ),
+            ]
+        return "\n".join(parts)
 
 
 async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
     """Execute one scripted live scenario end to end (see module docstring)."""
     loop = asyncio.get_running_loop()
     root = RandomSource(scenario.seed)
-    link = make_data_link(
-        epsilon=scenario.epsilon, seed=split_seed(scenario.seed, "live-link")
-    )
-    log = LiveEventLog(tail_size=scenario.tail_size)
+    laned = scenario.lanes > 1
+    link_seed = split_seed(scenario.seed, "live-link")
 
     done = asyncio.Event()
     outcome = {"status": LiveStatus.UNRECONCILABLE, "reason": ""}
@@ -178,7 +215,7 @@ async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
         plan=scenario.plan,
         profile=scenario.profile,
         rng=root.fork("chaos"),
-        on_crash=lambda station, turn: _crash_station(station, turn),
+        on_crash=lambda station, turn, lane: _crash_station(station, turn, lane),
         on_abort=lambda turn: finish(
             LiveStatus.ABORTED, f"scripted abort at wire turn {turn}"
         ),
@@ -186,32 +223,75 @@ async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
     payloads = [b"live-%05d" % i for i in range(scenario.messages)]
     await proxy.start()
 
-    tm = TransmitterEndpoint(
-        link.transmitter,
-        log,
-        proxy.t_facing_address,
-        payloads,
-        on_ok=note_progress,
-        on_done=lambda: finish(LiveStatus.DELIVERED, "workload complete"),
-        restart_delay=scenario.restart_delay,
-    )
-    rm = ReceiverEndpoint(
-        link.receiver,
-        log,
-        proxy.r_facing_address,
-        AdaptiveBackoff(scenario.poll, root.fork("poll-backoff")),
-        on_progress=note_progress,
-        restart_delay=scenario.restart_delay,
-    )
+    if laned:
+        # Per-lane link seeds match StripedLink(lanes, ε, seed=link_seed)
+        # exactly — the differential property test leans on this identity.
+        links = [
+            make_data_link(
+                epsilon=scenario.epsilon,
+                seed=split_seed(link_seed, "lane", i),
+            )
+            for i in range(scenario.lanes)
+        ]
+        # One log per lane, *shared* by that lane's two stations, so each
+        # lane's trace is a self-contained protocol execution for the
+        # Section 2.6 monitors.
+        logs = [
+            LiveEventLog(tail_size=scenario.tail_size)
+            for __ in range(scenario.lanes)
+        ]
+        tm = LanedTransmitterEndpoint(
+            links,
+            logs,
+            proxy.t_facing_address,
+            payloads,
+            on_ok=note_progress,
+            on_done=lambda: finish(LiveStatus.DELIVERED, "workload complete"),
+            restart_delay=scenario.restart_delay,
+        )
+        rm = LanedReceiverEndpoint(
+            links,
+            logs,
+            proxy.r_facing_address,
+            [
+                AdaptiveBackoff(scenario.poll, root.fork("poll-backoff", i))
+                for i in range(scenario.lanes)
+            ],
+            on_progress=note_progress,
+            restart_delay=scenario.restart_delay,
+        )
+    else:
+        link = make_data_link(epsilon=scenario.epsilon, seed=link_seed)
+        logs = [LiveEventLog(tail_size=scenario.tail_size)]
+        tm = TransmitterEndpoint(
+            link.transmitter,
+            logs[0],
+            proxy.t_facing_address,
+            payloads,
+            on_ok=note_progress,
+            on_done=lambda: finish(LiveStatus.DELIVERED, "workload complete"),
+            restart_delay=scenario.restart_delay,
+        )
+        rm = ReceiverEndpoint(
+            link.receiver,
+            logs[0],
+            proxy.r_facing_address,
+            AdaptiveBackoff(scenario.poll, root.fork("poll-backoff")),
+            on_progress=note_progress,
+            restart_delay=scenario.restart_delay,
+        )
 
-    def _crash_station(station: str, turn: int) -> None:
+    def _crash_station(station: str, turn: int, lane: "Optional[int]") -> None:
         # The orchestrator's kill switch: invoked by the proxy when a
         # scripted crash's wire turn arrives.  Mid-handshake by
         # construction — a turn only advances when a datagram is in flight.
-        if station == "T":
-            tm.crash()
+        # On a laned wire the trigger datagram's lane id rides along and
+        # only that lane dies; its siblings keep their handshakes.
+        target = tm if station == "T" else rm
+        if laned:
+            target.crash(lane)
         else:
-            rm.crash()
+            target.crash()
         note_progress()  # a crash resets the pending-send clock (Axiom 1)
 
     started = time.monotonic()
@@ -263,24 +343,56 @@ async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
         await asyncio.sleep(0)
 
     status: LiveStatus = outcome["status"]  # type: ignore[assignment]
+    completed = status is LiveStatus.DELIVERED
+    safety = merge_safety_reports([log.safety_report() for log in logs])
+    liveness_passed = all(
+        log.liveness_report(run_completed=completed).passed for log in logs
+    )
+    lane_metrics: List[LaneMetrics] = []
+    if laned:
+        # Stitch the TM-side and RM-side halves of each lane's counters
+        # (both endpoints share the lane's log, so events agree).
+        for t, r in zip(tm.lane_metrics(), rm.lane_metrics()):
+            lane_metrics.append(
+                LaneMetrics(
+                    lane=t.lane,
+                    oks=t.oks,
+                    resubmissions=t.resubmissions,
+                    deliveries=r.deliveries,
+                    polls=r.polls,
+                    crashes_t=t.crashes_t,
+                    crashes_r=r.crashes_r,
+                    events=t.events,
+                )
+            )
+    forensic_tail: List[str] = []
+    if not completed:
+        for index, log in enumerate(logs):
+            if laned:
+                forensic_tail.append(f"-- lane {index} --")
+            forensic_tail.extend(log.tail_lines())
     return LiveRunReport(
         scenario=scenario,
         status=status,
         reason=str(outcome["reason"]),
-        safety=log.safety_report(),
-        liveness_passed=log.liveness_report(
-            run_completed=status is LiveStatus.DELIVERED
-        ).passed,
+        safety=safety,
+        liveness_passed=liveness_passed,
         deliveries=rm.deliveries,
         oks=tm.oks,
         resubmissions=tm.resubmissions,
         crashes_t=tm.crashes,
         crashes_r=rm.crashes,
         malformed_datagrams=tm.malformed + rm.malformed,
-        events_seen=log.events_seen,
+        events_seen=sum(log.events_seen for log in logs),
         wall_seconds=time.monotonic() - started,
         proxy=proxy.stats,
-        forensic_tail=log.tail_lines() if status is not LiveStatus.DELIVERED else [],
+        lanes=scenario.lanes,
+        lane_metrics=lane_metrics,
+        resequencer_high_water=(rm.resequencer.high_water if laned else 0),
+        resequencer_duplicates=(rm.resequencer.duplicates if laned else 0),
+        in_order_delivered=(len(rm.delivered) if laned else rm.deliveries),
+        delivered_stream=list(rm.delivered),
+        forensic_tail=forensic_tail,
     )
 
 

@@ -22,7 +22,14 @@ The harness answers three questions, repeatably:
   dispatch overhead rivals simulation), batched sharded dispatch vs
   per-run dispatch (``chunk_size=1``) at the default worker count.  The
   two dispatches are also asserted to produce identical campaign
-  fingerprints, so the speedup can never silently come from skipped work.
+  fingerprints, so the speedup can never silently come from skipped work;
+
+* **live** — loopback messages/sec of the live UDP deployment at
+  lanes ∈ {1, 4, 8} on a lossless (small fixed delay) profile.  The gated
+  ``live_lane_speedup`` ratio (8 lanes vs 1) measures how much of Axiom
+  1's stop-and-wait latency the lane striping actually pipelines away on
+  a real wire; every leg must deliver its whole workload with clean
+  verdicts or the benchmark raises.
 
 Absolute throughput is machine-dependent, so the regression gate
 (:func:`check_regression`) compares only *within-run ratios* — the
@@ -130,7 +137,15 @@ _GATE_KEYS = (
     "memory_reduction_reliable",
     "memory_reduction_lossy",
     "campaign_dispatch_speedup",
+    "live_lane_speedup",
 )
+
+#: Per-key overrides of :func:`check_regression`'s default threshold.
+#: The live leg times real asyncio round trips on a shared host's
+#: loopback, so its run-to-run variance is far above the simulator
+#: ratios'; the wider tolerance still keeps the committed ~5x baseline
+#: gated above the 2.5x target.
+_GATE_THRESHOLDS = {"live_lane_speedup": 0.5}
 
 
 def _reliable_spec(messages: int) -> RunSpec:
@@ -319,6 +334,62 @@ def _bench_campaign(runs: int, base_seed: int) -> Dict[str, Dict[str, float]]:
     return stats
 
 
+#: Lane counts the live leg measures (1 is the stop-and-wait baseline).
+_LIVE_LANES = (1, 4, 8)
+
+#: Wall-clock repetitions per live lane count; best-of is recorded.
+_LIVE_REPEATS = 2
+
+
+def _bench_live(messages: int, base_seed: int) -> Dict[str, Dict[str, float]]:
+    """Loopback messages/sec of the live deployment per lane count.
+
+    Lossless profile with a small fixed one-way delay, so throughput is
+    dominated by the per-message handshake latency Axiom 1 serializes —
+    the thing lane striping exists to pipeline.  A fast, tightly jittered
+    poll schedule keeps the RM's ack latency (rather than its poll timer)
+    on the critical path.  Each leg must deliver its entire workload with
+    clean Section 2.6 verdicts; a bench that silently dropped messages
+    would make the throughput numbers meaningless, so it raises instead.
+    """
+    from repro.live import BackoffPolicy, LinkProfile, LiveScenario
+    from repro.live.scenario import run_live_scenario
+
+    poll = BackoffPolicy(base=0.004, factor=2.0, cap=0.05, jitter=0.25)
+    profile = LinkProfile(delay=0.002)
+    stats: Dict[str, Dict[str, float]] = {}
+    for lanes in _LIVE_LANES:
+        best_mps = 0.0
+        wall = math.inf
+        high_water = 0
+        for __ in range(_LIVE_REPEATS):
+            scenario = LiveScenario(
+                messages=messages,
+                seed=split_seed(base_seed, "bench-live", lanes),
+                profile=profile,
+                poll=poll,
+                budget=45.0,
+                lanes=lanes,
+                label=f"bench-live-{lanes}",
+            )
+            report = run_live_scenario(scenario)
+            if not report.ok:
+                raise RuntimeError(
+                    f"live bench leg lanes={lanes} failed: {report.reason}"
+                )
+            wall = min(wall, report.wall_seconds)
+            best_mps = max(best_mps, messages / report.wall_seconds)
+            high_water = max(high_water, report.resequencer_high_water)
+        stats[f"lanes_{lanes}"] = {
+            "lanes": lanes,
+            "messages": messages,
+            "wall_seconds": wall,
+            "messages_per_second": best_mps,
+            "resequencer_high_water": high_water,
+        }
+    return stats
+
+
 def _synthetic_events(count: int) -> List[Event]:
     """A protocol-shaped event mix: one handshake per message, no faults."""
     events: List[Event] = []
@@ -392,6 +463,12 @@ def gate_ratios(results: dict) -> Dict[str, float]:
             campaign["batched"]["steps_per_second"]
             / campaign["per_run"]["steps_per_second"]
         )
+    live = results.get("live")
+    if live and live["lanes_1"]["messages_per_second"] > 0:
+        ratios["live_lane_speedup"] = (
+            live["lanes_8"]["messages_per_second"]
+            / live["lanes_1"]["messages_per_second"]
+        )
     return ratios
 
 
@@ -408,9 +485,9 @@ def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
     # per run the campaign leg costs about a second, well within CI budget.
     campaign_runs = 1024
     if quick:
-        messages, runs, micro_events = 60, 4, 40_000
+        messages, runs, micro_events, live_messages = 60, 4, 40_000, 40
     else:
-        messages, runs, micro_events = 200, 12, 200_000
+        messages, runs, micro_events, live_messages = 200, 12, 200_000, 80
     memory_messages = messages * 2
     specs = {
         "reliable": _reliable_spec(messages),
@@ -434,11 +511,13 @@ def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
         "streaming_checks": _bench_streaming_checks(events),
     }
     campaign = _bench_campaign(campaign_runs, base_seed)
+    live = _bench_live(live_messages, base_seed)
     results = {
         "macro": macro,
         "memory": memory,
         "micro": micro,
         "campaign": campaign,
+        "live": live,
     }
     return {
         "schema": 1,
@@ -449,6 +528,7 @@ def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
             "memory_messages": memory_messages,
             "micro_events": micro_events,
             "campaign_runs": campaign_runs,
+            "live_messages": live_messages,
             "base_seed": base_seed,
         },
         "host": {
@@ -469,9 +549,11 @@ def check_regression(
 
     Returns a list of human-readable failures; empty means the gate
     passes.  A ratio regresses when it falls more than ``threshold``
-    below the baseline's value.  Ratios absent from the baseline are
-    skipped (forward compatibility), ratios absent from the current run
-    are failures.
+    below the baseline's value; keys in :data:`_GATE_THRESHOLDS` use
+    their own (wider) tolerance — but never a tighter one than the
+    caller asked for.  Ratios absent from the baseline are skipped
+    (forward compatibility), ratios absent from the current run are
+    failures.
     """
     if not 0.0 < threshold < 1.0:
         raise ValueError("threshold must be in (0, 1)")
@@ -486,11 +568,12 @@ def check_regression(
         if actual is None:
             failures.append(f"{key}: missing from current results")
             continue
-        floor = expected * (1.0 - threshold)
+        key_threshold = max(threshold, _GATE_THRESHOLDS.get(key, threshold))
+        floor = expected * (1.0 - key_threshold)
         if actual < floor:
             failures.append(
                 f"{key}: {actual:.2f} fell below {floor:.2f} "
-                f"(baseline {expected:.2f}, threshold {threshold:.0%})"
+                f"(baseline {expected:.2f}, threshold {key_threshold:.0%})"
             )
     return failures
 

@@ -130,3 +130,39 @@ class TestSampling:
         draws = [rng.geometric(0.25) for __ in range(3000)]
         mean = sum(draws) / len(draws)
         assert 3.5 < mean < 4.5  # E[geometric(1/4)] = 4
+
+    def test_geometric_fast_positive_and_validated(self):
+        rng = RandomSource(0)
+        assert all(rng.geometric_fast(0.5) >= 1 for __ in range(50))
+        with pytest.raises(ValueError):
+            rng.geometric_fast(0.0)
+        with pytest.raises(ValueError):
+            rng.geometric_fast(1.5)
+
+    def test_geometric_fast_mean_matches_distribution(self):
+        rng = RandomSource(4)
+        draws = [rng.geometric_fast(0.25) for __ in range(3000)]
+        mean = sum(draws) / len(draws)
+        assert 3.5 < mean < 4.5  # E[geometric(1/4)] = 4
+
+    def test_geometric_fast_certain_success(self):
+        rng = RandomSource(0)
+        assert all(rng.geometric_fast(1.0) == 1 for __ in range(10))
+
+    def test_geometric_fast_single_draw(self):
+        # The whole point of the inverse-CDF form: exactly ONE uniform per
+        # sample, however small p is (geometric(0.01) averages ~100).  The
+        # next float after a sample must match a fresh tape that made
+        # exactly one draw — including in the p=1.0 fast path.
+        for p in (0.01, 0.5, 1.0):
+            rng = RandomSource(9)
+            rng.geometric_fast(p)
+            reference = RandomSource(9)
+            reference.random_float()
+            assert rng.random_float() == reference.random_float()
+
+    def test_geometric_fast_tail_heavier_for_small_p(self):
+        rng = RandomSource(7)
+        small_p = [rng.geometric_fast(0.01) for __ in range(2000)]
+        mean = sum(small_p) / len(small_p)
+        assert 80 < mean < 125  # E[geometric(0.01)] = 100

@@ -6,7 +6,7 @@ import pytest
 
 from repro.adversary.benign import DelayedFifoAdversary, ReliableAdversary
 from repro.adversary.random_faults import FaultProfile, RandomFaultAdversary
-from repro.extensions.striping import StripedLink, StripedSimulator
+from repro.extensions.striping import Resequencer, StripedLink, StripedSimulator
 
 
 PAYLOADS = [b"msg-%04d" % i for i in range(24)]
@@ -82,3 +82,36 @@ class TestStripedRuns:
         assert result.completed
         assert result.delivered == PAYLOADS
         assert result.max_reorder_buffer == 0
+
+
+class TestResequencer:
+    def test_releases_longest_in_order_run(self):
+        reseq = Resequencer()
+        assert reseq.accept(1, b"b") == []
+        assert reseq.backlog == 1
+        assert reseq.accept(0, b"a") == [b"a", b"b"]
+        assert reseq.delivered_in_order == [b"a", b"b"]
+        assert reseq.next_expected == 2
+        assert reseq.backlog == 0
+
+    def test_duplicates_counted_and_dropped(self):
+        # A crash-resubmitted slot whose first incarnation already landed
+        # arrives as a replayed sequence number: dropped, never re-released.
+        reseq = Resequencer()
+        reseq.accept(0, b"a")
+        assert reseq.accept(0, b"a-again") == []
+        assert reseq.duplicates == 1
+        reseq.accept(2, b"c")
+        assert reseq.accept(2, b"c-again") == []  # pending duplicate
+        assert reseq.duplicates == 2
+        assert reseq.accept(1, b"b") == [b"b", b"c"]
+        assert reseq.delivered_in_order == [b"a", b"b", b"c"]
+
+    def test_high_water_tracks_worst_backlog(self):
+        reseq = Resequencer()
+        for sequence in (3, 2, 1):
+            reseq.accept(sequence, b"x")
+        assert reseq.high_water == 3
+        reseq.accept(0, b"x")
+        assert reseq.backlog == 0
+        assert reseq.high_water == 3  # high-water survives the flush
