@@ -2,6 +2,7 @@
 
 from repro.adversary.base import (
     Adversary,
+    Corrupt,
     CrashReceiver,
     CrashTransmitter,
     Deliver,
@@ -11,6 +12,7 @@ from repro.adversary.base import (
 )
 from repro.adversary.benign import DelayedFifoAdversary, ReliableAdversary
 from repro.adversary.composite import MixtureAdversary, PhasedAdversary
+from repro.adversary.corruption import StateCorruptionAdversary
 from repro.adversary.crash import CrashStormAdversary, ScheduledCrashAdversary
 from repro.adversary.fairness import FairnessEnforcer, StallingAdversary
 from repro.adversary.random_faults import (
@@ -24,6 +26,7 @@ from repro.adversary.replay import AttackPhase, ReplayAttacker
 __all__ = [
     "Adversary",
     "AttackPhase",
+    "Corrupt",
     "CrashReceiver",
     "CrashStormAdversary",
     "CrashTransmitter",
@@ -42,5 +45,6 @@ __all__ = [
     "ReplayAttacker",
     "ScheduledCrashAdversary",
     "StallingAdversary",
+    "StateCorruptionAdversary",
     "TriggerRetry",
 ]

@@ -33,6 +33,7 @@ __all__ = [
     "Deliver",
     "CrashTransmitter",
     "CrashReceiver",
+    "Corrupt",
     "TriggerRetry",
     "Pass",
     "Adversary",
@@ -74,6 +75,26 @@ class CrashTransmitter(Move):
 @dataclass(frozen=True, **_SLOTS)
 class CrashReceiver(Move):
     """``crash^R``: wipe the receiving station's memory."""
+
+
+@dataclass(frozen=True, **_SLOTS)
+class Corrupt(Move):
+    """Scramble a station's volatile memory to an arbitrary configuration.
+
+    The arbitrary-state fault of the self-stabilization literature: where a
+    crash wipes to a *known* blank, a corruption XORs live nonces with
+    adversarial masks and randomizes counters in place.  ``fields`` is None
+    for "every volatile field" or a tuple of field names; ``seed`` pins the
+    scramble tape independently of the adversary's own tape, so recorded
+    corruptions replay bit-identically.  ``wipe=True`` degrades the move to
+    the station's crash transition — the differential hook pinning
+    crash-amnesia as corruption's known-blank special case.
+    """
+
+    station: str  # "T" or "R"
+    fields: Optional[tuple] = None
+    seed: int = 0
+    wipe: bool = False
 
 
 @dataclass(frozen=True, **_SLOTS)

@@ -1,0 +1,105 @@
+"""The arbitrary-state fault adversary of the self-stabilization setting.
+
+Crash adversaries wipe a station back to the known blank configuration;
+:class:`StateCorruptionAdversary` instead emits
+:class:`~repro.adversary.base.Corrupt` moves that scramble live volatile
+state in place.  Each move carries its own pinned scramble seed — drawn
+from the adversary's tape, so the schedule is deterministic per run seed,
+but recorded *on the move* so forensics artifacts replay the exact
+post-fault configuration without re-running the adversary.
+
+Delivery scheduling is delegated to a wrapped inner adversary (default:
+:class:`~repro.adversary.random_faults.RandomFaultAdversary` over a clean
+profile, i.e. reliable transport), mirroring how
+:class:`~repro.resilience.faultplan.ScriptedAdversary` composes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.adversary.base import Adversary, Corrupt, Move
+from repro.adversary.benign import ReliableAdversary
+from repro.channel.channel import PacketInfo
+from repro.core.random_source import RandomSource
+
+__all__ = ["StateCorruptionAdversary"]
+
+#: Seeds for per-move scramble tapes are drawn uniformly from this range.
+_SEED_BITS = 63
+
+
+class StateCorruptionAdversary(Adversary):
+    """Corrupts station memory at configurable per-turn rates.
+
+    Parameters
+    ----------
+    rate_t / rate_r:
+        Per-turn probability of scrambling the transmitter / receiver.
+    fields_t / fields_r:
+        Optional field-name tuples restricting what each corruption may
+        scramble (None = every volatile field; see the stations'
+        ``CORRUPTIBLE_FIELDS``).
+    inner:
+        The delivery-scheduling adversary corruption rides on (default:
+        a :class:`ReliableAdversary`).
+    wipe:
+        Emit wipe-mode corruptions instead — the crash-amnesia special
+        case, used by the differential tests.
+    """
+
+    def __init__(
+        self,
+        rate_t: float = 0.0,
+        rate_r: float = 0.0,
+        fields_t: Optional[Tuple[str, ...]] = None,
+        fields_r: Optional[Tuple[str, ...]] = None,
+        inner: Optional[Adversary] = None,
+        wipe: bool = False,
+    ) -> None:
+        super().__init__()
+        for name, rate in (("rate_t", rate_t), ("rate_r", rate_r)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {rate}")
+        self.rate_t = rate_t
+        self.rate_r = rate_r
+        self.fields_t = None if fields_t is None else tuple(fields_t)
+        self.fields_r = None if fields_r is None else tuple(fields_r)
+        self.wipe = wipe
+        self._inner = inner if inner is not None else ReliableAdversary()
+        self.corruptions_injected = 0
+
+    @property
+    def inner(self) -> Adversary:
+        return self._inner
+
+    def bind(self, rng: RandomSource) -> None:
+        super().bind(rng)
+        self._random = rng.random_float
+        self._inner.bind(rng.fork("corruption-inner"))
+
+    def on_new_pkt(self, info: PacketInfo) -> None:
+        self._inner.on_new_pkt(info)
+
+    def _corrupt_move(self, station: str, fields: Optional[Tuple[str, ...]]) -> Corrupt:
+        self.corruptions_injected += 1
+        return Corrupt(
+            station=station,
+            fields=fields,
+            seed=self.rng.randint(0, (1 << _SEED_BITS) - 1),
+            wipe=self.wipe,
+        )
+
+    def _decide(self) -> Move:
+        if self.rate_t and self._random() < self.rate_t:
+            return self._corrupt_move("T", self.fields_t)
+        if self.rate_r and self._random() < self.rate_r:
+            return self._corrupt_move("R", self.fields_r)
+        return self._inner.next_move()
+
+    def describe(self) -> str:
+        mode = "wipe" if self.wipe else "scramble"
+        return (
+            f"corruption(rate_t={self.rate_t}, rate_r={self.rate_r}, "
+            f"mode={mode}, inner={self._inner.describe()})"
+        )

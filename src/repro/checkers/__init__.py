@@ -33,6 +33,11 @@ from repro.checkers.safety import (
     check_no_replay,
     check_order,
 )
+from repro.checkers.stabilization import (
+    ConvergenceRecord,
+    StabilizationMonitor,
+    StabilizationReport,
+)
 from repro.checkers.streaming import (
     Axiom1Monitor,
     Axiom2Monitor,
@@ -55,6 +60,7 @@ __all__ = [
     "Axiom3BoundedMonitor",
     "CausalityMonitor",
     "CheckReport",
+    "ConvergenceRecord",
     "EventsView",
     "LiveEventLog",
     "LivenessMonitor",
@@ -65,6 +71,8 @@ __all__ = [
     "OrderMonitor",
     "ProgressGapMonitor",
     "SafetyReport",
+    "StabilizationMonitor",
+    "StabilizationReport",
     "StreamMonitor",
     "StreamingChecks",
     "Trace",

@@ -15,6 +15,7 @@ from typing import IO, Iterable, List
 from repro.checkers.trace import Trace
 from repro.core.events import (
     ChannelId,
+    Corruption,
     CrashR,
     CrashT,
     Event,
@@ -44,6 +45,13 @@ def event_to_dict(event: Event) -> dict:
         return {"type": "crash_r"}
     if isinstance(event, Retry):
         return {"type": "retry"}
+    if isinstance(event, Corruption):
+        return {
+            "type": "corruption",
+            "station": event.station,
+            "fields": list(event.fields),
+            "seed": event.seed,
+        }
     if isinstance(event, PktSent):
         return {
             "type": "pkt_sent",
@@ -78,6 +86,12 @@ def event_from_dict(data: dict) -> Event:
         return CrashR()
     if kind == "retry":
         return Retry()
+    if kind == "corruption":
+        return Corruption(
+            station=data["station"],
+            fields=tuple(data["fields"]),
+            seed=data["seed"],
+        )
     if kind == "pkt_sent":
         return PktSent(
             channel=ChannelId(data["channel"]),

@@ -585,6 +585,8 @@ class StreamingChecks:
         axioms: bool = False,
         axiom3_window: int = 4096,
         timed: bool = False,
+        stabilization: bool = False,
+        stabilization_window: int = 8,
     ) -> None:
         self.causality = CausalityMonitor()
         self.order = OrderMonitor()
@@ -594,6 +596,7 @@ class StreamingChecks:
         self.axiom1: Optional[Axiom1Monitor] = None
         self.axiom2: Optional[Axiom2Monitor] = None
         self.axiom3: Optional[Axiom3BoundedMonitor] = None
+        self.stabilization = None
         if monitors is not None:
             self.monitors: Tuple[StreamMonitor, ...] = tuple(monitors)
         else:
@@ -611,6 +614,20 @@ class StreamingChecks:
                 self.axiom2 = Axiom2Monitor()
                 self.axiom3 = Axiom3BoundedMonitor(window=axiom3_window)
                 suite += [self.axiom1, self.axiom2, self.axiom3]
+            if stabilization:
+                # Imported lazily: stabilization.py builds on this module.
+                from repro.checkers.stabilization import StabilizationMonitor
+
+                self.stabilization = StabilizationMonitor(
+                    scrub=(
+                        self.causality,
+                        self.order,
+                        self.no_duplication,
+                        self.no_replay,
+                    ),
+                    window=stabilization_window,
+                )
+                suite.append(self.stabilization)
             self.monitors = tuple(suite)
         self._table = _build_table(self.monitors)
         self.events_seen = 0
@@ -692,6 +709,17 @@ class StreamingChecks:
         if self.axiom1 is None or self.axiom2 is None or self.axiom3 is None:
             raise ValueError("this StreamingChecks was built without axiom monitors")
         return [self.axiom1.report(), self.axiom2.report(), self.axiom3.report()]
+
+    def stabilization_report(self):
+        """The convergence summary (``stabilization=True`` only).
+
+        Returns a :class:`~repro.checkers.stabilization.StabilizationReport`.
+        """
+        if self.stabilization is None:
+            raise ValueError(
+                "this StreamingChecks was built without a stabilization monitor"
+            )
+        return self.stabilization.summary()
 
 
 def feed(events: Iterable[Event], *monitors: StreamMonitor) -> None:

@@ -16,8 +16,12 @@ The subcommands cover the common workflows::
     python -m repro shrink --fault-plan artifacts/.../faultplan.json \\
         --seed 1234 --messages 40 --out minimal.json
 
+    python -m repro campaign --runs 200 --jobs 4 --corrupt-rate 0.01
+
     python -m repro live --messages 50 --drop 0.08 --duplicate 0.05 \\
         --reorder 0.05 --fault-plan crashes.json --budget 45
+
+    python -m repro live --messages 30 --corrupt T@12,R@30
 
     python -m repro bench --out BENCH_core.json
     python -m repro bench --quick --check BENCH_core.json
@@ -126,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--duplicate", type=float, default=0.0)
     camp.add_argument("--reorder", type=float, default=0.0)
     camp.add_argument("--crash-rate", type=float, default=0.0)
+    camp.add_argument("--corrupt-rate", type=float, default=0.0,
+                      help="per-turn in-place state-corruption probability "
+                           "for each station; enables stabilization "
+                           "(convergence) verdicts")
+    camp.add_argument("--corrupt-window", type=int, default=8,
+                      help="clean progress events that end a corruption "
+                           "probation window")
     camp.add_argument("--max-steps", type=int, default=200_000)
     camp.add_argument("--base-seed", type=int, default=0)
     camp.add_argument("--label", default="",
@@ -149,6 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
     shr.add_argument("--protocol", default="paper")
     shr.add_argument("--epsilon-bits", type=int, default=16)
     shr.add_argument("--max-steps", type=int, default=200_000)
+    shr.add_argument("--corrupt-rate", type=float, default=0.0,
+                     help="match the failing campaign's --corrupt-rate so "
+                          "probe runs replay its corruption schedule")
+    shr.add_argument("--corrupt-window", type=int, default=8,
+                     help="match the failing campaign's --corrupt-window")
     shr.add_argument("--timeout", type=float, default=5.0,
                      help="per-probe wall-clock bound in seconds")
     shr.add_argument("--max-probes", type=int, default=200)
@@ -188,6 +204,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="poll backoff jitter fraction in [0, 1)")
     live.add_argument("--lanes", type=int, default=1,
                       help="protocol instances striped over the socket pair")
+    live.add_argument("--corrupt", default=None,
+                      help='in-place corruption triggers as STATION@TURN '
+                           'items, e.g. "T@12,R@30" (turns count '
+                           'proxy-observed datagrams)')
+    live.add_argument("--corrupt-window", type=int, default=8,
+                      help="clean progress events that end a corruption "
+                           "probation window")
     live.add_argument("--restart-delay", type=float, default=0.02,
                       help="how long a crashed station stays down")
     live.add_argument("--label", default="", help="row label for the report")
@@ -351,6 +374,14 @@ def _campaign_spec(args: argparse.Namespace, messages: int) -> RunSpec:
         from repro.adversary.benign import ReliableAdversary
 
         adversary_factory = ReliableAdversary
+    corrupt_rate = getattr(args, "corrupt_rate", 0.0)
+    if corrupt_rate:
+        from repro.adversary.corruption import StateCorruptionAdversary
+
+        inner_factory = adversary_factory
+        adversary_factory = lambda: StateCorruptionAdversary(
+            rate_t=corrupt_rate, rate_r=corrupt_rate, inner=inner_factory()
+        )
     return RunSpec(
         link_factory=link_factory,
         adversary_factory=adversary_factory,
@@ -359,6 +390,8 @@ def _campaign_spec(args: argparse.Namespace, messages: int) -> RunSpec:
         label=getattr(args, "label", "") or args.protocol,
         retain=getattr(args, "retain", "full"),
         tail_size=getattr(args, "tail_size", 256),
+        stabilization=bool(corrupt_rate),
+        stabilization_window=getattr(args, "corrupt_window", 8),
     )
 
 
@@ -371,6 +404,46 @@ def _load_fault_plan(path: str):
         raise SystemExit(f"cannot read fault plan {path!r}: {error.strerror}")
     except ValueError as error:
         raise SystemExit(f"invalid fault plan {path!r}: {error}")
+
+
+def _plan_wants_stabilization(plan) -> bool:
+    """True when a loaded plan injects in-place (scramble) corruption."""
+    from repro.resilience.faultplan import CorruptAt
+
+    return plan is not None and any(
+        isinstance(e, CorruptAt) and e.mode == "scramble" for e in plan.events
+    )
+
+
+def _parse_corrupt_triggers(spec: str, base_seed: int):
+    """Compile ``"T@12,R@30"`` into seed-pinned :class:`CorruptAt` events."""
+    from repro.core.random_source import split_seed
+    from repro.resilience.faultplan import CorruptAt
+
+    events = []
+    for index, item in enumerate(x.strip() for x in spec.split(",")):
+        if not item:
+            continue
+        station, _, turn_text = item.partition("@")
+        try:
+            turn = int(turn_text)
+        except ValueError:
+            raise SystemExit(
+                f"bad --corrupt item {item!r}: use STATION@TURN, e.g. T@12"
+            )
+        try:
+            events.append(
+                CorruptAt(
+                    step=turn,
+                    station=station.strip().upper(),
+                    seed=split_seed(base_seed, "live-corrupt", index),
+                )
+            )
+        except ValueError as error:
+            raise SystemExit(f"bad --corrupt item {item!r}: {error}")
+    if not events:
+        raise SystemExit("--corrupt given but no STATION@TURN items found")
+    return events
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -388,6 +461,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     except ValueError as error:
         raise SystemExit(str(error))
     spec = _campaign_spec(args, args.messages)
+    if _plan_wants_stabilization(plan) and not spec.stabilization:
+        from dataclasses import replace
+
+        spec = replace(
+            spec, stabilization=True, stabilization_window=args.corrupt_window
+        )
     result = run_campaign(
         spec, args.runs, base_seed=args.base_seed, config=config, fault_plan=plan
     )
@@ -400,7 +479,20 @@ def _cmd_shrink(args: argparse.Namespace) -> int:
     from repro.resilience.shrink import shrink_repro
 
     plan = _load_fault_plan(args.fault_plan)
-    spec_builder = lambda messages: _campaign_spec(args, messages)
+    needs_stabilization = _plan_wants_stabilization(plan)
+
+    def spec_builder(messages: int) -> RunSpec:
+        spec = _campaign_spec(args, messages)
+        if needs_stabilization and not spec.stabilization:
+            from dataclasses import replace
+
+            spec = replace(
+                spec,
+                stabilization=True,
+                stabilization_window=args.corrupt_window,
+            )
+        return spec
+
     try:
         result = shrink_repro(
             spec_builder,
@@ -437,6 +529,10 @@ def _cmd_live(args: argparse.Namespace) -> int:
     from repro.resilience.faultplan import FaultPlan
 
     plan = _load_fault_plan(args.fault_plan) if args.fault_plan else None
+    if args.corrupt:
+        extra = _parse_corrupt_triggers(args.corrupt, args.seed)
+        base = plan if plan is not None else FaultPlan()
+        plan = FaultPlan(events=base.events + tuple(extra), label=base.label)
     try:
         scenario = LiveScenario(
             messages=args.messages,
@@ -457,6 +553,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
             give_up_idle=args.give_up,
             restart_delay=args.restart_delay,
             lanes=args.lanes,
+            stabilization_window=args.corrupt_window,
             label=args.label,
         )
     except ValueError as error:

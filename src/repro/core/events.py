@@ -36,6 +36,7 @@ __all__ = [
     "CrashT",
     "CrashR",
     "Retry",
+    "Corruption",
     "PktSent",
     "PktDelivered",
     "StationOutput",
@@ -107,6 +108,22 @@ class CrashR(Event):
 @dataclass(frozen=True, **_SLOTS)
 class Retry(Event):
     """The RM's internal RETRY action (assumed to recur forever)."""
+
+
+@dataclass(frozen=True, **_SLOTS)
+class Corruption(Event):
+    """An arbitrary-state fault scrambled a station's volatile memory.
+
+    Unlike ``crash^T``/``crash^R`` (which wipe to a *known* blank), a
+    corruption leaves the station in an adversarially random configuration.
+    ``fields`` names the volatile slots that were actually scrambled and
+    ``seed`` pins the scramble tape, so a recorded corruption replays
+    bit-identically from its trace or fault-plan artifact.
+    """
+
+    station: str  # "T" or "R"
+    fields: "tuple"  # tuple of field-name strings
+    seed: int
 
 
 @dataclass(frozen=True, **_SLOTS)

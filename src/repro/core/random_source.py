@@ -124,6 +124,21 @@ class RandomSource:
         # constructor's invariant holds without a range check.
         return BitString._trusted(self._rng.getrandbits(length), length)
 
+    def scramble_bits(self, bits: BitString) -> BitString:
+        """XOR a bit string with a uniform same-length mask (state corruption).
+
+        The primitive behind the arbitrary-state fault model: flipping each
+        bit independently with probability 1/2 yields a uniformly random
+        string of the same length, i.e. the corrupted field carries *no*
+        information about its pre-fault value.  Zero-width inputs come back
+        unchanged without consuming any tape, so field lists containing
+        empty nonces scramble deterministically regardless of order.
+        """
+        if len(bits) == 0:
+            return bits
+        mask = self.random_bits(len(bits))
+        return BitString._trusted(bits._value ^ mask._value, len(bits))
+
     # -- generic sampling helpers ----------------------------------------------
 
     # random_float (uniform float in [0, 1)) is served by __getattr__ as the

@@ -23,7 +23,7 @@ lost across a receiver crash.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.bitstrings import BitString, TAU_CRASH
 from repro.core.events import StationOutput, make_emit_packet, make_emit_receive_msg
@@ -42,6 +42,7 @@ class ReceiverStats:
     packets_sent: int = 0
     deliveries: int = 0
     crashes: int = 0
+    corruptions: int = 0
     errors_counted: int = 0
     extensions: int = 0
     stale_ignored: int = 0
@@ -107,9 +108,65 @@ class Receiver:
 
     # -- input actions ------------------------------------------------------------
 
+    #: Volatile fields an arbitrary-state fault may scramble, in the fixed
+    #: order :meth:`corrupt` processes them (the scramble tape is consumed
+    #: field by field, so order is part of the replay contract).
+    CORRUPTIBLE_FIELDS: Tuple[str, ...] = (
+        "k", "t", "num", "i", "tau", "rho", "prev_rho",
+    )
+
     def crash(self) -> None:
         """``crash^R``: erase the entire memory (back to the initial value)."""
         self._reset_memory()
+
+    def corrupt(
+        self, rng: RandomSource, fields: Optional[Sequence[str]] = None
+    ) -> Tuple[str, ...]:
+        """Scramble volatile state in place (the arbitrary-state fault).
+
+        The dual of :meth:`Transmitter.corrupt <repro.core.transmitter.
+        Transmitter.corrupt>`: nonces are XOR-masked to uniform strings of
+        their current length, counters redrawn.  ``rng`` is the pinned
+        scramble tape (not the station's entropy source), so replaying the
+        same seed over the same pre-fault state is bit-identical.  Returns
+        the names of the fields actually scrambled.
+        """
+        wanted = self.CORRUPTIBLE_FIELDS if fields is None else tuple(fields)
+        for name in wanted:
+            if name not in self.CORRUPTIBLE_FIELDS:
+                raise ValueError(
+                    f"unknown receiver field {name!r} "
+                    f"(corruptible: {', '.join(self.CORRUPTIBLE_FIELDS)})"
+                )
+        scrambled = []
+        for name in self.CORRUPTIBLE_FIELDS:
+            if name not in wanted:
+                continue
+            if name == "k":
+                self._k = rng.randint(1, self._k + 4)
+                scrambled.append(name)
+            elif name == "t":
+                self._t = rng.randint(1, max(self._t, 1) + 4)
+                scrambled.append(name)
+            elif name == "num":
+                self._num = rng.randint(0, max(self._num, 1) + 4)
+                scrambled.append(name)
+            elif name == "i":
+                self._i = rng.randint(1, self._i + 8)
+                scrambled.append(name)
+            elif name == "tau":
+                self._tau = rng.scramble_bits(self._tau)
+                scrambled.append(name)
+            elif name == "rho":
+                self._rho = rng.scramble_bits(self._rho)
+                self.stats.observe_rho(self._rho)
+                scrambled.append(name)
+            elif name == "prev_rho":
+                if self._prev_rho is not None:
+                    self._prev_rho = rng.scramble_bits(self._prev_rho)
+                    scrambled.append(name)
+        self.stats.corruptions += 1
+        return tuple(scrambled)
 
     def retry(self) -> List[StationOutput]:
         """The internal RETRY action: (re)send the current poll packet."""

@@ -29,7 +29,7 @@ adversarial schedules.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.bitstrings import BitString, TAU_PRIME_CRASH
 from repro.core.events import EMIT_OK, StationOutput, make_emit_packet
@@ -48,6 +48,7 @@ class TransmitterStats:
     packets_sent: int = 0
     oks: int = 0
     crashes: int = 0
+    corruptions: int = 0
     errors_counted: int = 0
     extensions: int = 0
     polls_ignored: int = 0
@@ -117,9 +118,74 @@ class Transmitter:
 
     # -- input actions ------------------------------------------------------------
 
+    #: Volatile fields an arbitrary-state fault may scramble, in the fixed
+    #: order :meth:`corrupt` processes them (order is part of the replay
+    #: contract: the scramble tape is consumed field by field).
+    CORRUPTIBLE_FIELDS: Tuple[str, ...] = (
+        "busy", "tau", "prev_tau", "t", "num", "i_seen", "rho_next",
+    )
+
     def crash(self) -> None:
         """``crash^T``: erase the entire memory (back to the initial value)."""
         self._reset_memory()
+
+    def corrupt(
+        self, rng: RandomSource, fields: Optional[Sequence[str]] = None
+    ) -> Tuple[str, ...]:
+        """Scramble volatile state in place (the arbitrary-state fault).
+
+        Unlike :meth:`crash`, which resets to the known blank configuration,
+        this leaves the automaton in a random-but-coherent configuration:
+        nonces are XOR-masked to uniform strings of their current length,
+        counters are redrawn, and an in-flight message may be dropped (the
+        ``busy``/``_message`` pair stays coherent — a corrupted TM never
+        claims to be busy with no message).  ``rng`` is the *pinned* scramble
+        tape, not the station's entropy source, so the same seed over the
+        same pre-fault state reproduces the same post-fault state.  Returns
+        the names of the fields actually scrambled.
+        """
+        wanted = self.CORRUPTIBLE_FIELDS if fields is None else tuple(fields)
+        for name in wanted:
+            if name not in self.CORRUPTIBLE_FIELDS:
+                raise ValueError(
+                    f"unknown transmitter field {name!r} "
+                    f"(corruptible: {', '.join(self.CORRUPTIBLE_FIELDS)})"
+                )
+        scrambled = []
+        for name in self.CORRUPTIBLE_FIELDS:
+            if name not in wanted:
+                continue
+            if name == "busy":
+                # Only True -> False is reachable: an idle automaton holds no
+                # message to turn busy *with*, and inventing one would be a
+                # stronger fault than memory corruption.
+                if self._busy and rng.bernoulli(0.5):
+                    self._busy = False
+                    self._message = None
+                    scrambled.append(name)
+            elif name == "tau":
+                self._tau = rng.scramble_bits(self._tau)
+                self.stats.observe_tau(self._tau)
+                scrambled.append(name)
+            elif name == "prev_tau":
+                if self._prev_tau is not None:
+                    self._prev_tau = rng.scramble_bits(self._prev_tau)
+                    scrambled.append(name)
+            elif name == "t":
+                self._t = rng.randint(1, max(self._t, 1) + 4)
+                scrambled.append(name)
+            elif name == "num":
+                self._num = rng.randint(0, max(self._num, 1) + 4)
+                scrambled.append(name)
+            elif name == "i_seen":
+                self._i_seen = rng.randint(0, self._i_seen + 8)
+                scrambled.append(name)
+            elif name == "rho_next":
+                if self._rho_next is not None:
+                    self._rho_next = rng.scramble_bits(self._rho_next)
+                    scrambled.append(name)
+        self.stats.corruptions += 1
+        return tuple(scrambled)
 
     def send_msg(self, message: bytes) -> List[StationOutput]:
         """``send_msg(m)``: accept the next message from the higher layer.

@@ -44,6 +44,7 @@ from repro.core.events import (
     OK,
     RETRY,
     ChannelId,
+    Corruption,
     EmitOk,
     EmitPacket,
     EmitReceiveMsg,
@@ -61,6 +62,7 @@ from repro.core.packets import (
     decode_packet,
     encode_packet,
 )
+from repro.core.random_source import RandomSource
 from repro.core.receiver import Receiver
 from repro.core.transmitter import Transmitter
 from repro.live.backoff import AdaptiveBackoff
@@ -171,6 +173,7 @@ class _EndpointBase(_SocketBase):
         self.restart_delay = restart_delay
         self.dead = False
         self.crashes = 0
+        self.corruptions = 0
         self.malformed = 0
         self.dropped_while_dead = 0
         self._out_ids = 0
@@ -334,6 +337,28 @@ class TransmitterEndpoint(_EndpointBase):
     def _handle_packet(self, packet: PollPacket) -> None:
         self._dispatch(self.tm.on_receive_pkt(packet))
 
+    def corrupt(self, seed: int, fields: Optional[Sequence[str]] = None) -> Tuple[str, ...]:
+        """Scramble the live TM's volatile state in place (no dead window).
+
+        Unlike :meth:`crash`, the station keeps running on whatever garbage
+        the scramble produced — the self-stabilization fault model.  If the
+        scramble dropped the in-flight message (``busy`` flipped off), the
+        current slot is re-queued under a fresh attempt suffix exactly as a
+        crash would, because the payload bits are unrecoverable either way.
+        """
+        if self.dead or self._closed:
+            return ()
+        scrambled = self.tm.corrupt(RandomSource(seed), fields)
+        self.corruptions += 1
+        self.log.record(Corruption(station="T", fields=scrambled, seed=seed))
+        if not self.tm.busy and self.current is not None:
+            slot = self.current
+            self.current = None
+            self.resubmissions += 1
+            self.queue.appendleft(_Slot(slot.prefix, slot.attempt + 1))
+        self.maybe_send_next()
+        return scrambled
+
     def _wipe_volatile_state(self) -> None:
         self.log.record(CRASH_T)
         self.tm.crash()
@@ -447,6 +472,20 @@ class ReceiverEndpoint(_EndpointBase):
             self._cancel_timer(self._poll_handle)
             self._poll_handle = None
             self._poll_tick()
+
+    def corrupt(self, seed: int, fields: Optional[Sequence[str]] = None) -> Tuple[str, ...]:
+        """Scramble the live RM's volatile state in place (no dead window).
+
+        The poll chain keeps running: the very next poll carries the
+        scrambled (rho, tau), and the handshake reconverges because the TM
+        always echoes the challenge of the poll it answers.
+        """
+        if self.dead or self._closed:
+            return ()
+        scrambled = self.rm.corrupt(RandomSource(seed), fields)
+        self.corruptions += 1
+        self.log.record(Corruption(station="R", fields=scrambled, seed=seed))
+        return scrambled
 
     def _wipe_volatile_state(self) -> None:
         # crash() has already swept every tracked timer, including the

@@ -53,6 +53,7 @@ from repro.core.events import (
     OK,
     RETRY,
     ChannelId,
+    Corruption,
     EmitOk,
     EmitPacket,
     EmitReceiveMsg,
@@ -72,6 +73,7 @@ from repro.core.packets import (
     lane_prefix,
 )
 from repro.core.protocol import DataLink
+from repro.core.random_source import RandomSource
 from repro.core.receiver import Receiver
 from repro.core.transmitter import Transmitter
 from repro.extensions.striping import Resequencer
@@ -119,6 +121,8 @@ class LaneMetrics:
     crashes_t: int
     crashes_r: int
     events: int  # events this lane's log has checked
+    corruptions_t: int = 0  # in-place state scrambles on this TM lane
+    corruptions_r: int = 0  # in-place state scrambles on this RM lane
 
 
 class _TmLane:
@@ -126,8 +130,8 @@ class _TmLane:
 
     __slots__ = (
         "lane", "tm", "log", "prefix", "queue", "current", "oks",
-        "resubmissions", "crashes", "dead", "out_ids", "in_ids",
-        "restart_handle",
+        "resubmissions", "crashes", "corruptions", "dead", "out_ids",
+        "in_ids", "restart_handle",
     )
 
     def __init__(self, lane: int, tm: Transmitter, log: LiveEventLog) -> None:
@@ -140,6 +144,7 @@ class _TmLane:
         self.oks = 0
         self.resubmissions = 0
         self.crashes = 0
+        self.corruptions = 0
         self.dead = False
         self.out_ids = 0
         self.in_ids = 0
@@ -151,8 +156,8 @@ class _RmLane:
 
     __slots__ = (
         "lane", "rm", "log", "backoff", "encoder", "poll_handle",
-        "restart_handle", "polls", "deliveries", "crashes", "dead",
-        "out_ids", "in_ids",
+        "restart_handle", "polls", "deliveries", "crashes", "corruptions",
+        "dead", "out_ids", "in_ids",
     )
 
     def __init__(
@@ -169,6 +174,7 @@ class _RmLane:
         self.polls = 0
         self.deliveries = 0
         self.crashes = 0
+        self.corruptions = 0
         self.dead = False
         self.out_ids = 0
         self.in_ids = 0
@@ -276,6 +282,10 @@ class LanedTransmitterEndpoint(_LanedBase):
     def all_delivered(self) -> bool:
         return self.oks >= self.total_slots
 
+    @property
+    def corruptions(self) -> int:
+        return sum(lane.corruptions for lane in self._lanes)
+
     def lane_metrics(self) -> List[LaneMetrics]:
         return [
             LaneMetrics(
@@ -283,6 +293,7 @@ class LanedTransmitterEndpoint(_LanedBase):
                 resubmissions=lane.resubmissions, deliveries=0, polls=0,
                 crashes_t=lane.crashes, crashes_r=0,
                 events=lane.log.events_seen,
+                corruptions_t=lane.corruptions,
             )
             for lane in self._lanes
         ]
@@ -368,6 +379,32 @@ class LanedTransmitterEndpoint(_LanedBase):
             for i in range(self.lane_count):
                 self.crash_lane(i)
 
+    def corrupt_lane(self, lane_id: int, seed: int,
+                     fields: Optional[Sequence[str]] = None) -> "tuple":
+        """Scramble one TM lane's state in place; the lane keeps running."""
+        lane = self._lanes[lane_id]
+        if lane.dead or self._closed:
+            return ()
+        scrambled = lane.tm.corrupt(RandomSource(seed), fields)
+        lane.corruptions += 1
+        lane.log.record(Corruption(station="T", fields=scrambled, seed=seed))
+        if not lane.tm.busy and lane.current is not None:
+            sequence, attempt, payload = lane.current
+            lane.current = None
+            lane.resubmissions += 1
+            lane.queue.appendleft((sequence, attempt + 1, payload))
+        self._maybe_send_next(lane)
+        return scrambled
+
+    def corrupt(self, seed: int, lane: Optional[int] = None,
+                fields: Optional[Sequence[str]] = None) -> None:
+        """Corrupt one lane, or every lane (seeds split per lane) if none given."""
+        if lane is not None:
+            self.corrupt_lane(lane, seed, fields)
+        else:
+            for i in range(self.lane_count):
+                self.corrupt_lane(i, seed + i, fields)
+
     def _restart_lane(self, lane: _TmLane) -> None:
         lane.restart_handle = None
         if self._closed:
@@ -445,6 +482,10 @@ class LanedReceiverEndpoint(_LanedBase):
             lane.backoff.attempts_without_progress for lane in self._lanes
         )
 
+    @property
+    def corruptions(self) -> int:
+        return sum(lane.corruptions for lane in self._lanes)
+
     def lane_metrics(self) -> List[LaneMetrics]:
         return [
             LaneMetrics(
@@ -452,6 +493,7 @@ class LanedReceiverEndpoint(_LanedBase):
                 deliveries=lane.deliveries, polls=lane.polls,
                 crashes_t=0, crashes_r=lane.crashes,
                 events=lane.log.events_seen,
+                corruptions_r=lane.corruptions,
             )
             for lane in self._lanes
         ]
@@ -557,6 +599,26 @@ class LanedReceiverEndpoint(_LanedBase):
         else:
             for i in range(self.lane_count):
                 self.crash_lane(i)
+
+    def corrupt_lane(self, lane_id: int, seed: int,
+                     fields: Optional[Sequence[str]] = None) -> "tuple":
+        """Scramble one RM lane's state in place; its poll chain keeps running."""
+        lane = self._lanes[lane_id]
+        if lane.dead or self._closed:
+            return ()
+        scrambled = lane.rm.corrupt(RandomSource(seed), fields)
+        lane.corruptions += 1
+        lane.log.record(Corruption(station="R", fields=scrambled, seed=seed))
+        return scrambled
+
+    def corrupt(self, seed: int, lane: Optional[int] = None,
+                fields: Optional[Sequence[str]] = None) -> None:
+        """Corrupt one lane, or every lane (seeds split per lane) if none given."""
+        if lane is not None:
+            self.corrupt_lane(lane, seed, fields)
+        else:
+            for i in range(self.lane_count):
+                self.corrupt_lane(i, seed + i, fields)
 
     def _restart_lane(self, lane: _RmLane) -> None:
         lane.restart_handle = None

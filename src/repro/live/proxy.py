@@ -20,6 +20,10 @@ behaviour:
     orchestrator to kill the named station (see :mod:`repro.live.scenario`);
     on a multi-lane wire the observed datagram's lane id rides along, so a
     scenario can crash just the lane the trigger datagram belonged to;
+  - ``corrupt`` → the proxy tells the scenario to scramble the named
+    station's volatile state *in place* (seed-pinned, no dead window);
+    ``mode: "wipe"`` rides the crash trigger instead — the live half of
+    the wipe ≡ crash identity;
   - ``hang``  → the link goes silent for ``seconds`` of wall clock
     (``null`` = until the scenario's give-up deadline fires);
   - ``abort`` → the scenario is torn down (harness-failure drill).
@@ -46,6 +50,7 @@ from repro.core.packets import peek_wire_info
 from repro.core.random_source import RandomSource
 from repro.resilience.faultplan import (
     AbortAt,
+    CorruptAt,
     CrashAt,
     DropWindow,
     DuplicateBurst,
@@ -137,12 +142,14 @@ class ChaosProxy:
         rng: Optional[RandomSource] = None,
         on_crash: Optional[Callable[[str, int, Optional[int]], None]] = None,
         on_abort: Optional[Callable[[int], None]] = None,
+        on_corrupt: Optional[Callable[[CorruptAt, int, Optional[int]], None]] = None,
     ) -> None:
         self.plan = plan if plan is not None else FaultPlan()
         self.profile = profile if profile is not None else LinkProfile()
         self._rng = rng if rng is not None else RandomSource(0)
         self._on_crash = on_crash
         self._on_abort = on_abort
+        self._on_corrupt = on_corrupt
         self.stats = ProxyStats()
         self._turn = 0
         self._closed = False
@@ -155,6 +162,7 @@ class ChaosProxy:
         self._held: List[Tuple[ChannelId, bytes]] = []  # stalled/hung traffic
         # Scripted events indexed by turn (windows kept as lists).
         self._crashes: Dict[int, List[str]] = {}
+        self._corrupts: Dict[int, List[CorruptAt]] = {}
         self._dups: Dict[int, List[DuplicateBurst]] = {}
         self._hangs: Dict[int, Optional[float]] = {}
         self._aborts: Dict[int, bool] = {}
@@ -163,6 +171,14 @@ class ChaosProxy:
         for event in self.plan.events:
             if isinstance(event, CrashAt):
                 self._crashes.setdefault(event.step, []).append(event.station)
+            elif isinstance(event, CorruptAt):
+                # Wipe-mode corruption IS a crash (same blank state, same
+                # dead window), so it rides the crash trigger verbatim —
+                # the live half of the wipe ≡ crash identity.
+                if event.mode == "wipe":
+                    self._crashes.setdefault(event.step, []).append(event.station)
+                else:
+                    self._corrupts.setdefault(event.step, []).append(event)
             elif isinstance(event, DuplicateBurst):
                 self._dups.setdefault(event.step, []).append(event)
             elif isinstance(event, HangAt):
@@ -277,6 +293,10 @@ class ChaosProxy:
         if stations and self._on_crash is not None:
             for station in stations:
                 self._on_crash(station, turn, lane)
+        corrupts = self._corrupts.pop(turn, None)
+        if corrupts and self._on_corrupt is not None:
+            for event in corrupts:
+                self._on_corrupt(event, turn, lane)
         seconds = -1.0
         if turn in self._hangs:
             seconds = self._hangs.pop(turn)  # type: ignore[assignment]

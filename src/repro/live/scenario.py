@@ -41,6 +41,8 @@ from typing import List, Optional
 
 from repro.checkers.live import LiveEventLog
 from repro.checkers.report import SafetyReport, merge_safety_reports
+from repro.checkers.stabilization import StabilizationReport
+from repro.checkers.streaming import StreamingChecks
 from repro.core.protocol import make_data_link
 from repro.core.random_source import RandomSource, split_seed
 from repro.live.backoff import AdaptiveBackoff, BackoffPolicy
@@ -51,7 +53,7 @@ from repro.live.lanes import (
     LanedTransmitterEndpoint,
 )
 from repro.live.proxy import ChaosProxy, LinkProfile, ProxyStats
-from repro.resilience.faultplan import FaultPlan
+from repro.resilience.faultplan import CorruptAt, FaultPlan
 from repro.util.tables import render_table
 
 __all__ = ["LiveStatus", "LiveScenario", "LiveRunReport", "run_live_scenario",
@@ -62,6 +64,7 @@ class LiveStatus(str, Enum):
     """Terminal status of one live scenario."""
 
     DELIVERED = "delivered"  # every workload slot OK'd
+    STABILIZED = "stabilized"  # delivered *and* reconverged after corruption
     UNRECONCILABLE = "unreconcilable"  # bounded give-up fired (no hang)
     ABORTED = "aborted"  # a scripted abort tore the harness down
 
@@ -82,6 +85,7 @@ class LiveScenario:
     restart_delay: float = 0.02  # how long a crashed station stays down
     tail_size: int = 4096  # forensic event tail retained by the log
     lanes: int = 1  # protocol instances striped over the socket pair
+    stabilization_window: int = 8  # clean progress events ending probation
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -93,6 +97,16 @@ class LiveScenario:
             raise ValueError("give_up_polls must be >= 0")
         if self.lanes < 1:
             raise ValueError("lanes must be >= 1")
+        if self.stabilization_window < 1:
+            raise ValueError("stabilization_window must be >= 1")
+
+    @property
+    def wants_stabilization(self) -> bool:
+        """True iff the plan injects in-place state corruption."""
+        return any(
+            isinstance(event, CorruptAt) and event.mode == "scramble"
+            for event in self.plan.events
+        )
 
 
 @dataclass
@@ -118,12 +132,17 @@ class LiveRunReport:
     resequencer_high_water: int = 0  # worst reorder-buffer depth observed
     resequencer_duplicates: int = 0  # crash-resubmission replays dropped
     in_order_delivered: int = 0  # resequenced global-stream length
+    corruptions_t: int = 0  # in-place state scrambles applied to the TM
+    corruptions_r: int = 0  # in-place state scrambles applied to the RM
+    stabilization: Optional[StabilizationReport] = None
     delivered_stream: List[bytes] = field(repr=False, default_factory=list)
     forensic_tail: List[str] = field(repr=False, default_factory=list)
 
     @property
     def completed(self) -> bool:
-        return self.status is LiveStatus.DELIVERED
+        # STABILIZED is DELIVERED that additionally survived state
+        # corruption — both mean the whole workload was OK'd.
+        return self.status in (LiveStatus.DELIVERED, LiveStatus.STABILIZED)
 
     @property
     def ok(self) -> bool:
@@ -144,6 +163,26 @@ class LiveRunReport:
                 ["events checked", self.events_seen],
                 ["wall seconds", f"{self.wall_seconds:.2f}"],
             ]
+            + (
+                [
+                    [
+                        "corruptions (T/R)",
+                        f"{self.corruptions_t}/{self.corruptions_r}",
+                    ],
+                    [
+                        "stabilization",
+                        (
+                            "-"
+                            if self.stabilization is None
+                            else f"{self.stabilization.converged}/"
+                            f"{self.stabilization.corruptions} converged "
+                            f"(window={self.stabilization.window})"
+                        ),
+                    ],
+                ]
+                if self.corruptions_t or self.corruptions_r
+                else []
+            )
             + (
                 [
                     ["lanes", self.lanes],
@@ -211,6 +250,21 @@ async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
     def note_progress() -> None:
         progress["at"] = loop.time()
 
+    wants_stabilization = scenario.wants_stabilization
+
+    def _make_log() -> LiveEventLog:
+        # Corruption plans get the stabilization-aware suite so Section 2.6
+        # accounting is suspended during probation windows; everything else
+        # keeps the plain (cheaper) suite.
+        checks = None
+        if wants_stabilization:
+            checks = StreamingChecks(
+                timed=True,
+                stabilization=True,
+                stabilization_window=scenario.stabilization_window,
+            )
+        return LiveEventLog(checks=checks, tail_size=scenario.tail_size)
+
     proxy = ChaosProxy(
         plan=scenario.plan,
         profile=scenario.profile,
@@ -219,6 +273,7 @@ async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
         on_abort=lambda turn: finish(
             LiveStatus.ABORTED, f"scripted abort at wire turn {turn}"
         ),
+        on_corrupt=lambda event, turn, lane: _corrupt_station(event, lane),
     )
     payloads = [b"live-%05d" % i for i in range(scenario.messages)]
     await proxy.start()
@@ -236,10 +291,7 @@ async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
         # One log per lane, *shared* by that lane's two stations, so each
         # lane's trace is a self-contained protocol execution for the
         # Section 2.6 monitors.
-        logs = [
-            LiveEventLog(tail_size=scenario.tail_size)
-            for __ in range(scenario.lanes)
-        ]
+        logs = [_make_log() for __ in range(scenario.lanes)]
         tm = LanedTransmitterEndpoint(
             links,
             logs,
@@ -262,7 +314,7 @@ async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
         )
     else:
         link = make_data_link(epsilon=scenario.epsilon, seed=link_seed)
-        logs = [LiveEventLog(tail_size=scenario.tail_size)]
+        logs = [_make_log()]
         tm = TransmitterEndpoint(
             link.transmitter,
             logs[0],
@@ -293,6 +345,20 @@ async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
         else:
             target.crash()
         note_progress()  # a crash resets the pending-send clock (Axiom 1)
+
+    def _corrupt_station(event: CorruptAt, lane: "Optional[int]") -> None:
+        # In-place scramble: the station keeps running on whatever garbage
+        # the seed-pinned tape produced — no dead window, no restart.  On a
+        # laned wire only the trigger datagram's lane is scrambled.
+        target = tm if event.station == "T" else rm
+        if laned:
+            if lane is not None:
+                target.corrupt_lane(lane, event.seed, event.fields)
+            else:
+                target.corrupt(event.seed, fields=event.fields)
+        else:
+            target.corrupt(event.seed, event.fields)
+        note_progress()  # the scramble restarts the convergence clock
 
     started = time.monotonic()
     supervisor: Optional[asyncio.Task] = None
@@ -344,6 +410,27 @@ async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
 
     status: LiveStatus = outcome["status"]  # type: ignore[assignment]
     completed = status is LiveStatus.DELIVERED
+    stabilization: Optional[StabilizationReport] = None
+    if wants_stabilization:
+        # Close the probation books BEFORE the safety verdicts are read: a
+        # completed run's open episodes converge (end-of-traffic cut the
+        # clean streak short, not a violation) and their echoes are
+        # scrubbed; a truncated run keeps them, so the violations stand.
+        summaries = []
+        for log in logs:
+            monitor = log.checks.stabilization
+            if monitor is not None:
+                monitor.finalize(completed)
+                summaries.append(monitor.summary())
+        if summaries:
+            stabilization = StabilizationReport(
+                corruptions=sum(s.corruptions for s in summaries),
+                converged=sum(s.converged for s in summaries),
+                window=scenario.stabilization_window,
+                records=tuple(r for s in summaries for r in s.records),
+            )
+        if completed and stabilization is not None and stabilization.stabilized:
+            status = LiveStatus.STABILIZED
     safety = merge_safety_reports([log.safety_report() for log in logs])
     liveness_passed = all(
         log.liveness_report(run_completed=completed).passed for log in logs
@@ -391,6 +478,9 @@ async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
         resequencer_high_water=(rm.resequencer.high_water if laned else 0),
         resequencer_duplicates=(rm.resequencer.duplicates if laned else 0),
         in_order_delivered=(len(rm.delivered) if laned else rm.deliveries),
+        corruptions_t=tm.corruptions,
+        corruptions_r=rm.corruptions,
+        stabilization=stabilization,
         delivered_stream=list(rm.delivered),
         forensic_tail=forensic_tail,
     )

@@ -24,6 +24,13 @@ The harness answers three questions, repeatably:
   two dispatches are also asserted to produce identical campaign
   fingerprints, so the speedup can never silently come from skipped work;
 
+* **stabilization** — checker overhead of self-stabilizing mode: the
+  same corrupting lossy workload is timed with and without the
+  convergence monitor (``RunSpec.stabilization``), interleaved run-by-run
+  like the macro legs.  The gated ``stabilization_overhead`` ratio
+  (monitored steps/sec over plain steps/sec) bounds what the probation
+  bookkeeping may cost on the campaign hot path;
+
 * **live** — loopback messages/sec of the live UDP deployment at
   lanes ∈ {1, 4, 8} on a lossless (small fixed delay) profile.  The gated
   ``live_lane_speedup`` ratio (8 lanes vs 1) measures how much of Axiom
@@ -51,6 +58,7 @@ import tracemalloc
 from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
+from repro.adversary.corruption import StateCorruptionAdversary
 from repro.adversary.random_faults import FaultProfile, RandomFaultAdversary
 from repro.checkers.liveness import check_liveness
 from repro.checkers.safety import check_all_safety
@@ -138,6 +146,7 @@ _GATE_KEYS = (
     "memory_reduction_lossy",
     "campaign_dispatch_speedup",
     "live_lane_speedup",
+    "stabilization_overhead",
 )
 
 #: Per-key overrides of :func:`check_regression`'s default threshold.
@@ -334,6 +343,82 @@ def _bench_campaign(runs: int, base_seed: int) -> Dict[str, Dict[str, float]]:
     return stats
 
 
+def _stabilization_spec(messages: int) -> RunSpec:
+    """Lossy workload with random in-place state corruption.
+
+    The corruption rate is tuned so every bench run scrambles at least one
+    station a few times: the monitored leg then exercises the full
+    probation/scrub path (episode open, mark, streak, converge) rather
+    than idling, which is the cost the gated ratio exists to bound.
+    """
+    spec = RunSpec.default(messages=messages, label="stabilization")
+    spec.adversary_factory = lambda: StateCorruptionAdversary(
+        rate_t=0.005,
+        rate_r=0.005,
+        inner=RandomFaultAdversary(FaultProfile(loss=0.1)),
+    )
+    spec.retain = "none"
+    spec.max_steps = 400_000
+    return spec
+
+
+def _bench_stabilization(
+    messages: int, runs: int, base_seed: int
+) -> Dict[str, Dict[str, float]]:
+    """Same corrupting workload, with and without the convergence monitor.
+
+    The two variants take turns run-by-run (like the macro legs) so host
+    clock drift cancels out of the gated ratio.  The corrupting adversary
+    is seed-pinned, so both variants simulate the identical run — the only
+    difference is whether :class:`StabilizationMonitor` rides the stream.
+    The leg refuses to report a ratio measured on a corruption-free
+    workload: that would gate nothing.
+    """
+    base = _stabilization_spec(messages)
+    variants = {
+        "plain": dataclasses.replace(base, stabilization=False),
+        "monitored": dataclasses.replace(base, stabilization=True),
+    }
+    totals = {
+        name: {"wall_seconds": 0.0, "steps": 0, "events": 0, "corruptions": 0}
+        for name in variants
+    }
+    for spec in variants.values():
+        run_once(spec, split_seed(base_seed, "bench-stab-warmup"))
+    for i in range(runs):
+        seed = split_seed(base_seed, "bench-stab", i)
+        for name, spec in variants.items():
+            started = perf_counter()
+            outcome = run_once(spec, seed)
+            wall = perf_counter() - started
+            result = outcome.result
+            bucket = totals[name]
+            bucket["wall_seconds"] += wall
+            bucket["steps"] += result.steps
+            bucket["events"] += result.trace.total_events
+            bucket["corruptions"] += (
+                result.metrics.corruptions_t + result.metrics.corruptions_r
+            )
+    if totals["monitored"]["corruptions"] == 0:
+        raise RuntimeError(
+            "stabilization bench injected no corruptions; the overhead "
+            "ratio would be measured on an idle monitor"
+        )
+    stats: Dict[str, Dict[str, float]] = {}
+    for name, bucket in totals.items():
+        wall = bucket["wall_seconds"]
+        stats[name] = {
+            "runs": runs,
+            "wall_seconds": wall,
+            "steps": bucket["steps"],
+            "events": bucket["events"],
+            "corruptions": bucket["corruptions"],
+            "steps_per_second": bucket["steps"] / wall if wall > 0 else 0.0,
+            "events_per_second": bucket["events"] / wall if wall > 0 else 0.0,
+        }
+    return stats
+
+
 #: Lane counts the live leg measures (1 is the stop-and-wait baseline).
 _LIVE_LANES = (1, 4, 8)
 
@@ -469,6 +554,12 @@ def gate_ratios(results: dict) -> Dict[str, float]:
             live["lanes_8"]["messages_per_second"]
             / live["lanes_1"]["messages_per_second"]
         )
+    stabilization = results.get("stabilization")
+    if stabilization and stabilization["plain"]["steps_per_second"] > 0:
+        ratios["stabilization_overhead"] = (
+            stabilization["monitored"]["steps_per_second"]
+            / stabilization["plain"]["steps_per_second"]
+        )
     return ratios
 
 
@@ -512,12 +603,14 @@ def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
     }
     campaign = _bench_campaign(campaign_runs, base_seed)
     live = _bench_live(live_messages, base_seed)
+    stabilization = _bench_stabilization(messages, runs, base_seed)
     results = {
         "macro": macro,
         "memory": memory,
         "micro": micro,
         "campaign": campaign,
         "live": live,
+        "stabilization": stabilization,
     }
     return {
         "schema": 1,

@@ -83,6 +83,31 @@ def write_run_artifact(
             "spec_label": spec_label,
             "has_trace": report.trace_jsonl is not None,
             "trace_dropped_events": report.trace_dropped_events,
+            # Corruption forensics: each converged record embeds the
+            # corruption's scramble seed and scrambled-field list (the same
+            # pair the trace's Corruption events and the fault plan carry),
+            # so a run can be re-scrambled bit-identically from meta alone.
+            "stabilization": (
+                None
+                if report.stabilization is None
+                else {
+                    "corruptions": report.stabilization.corruptions,
+                    "converged": report.stabilization.converged,
+                    "window": report.stabilization.window,
+                    "stabilized": report.stabilization.stabilized,
+                    "records": [
+                        {
+                            "station": record.station,
+                            "fields": list(record.fields),
+                            "seed": record.seed,
+                            "events": record.events,
+                            "datagrams": record.datagrams,
+                            "wall_seconds": record.wall_seconds,
+                        }
+                        for record in report.stabilization.records
+                    ],
+                }
+            ),
         },
     )
     if report.safety_summary is not None:

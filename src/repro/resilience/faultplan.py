@@ -37,17 +37,21 @@ from repro.adversary.base import (
     CRASH_TRANSMITTER,
     PASS,
     Adversary,
+    Corrupt,
     Deliver,
     Move,
     make_deliver,
 )
 from repro.channel.channel import PacketInfo
 from repro.core.events import ChannelId
+from repro.core.receiver import Receiver
+from repro.core.transmitter import Transmitter
 
 __all__ = [
     "FaultInjectionAbort",
     "FaultEvent",
     "CrashAt",
+    "CorruptAt",
     "DropWindow",
     "DuplicateBurst",
     "StallWindow",
@@ -123,6 +127,78 @@ class CrashAt(FaultEvent):
         self._check_step(self.step)
         if self.station not in ("T", "R"):
             raise ValueError(f"station must be 'T' or 'R', got {self.station!r}")
+
+
+def _corruptible_fields(station: str) -> Tuple[str, ...]:
+    return (
+        Transmitter.CORRUPTIBLE_FIELDS
+        if station == "T"
+        else Receiver.CORRUPTIBLE_FIELDS
+    )
+
+
+@dataclass(frozen=True)
+class CorruptAt(FaultEvent):
+    """Scramble one station's volatile memory at an exact adversary turn.
+
+    The arbitrary-state fault: ``fields`` restricts the scramble to named
+    volatile slots (None = every corruptible field; see the stations'
+    ``CORRUPTIBLE_FIELDS``), ``seed`` pins the scramble tape so a recorded
+    corruption replays bit-identically, and ``mode="wipe"`` degrades the
+    event to the station's crash transition — compiled to the *same* crash
+    move a :class:`CrashAt` produces, so wipe-mode corruption and crash are
+    trace-identical by construction.
+    """
+
+    kind = "corrupt"
+
+    step: int
+    station: str  # "T" or "R"
+    fields: Optional[Tuple[str, ...]] = None
+    seed: int = 0
+    mode: str = "scramble"
+    run: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._check_step(self.step)
+        if self.station not in ("T", "R"):
+            raise ValueError(f"station must be 'T' or 'R', got {self.station!r}")
+        if self.mode not in ("scramble", "wipe"):
+            raise ValueError(
+                f"corrupt mode must be 'scramble' or 'wipe', got {self.mode!r}"
+            )
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int) or self.seed < 0:
+            raise ValueError(
+                f"corrupt seed must be a non-negative integer, got {self.seed!r}"
+            )
+        if self.fields is not None:
+            object.__setattr__(self, "fields", tuple(self.fields))
+            if not self.fields:
+                raise ValueError(
+                    "corrupt fields must be omitted (all fields) or non-empty"
+                )
+            valid = _corruptible_fields(self.station)
+            unknown = [name for name in self.fields if name not in valid]
+            if unknown:
+                raise ValueError(
+                    f"corrupt fields {sorted(unknown)} unknown for station "
+                    f"{self.station!r} (corruptible: {', '.join(valid)})"
+                )
+
+    def shrink_candidates(self) -> Tuple[FaultEvent, ...]:
+        candidates: List[FaultEvent] = []
+        if self.mode == "scramble":
+            # A wipe (= crash) is the strictly simpler fault.
+            candidates.append(replace(self, mode="wipe", fields=None))
+            fields = (
+                self.fields if self.fields is not None
+                else _corruptible_fields(self.station)
+            )
+            if len(fields) > 1:
+                half = len(fields) // 2
+                candidates.append(replace(self, fields=tuple(fields[:half])))
+                candidates.append(replace(self, fields=tuple(fields[half:])))
+        return tuple(candidates)
 
 
 @dataclass(frozen=True)
@@ -258,7 +334,15 @@ class AbortAt(FaultEvent):
 
 _EVENT_TYPES: Dict[str, Type[FaultEvent]] = {
     cls.kind: cls
-    for cls in (CrashAt, DropWindow, DuplicateBurst, StallWindow, HangAt, AbortAt)
+    for cls in (
+        CrashAt,
+        CorruptAt,
+        DropWindow,
+        DuplicateBurst,
+        StallWindow,
+        HangAt,
+        AbortAt,
+    )
 }
 
 
@@ -370,6 +454,7 @@ class ScriptedAdversary(Adversary):
         self.plan = plan
         self.inner = inner
         self._crashes: Dict[int, List[str]] = {}
+        self._corrupts: Dict[int, List[CorruptAt]] = {}
         self._dups: Dict[int, List[DuplicateBurst]] = {}
         self._hangs: Dict[int, Optional[float]] = {}
         self._aborts: Dict[int, bool] = {}
@@ -378,6 +463,13 @@ class ScriptedAdversary(Adversary):
         for event in plan.events:
             if isinstance(event, CrashAt):
                 self._crashes.setdefault(event.step, []).append(event.station)
+            elif isinstance(event, CorruptAt):
+                if event.mode == "wipe":
+                    # Wipe-mode corruption compiles to the exact crash move
+                    # a CrashAt produces: trace-identical by construction.
+                    self._crashes.setdefault(event.step, []).append(event.station)
+                else:
+                    self._corrupts.setdefault(event.step, []).append(event)
             elif isinstance(event, DuplicateBurst):
                 self._dups.setdefault(event.step, []).append(event)
             elif isinstance(event, HangAt):
@@ -446,6 +538,14 @@ class ScriptedAdversary(Adversary):
             if not stations:
                 del self._crashes[turn]
             return CRASH_TRANSMITTER if station == "T" else CRASH_RECEIVER
+        corrupts = self._corrupts.get(turn)
+        if corrupts:
+            event = corrupts.pop(0)
+            if not corrupts:
+                del self._corrupts[turn]
+            return Corrupt(
+                station=event.station, fields=event.fields, seed=event.seed
+            )
         if turn in self._dups and self._last_announced is not None:
             for burst in self._dups.pop(turn):
                 self._redeliver.extend(

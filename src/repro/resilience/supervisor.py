@@ -66,11 +66,12 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.checkers.stabilization import StabilizationReport
 from repro.resilience.faultplan import FaultPlan, apply_fault_plan, enable_hard_aborts
 from repro.sim.metrics import SimulationMetrics
 from repro.sim.runner import RunSession, RunSpec, derive_run_seed, run_once
 
-from repro.util.stats import BernoulliEstimate, wilson_interval
+from repro.util.stats import BernoulliEstimate, percentile, wilson_interval
 from repro.util.tables import render_table
 
 __all__ = [
@@ -121,6 +122,9 @@ class RunReport:
     #: Events the trace's retention mode discarded (0 for retain="full";
     #: a captured tail trace is partial when this is non-zero).
     trace_dropped_events: int = 0
+    #: Convergence verdicts when the run's spec enabled stabilization
+    #: monitoring; None otherwise (plain campaigns pay nothing for this).
+    stabilization: Optional[StabilizationReport] = field(repr=False, default=None)
 
     @property
     def has_data(self) -> bool:
@@ -184,6 +188,7 @@ def encode_report(report: RunReport) -> tuple:
         report.trace_jsonl,
         report.error,
         report.trace_dropped_events,
+        None if report.stabilization is None else report.stabilization.to_wire(),
     )
 
 
@@ -191,6 +196,7 @@ def decode_report(wire: tuple) -> RunReport:
     """Rebuild the :class:`RunReport` a shard worker encoded."""
     metrics_wire = wire[7]
     summary_wire = wire[8]
+    stabilization_wire = wire[13]
     return RunReport(
         index=wire[0],
         seed=wire[1],
@@ -207,6 +213,11 @@ def decode_report(wire: tuple) -> RunReport:
         trace_jsonl=wire[10],
         error=wire[11],
         trace_dropped_events=wire[12],
+        stabilization=(
+            None
+            if stabilization_wire is None
+            else StabilizationReport.from_wire(stabilization_wire)
+        ),
     )
 
 
@@ -410,6 +421,7 @@ def execute_attempt(
         violations=violations,
         trace_jsonl=trace_jsonl,
         trace_dropped_events=trace.dropped_events,
+        stabilization=outcome.stabilization,
     )
 
 
@@ -624,6 +636,67 @@ class CampaignResult:
             return 0.0
         return sum(m.checker_seconds for m in timed) / wall
 
+    # -- stabilization aggregates (empty/zero when no run was corrupted) -----------
+
+    @property
+    def stabilization_reports(self) -> List[StabilizationReport]:
+        """Per-run stabilization verdicts of the data runs that carried one."""
+        return [
+            r.stabilization
+            for r in self.data_reports
+            if r.stabilization is not None
+        ]
+
+    @property
+    def corruptions_injected(self) -> int:
+        """Total state corruptions observed across all data runs."""
+        return sum(s.corruptions for s in self.stabilization_reports)
+
+    @property
+    def corrupted_runs(self) -> int:
+        """Data runs that suffered at least one state corruption."""
+        return sum(1 for s in self.stabilization_reports if s.corruptions > 0)
+
+    @property
+    def stabilized_runs(self) -> int:
+        """Corrupted data runs whose every corruption reconverged."""
+        return sum(1 for s in self.stabilization_reports if s.stabilized)
+
+    @property
+    def stabilized_rate(self) -> float:
+        """Fraction of corrupted runs that fully reconverged (1.0 when none)."""
+        corrupted = self.corrupted_runs
+        if corrupted == 0:
+            return 1.0
+        return self.stabilized_runs / corrupted
+
+    def _convergence_values(self, attribute: str) -> List[float]:
+        return [
+            float(getattr(record, attribute))
+            for s in self.stabilization_reports
+            for record in s.records
+        ]
+
+    @property
+    def convergence_events_p50(self) -> float:
+        """Median events-to-convergence over every converged corruption."""
+        return percentile(self._convergence_values("events"), 0.50)
+
+    @property
+    def convergence_events_p99(self) -> float:
+        """Tail (p99) events-to-convergence over every converged corruption."""
+        return percentile(self._convergence_values("events"), 0.99)
+
+    @property
+    def convergence_datagrams_p50(self) -> float:
+        """Median datagrams-to-convergence over every converged corruption."""
+        return percentile(self._convergence_values("datagrams"), 0.50)
+
+    @property
+    def convergence_datagrams_p99(self) -> float:
+        """Tail (p99) datagrams-to-convergence over every converged corruption."""
+        return percentile(self._convergence_values("datagrams"), 0.99)
+
     def fingerprint(self) -> tuple:
         """Deterministic identity of the whole campaign (for replay checks)."""
         return tuple(report.fingerprint() for report in self.reports)
@@ -654,6 +727,34 @@ class CampaignResult:
             title="pooled violation rates (completed runs only)",
         )
         blocks = [summary, "", rates]
+        if self.corruptions_injected > 0:
+            converged = sum(s.converged for s in self.stabilization_reports)
+            stabilization = render_table(
+                [
+                    "corruptions",
+                    "converged",
+                    "corrupted runs",
+                    "stabilized",
+                    "events p50",
+                    "events p99",
+                    "datagrams p50",
+                    "datagrams p99",
+                ],
+                [
+                    [
+                        self.corruptions_injected,
+                        converged,
+                        self.corrupted_runs,
+                        f"{self.stabilized_rate:.1%}",
+                        f"{self.convergence_events_p50:.0f}",
+                        f"{self.convergence_events_p99:.0f}",
+                        f"{self.convergence_datagrams_p50:.0f}",
+                        f"{self.convergence_datagrams_p99:.0f}",
+                    ]
+                ],
+                title="stabilization (convergence over corrupted data runs)",
+            )
+            blocks += ["", stabilization]
         if self._timed_metrics():
             wall_steps = (
                 f"{self.wall_steps_per_second:,.0f}"

@@ -50,6 +50,8 @@ class SimulationMetrics:
     retries: int
     crashes_t: int
     crashes_r: int
+    corruptions_t: int
+    corruptions_r: int
     transmitter_extensions: int
     receiver_extensions: int
     transmitter_errors_counted: int
@@ -135,6 +137,8 @@ class SimulationMetrics:
             self.wall_seconds,
             self.checker_seconds,
             self.events_recorded,
+            self.corruptions_t,
+            self.corruptions_r,
         )
 
     @classmethod
@@ -161,6 +165,8 @@ class SimulationMetrics:
             wall_seconds=wire[16],
             checker_seconds=wire[17],
             events_recorded=wire[18],
+            corruptions_t=wire[19],
+            corruptions_r=wire[20],
         )
 
 
@@ -189,6 +195,8 @@ class MetricsCollector:
         self.retries = 0
         self.crashes_t = 0
         self.crashes_r = 0
+        self.corruptions_t = 0
+        self.corruptions_r = 0
 
     def sample_storage(self) -> None:
         """Record the current combined nonce footprint (call per step)."""
@@ -223,6 +231,8 @@ class MetricsCollector:
             retries=self.retries,
             crashes_t=self.crashes_t,
             crashes_r=self.crashes_r,
+            corruptions_t=self.corruptions_t,
+            corruptions_r=self.corruptions_r,
             transmitter_extensions=t_stats.extensions,
             receiver_extensions=r_stats.extensions,
             transmitter_errors_counted=t_stats.errors_counted,

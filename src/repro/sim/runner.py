@@ -66,6 +66,10 @@ class RunSpec:
     label: str = ""
     retain: str = "full"
     tail_size: int = 256
+    # Self-stabilizing mode: attach the convergence monitor so Section 2.6
+    # accounting is suspended during corruption probation windows.
+    stabilization: bool = False
+    stabilization_window: int = 8
 
     @classmethod
     def default(
@@ -90,12 +94,18 @@ class RunSpec:
 
 @dataclass
 class RunOutcome:
-    """One run's simulation result plus its checker verdicts."""
+    """One run's simulation result plus its checker verdicts.
+
+    ``stabilization`` is the convergence summary (a
+    :class:`~repro.checkers.stabilization.StabilizationReport`) when the
+    spec ran with ``stabilization=True``, else None.
+    """
 
     seed: int
     result: SimulationResult
     safety: SafetyReport
     liveness_passed: bool
+    stabilization: Optional[object] = None
 
     @property
     def metrics(self) -> SimulationMetrics:
@@ -150,7 +160,11 @@ class RunSession:
         simulator = self._simulator
         try:
             if simulator is None:
-                self._checks = checks = StreamingChecks(timed=True)
+                self._checks = checks = StreamingChecks(
+                    timed=True,
+                    stabilization=spec.stabilization,
+                    stabilization_window=spec.stabilization_window,
+                )
                 self._simulator = simulator = Simulator(
                     link=link,
                     adversary=adversary,
@@ -176,10 +190,21 @@ class RunSession:
             # drop it so the next run rebuilds clean.
             self.invalidate()
             raise
+        stabilization = None
+        if checks.stabilization is not None:
+            # Close any open probation episode before reading verdicts: a
+            # cleanly drained run converged by definition, a truncated one
+            # keeps its probation violations.
+            checks.stabilization.finalize(result.completed)
+            stabilization = checks.stabilization.summary()
         safety = checks.safety_report()
         liveness = checks.liveness_report(run_completed=result.completed)
         return RunOutcome(
-            seed=seed, result=result, safety=safety, liveness_passed=liveness.passed
+            seed=seed,
+            result=result,
+            safety=safety,
+            liveness_passed=liveness.passed,
+            stabilization=stabilization,
         )
 
 

@@ -34,6 +34,7 @@ from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.adversary.base import (
     Adversary,
+    Corrupt,
     CrashReceiver,
     CrashTransmitter,
     Deliver,
@@ -51,6 +52,7 @@ from repro.core.events import (
     OK,
     RETRY,
     ChannelId,
+    Corruption,
     EmitOk,
     EmitPacket,
     EmitReceiveMsg,
@@ -185,6 +187,7 @@ class Simulator:
             Deliver: self._deliver,
             CrashTransmitter: self._crash_transmitter,
             CrashReceiver: self._crash_receiver,
+            Corrupt: self._corrupt,
             TriggerRetry: self._trigger_retry,
             Pass: self._pass,
         }
@@ -426,6 +429,39 @@ class Simulator:
         self._trace.append(CRASH_R)
         self._metrics.crashes_r += 1
         self._receiver.crash()
+
+    def _corrupt(self, move: Corrupt) -> None:
+        if move.wipe:
+            # A wipe-mode corruption *is* a crash: the known-blank special
+            # case of the arbitrary-state fault.  Delegating keeps the two
+            # trace-identical, which the differential tests pin down.
+            if move.station == "T":
+                self._crash_transmitter(move)
+            elif move.station == "R":
+                self._crash_receiver(move)
+            else:
+                raise SimulationError(
+                    f"corrupt move names unknown station {move.station!r}"
+                )
+            return
+        # The scramble tape is pinned by the move's own seed — independent
+        # of the adversary's tape — so recorded corruptions replay
+        # bit-identically from forensics artifacts.
+        rng = RandomSource(move.seed)
+        if move.station == "T":
+            scrambled = self._transmitter.corrupt(rng, move.fields)
+            self._tx_busy = self._transmitter.busy
+            self._metrics.corruptions_t += 1
+        elif move.station == "R":
+            scrambled = self._receiver.corrupt(rng, move.fields)
+            self._metrics.corruptions_r += 1
+        else:
+            raise SimulationError(
+                f"corrupt move names unknown station {move.station!r}"
+            )
+        self._trace.append(
+            Corruption(station=move.station, fields=scrambled, seed=move.seed)
+        )
 
     def _trigger_retry(self, move: Move) -> None:
         self._fire_retry()

@@ -13,7 +13,13 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-__all__ = ["BernoulliEstimate", "wilson_interval", "summarize", "SeriesSummary"]
+__all__ = [
+    "BernoulliEstimate",
+    "wilson_interval",
+    "summarize",
+    "percentile",
+    "SeriesSummary",
+]
 
 
 @dataclass(frozen=True)
@@ -121,27 +127,38 @@ class SeriesSummary:
         )
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of a numeric sequence (q in [0, 1]).
+
+    Empty input yields 0.0 — the degenerate answer campaign tables want
+    when no run produced the measured quantity.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    if not values:
+        return 0.0
+    ordered = sorted(float(v) for v in values)
+    n = len(ordered)
+    if n == 1:
+        return ordered[0]
+    pos = q * (n - 1)
+    lower = int(math.floor(pos))
+    upper = min(lower + 1, n - 1)
+    frac = pos - lower
+    return ordered[lower] * (1 - frac) + ordered[upper] * frac
+
+
 def summarize(values: Sequence[float]) -> SeriesSummary:
     """Summary statistics of a non-empty numeric sequence."""
     if not values:
         return SeriesSummary(count=0, mean=0.0, minimum=0.0, maximum=0.0, p50=0.0, p95=0.0)
     ordered = sorted(float(v) for v in values)
     n = len(ordered)
-
-    def percentile(q: float) -> float:
-        if n == 1:
-            return ordered[0]
-        pos = q * (n - 1)
-        lower = int(math.floor(pos))
-        upper = min(lower + 1, n - 1)
-        frac = pos - lower
-        return ordered[lower] * (1 - frac) + ordered[upper] * frac
-
     return SeriesSummary(
         count=n,
         mean=sum(ordered) / n,
         minimum=ordered[0],
         maximum=ordered[-1],
-        p50=percentile(0.50),
-        p95=percentile(0.95),
+        p50=percentile(ordered, 0.50),
+        p95=percentile(ordered, 0.95),
     )

@@ -181,3 +181,82 @@ def test_malformed_datagrams_are_counted_not_fatal():
     assert stats.foreign >= 20  # \x00-headed garbage died at the proxy
     assert rm.malformed >= 20  # the rest died at the receiver's codec
     assert log.safety_report().passed
+
+
+# -- self-stabilizing mode (docs/PROTOCOL.md §13) -----------------------------------
+
+
+def test_corrupted_scenario_reports_stabilized():
+    from repro.resilience.faultplan import CorruptAt
+
+    report = run_live_scenario(LiveScenario(
+        messages=25,
+        seed=7,
+        profile=LinkProfile(drop=0.05, duplicate=0.05, delay=0.001),
+        plan=FaultPlan.of(
+            CorruptAt(step=12, station="T", seed=9001),
+            CorruptAt(step=30, station="R", seed=9002),
+        ),
+        poll=_FAST_POLL,
+        budget=30.0,
+        give_up_idle=6.0,
+        stabilization_window=8,
+        label="live-corrupt",
+    ))
+    assert report.status is LiveStatus.STABILIZED
+    assert report.completed
+    assert report.ok
+    assert report.corruptions_t == 1
+    assert report.corruptions_r == 1
+    stabilization = report.stabilization
+    assert stabilization is not None
+    assert stabilization.stabilized
+    assert stabilization.corruptions == stabilization.converged == 2
+    assert sorted(r.seed for r in stabilization.records) == [9001, 9002]
+    assert "stabilization" in report.render()
+
+
+def test_corrupted_laned_scenario_stabilizes_per_lane():
+    from repro.resilience.faultplan import CorruptAt
+
+    report = run_live_scenario(LiveScenario(
+        messages=24,
+        seed=19,
+        lanes=3,
+        profile=LinkProfile(drop=0.05, delay=0.001),
+        plan=FaultPlan.of(
+            CorruptAt(step=10, station="T", seed=401),
+            CorruptAt(step=25, station="R", seed=402),
+        ),
+        poll=_FAST_POLL,
+        budget=30.0,
+        give_up_idle=6.0,
+        stabilization_window=6,
+        label="live-corrupt-lanes",
+    ))
+    assert report.status is LiveStatus.STABILIZED
+    assert report.ok
+    assert report.corruptions_t + report.corruptions_r == 2
+    assert report.stabilization is not None
+    assert report.stabilization.stabilized
+
+
+def test_live_wipe_mode_rides_the_crash_path():
+    from repro.resilience.faultplan import CorruptAt
+
+    report = run_live_scenario(LiveScenario(
+        messages=15,
+        seed=23,
+        plan=FaultPlan.of(CorruptAt(step=10, station="T", mode="wipe")),
+        poll=_FAST_POLL,
+        budget=30.0,
+        give_up_idle=6.0,
+        label="live-wipe",
+    ))
+    # A wipe is a crash: no corruption counters, no stabilization report,
+    # plain DELIVERED, and the crash tally shows the amnesia restart.
+    assert report.status is LiveStatus.DELIVERED
+    assert report.ok
+    assert report.crashes_t == 1
+    assert report.corruptions_t == report.corruptions_r == 0
+    assert report.stabilization is None

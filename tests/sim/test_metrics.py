@@ -56,6 +56,8 @@ class TestDerivedMetrics:
             retries=20,
             crashes_t=0,
             crashes_r=0,
+            corruptions_t=0,
+            corruptions_r=0,
             transmitter_extensions=0,
             receiver_extensions=0,
             transmitter_errors_counted=0,
