@@ -24,9 +24,15 @@ import sys
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.core.bitstrings import BitString
 from repro.core.events import ChannelId
 from repro.core.exceptions import UnknownPacketError
-from repro.core.packets import Packet, encode_packet
+from repro.core.packets import (
+    Packet,
+    encode_packet,
+    make_data_packet,
+    make_poll_packet,
+)
 from repro.util.hotpath import trusted_constructor
 
 __all__ = ["PacketInfo", "Channel", "ChannelPair"]
@@ -74,6 +80,13 @@ class Channel:
         self.channel_id = channel_id
         self._on_new_pkt = on_new_pkt
         self._store: Dict[int, Packet] = {}
+        # Flat packet tuples parked by the kernel engine at run exit
+        # (see repro.kernel.engine).  Exactly one of _store/_flat_store
+        # holds the channel's contents; materialisation happens on first
+        # object-level access, so campaign runs that never re-read their
+        # packets skip the rebuild entirely.
+        self._flat_store: Optional[Dict[int, tuple]] = None
+
         self._next_id = 0
         self._sent_count = 0
         self._delivered_count = 0
@@ -87,10 +100,52 @@ class Channel:
         determinism guarantees of campaign sharding break.
         """
         self._store.clear()
+        self._flat_store = None
         self._next_id = 0
         self._sent_count = 0
         self._delivered_count = 0
         self._bits_sent = 0
+
+    def _materialize(self) -> None:
+        """Rebuild packet objects from kernel-parked flat tuples.
+
+        The kernel engine leaves the store as flat int tuples (its native
+        representation) and this rebuilds ``DataPacket``/``PollPacket``
+        objects on first access.  Nonces are interned through a cache —
+        retried packets reuse the same (value, length) pairs and
+        ``BitString`` is an immutable value type, so sharing is
+        unobservable.
+        """
+        flat = self._flat_store
+        if flat is None:
+            return
+        self._flat_store = None
+        trusted = BitString._trusted
+        cache: Dict[tuple, BitString] = {}
+        cache_get = cache.get
+        store = self._store
+        if self.channel_id is ChannelId.T_TO_R:
+            for pid, (message, rv, rl, tv, tl) in flat.items():
+                key = (rv, rl)
+                rho = cache_get(key)
+                if rho is None:
+                    rho = cache[key] = trusted(rv, rl)
+                key = (tv, tl)
+                tau = cache_get(key)
+                if tau is None:
+                    tau = cache[key] = trusted(tv, tl)
+                store[pid] = make_data_packet(message, rho, tau)
+        else:
+            for pid, (rv, rl, tv, tl, retry) in flat.items():
+                key = (rv, rl)
+                rho = cache_get(key)
+                if rho is None:
+                    rho = cache[key] = trusted(rv, rl)
+                key = (tv, tl)
+                tau = cache_get(key)
+                if tau is None:
+                    tau = cache[key] = trusted(tv, tl)
+                store[pid] = make_poll_packet(rho, tau, retry)
 
     # -- model actions ------------------------------------------------------------
 
@@ -112,7 +167,13 @@ class Channel:
         try:
             packet = self._store[packet_id]
         except KeyError:
-            raise UnknownPacketError(packet_id) from None
+            if self._flat_store is None:
+                raise UnknownPacketError(packet_id) from None
+            self._materialize()
+            try:
+                packet = self._store[packet_id]
+            except KeyError:
+                raise UnknownPacketError(packet_id) from None
         self._delivered_count += 1
         return packet
 
@@ -127,6 +188,8 @@ class Channel:
         what happens when that assumption is dropped.  Core-model
         adversaries must never call it.
         """
+        if self._flat_store is not None:
+            self._materialize()
         try:
             return self._store[packet_id]
         except KeyError:
@@ -134,10 +197,14 @@ class Channel:
 
     def has_packet(self, packet_id: int) -> bool:
         """True iff the id was ever issued by this channel."""
+        if self._flat_store is not None:
+            return packet_id in self._flat_store
         return packet_id in self._store
 
     def packet_length_bits(self, packet_id: int) -> int:
         """The length the adversary may observe for a given id."""
+        if self._flat_store is not None:
+            self._materialize()
         try:
             return self._store[packet_id].wire_length_bits
         except KeyError:
@@ -160,6 +227,8 @@ class Channel:
 
     def all_packet_ids(self) -> List[int]:
         """Every id ever issued — the adversary's replay arsenal."""
+        if self._flat_store is not None:
+            return list(self._flat_store.keys())
         return list(self._store.keys())
 
     def __repr__(self) -> str:

@@ -82,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-turn crash probability for each station")
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--max-steps", type=int, default=200_000)
+    sim.add_argument("--engine", choices=["object", "kernel"], default="object",
+                     help="execution engine: classic object loop or the "
+                          "flat step kernel (identical executions)")
 
     atk = sub.add_parser("attack", help="stage the Section 3 replay attack")
     atk.add_argument("--protocol", default="paper",
@@ -147,6 +150,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "forensic tail ring, or counters only")
     camp.add_argument("--tail-size", type=int, default=256,
                       help="ring-buffer size for --retain tail")
+    camp.add_argument("--engine", choices=["object", "kernel"],
+                      default="object",
+                      help="execution engine for every run (identical "
+                           "executions; kernel is several times faster)")
 
     shr = sub.add_parser("shrink", help="minimize a failing repro (seed + plan)")
     shr.add_argument("--fault-plan", required=True,
@@ -228,6 +235,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--threshold", type=float, default=0.25,
                        help="allowed relative drop in the gated ratios")
     bench.add_argument("--base-seed", type=int, default=0)
+    bench.add_argument("--only", choices=["all", "kernel"], default="all",
+                       help='"kernel" runs just the step-kernel speedup leg '
+                            "(the CI kernel-differential job)")
+    bench.add_argument("--profile", action="store_true",
+                       help="run under cProfile; dump pstats next to --out "
+                            "and print the top-25 cumulative table")
 
     return parser
 
@@ -249,6 +262,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         SequentialWorkload(args.messages),
         seed=args.seed,
         max_steps=args.max_steps,
+        engine=getattr(args, "engine", "object"),
     )
     result = simulator.run()
     report = check_all_safety(result.trace)
@@ -392,6 +406,7 @@ def _campaign_spec(args: argparse.Namespace, messages: int) -> RunSpec:
         tail_size=getattr(args, "tail_size", 256),
         stabilization=bool(corrupt_rate),
         stabilization_window=getattr(args, "corrupt_window", 8),
+        engine=getattr(args, "engine", "object"),
     )
 
 
@@ -568,41 +583,107 @@ def _cmd_live(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.perf.bench import check_regression, dump, load, run_bench
+def _profiled_call(fn, out_path):
+    """Run ``fn()`` under cProfile; dump pstats and print the hot table."""
+    import cProfile
+    import io
+    import pstats
 
-    payload = run_bench(quick=args.quick, base_seed=args.base_seed)
-    macro = payload["results"]["macro"]
-    print(render_table(
-        ["workload", "mode", "steps/sec", "events/sec", "checker overhead"],
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    profiler.dump_stats(out_path)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(25)
+    print(f"profile written to {out_path}")
+    print(buffer.getvalue())
+    return result
+
+
+def _render_kernel_table(kernel: dict) -> str:
+    return render_table(
+        ["workload", "object steps/sec", "kernel steps/sec", "speedup (median)"],
         [
-            [workload, mode,
-             f"{stats['steps_per_second']:,.0f}",
-             f"{stats['events_per_second']:,.0f}",
-             f"{stats['checker_overhead_ratio']:.1%}"]
-            for workload, modes in macro.items()
-            for mode, stats in modes.items()
+            [workload,
+             f"{stats['object_steps_per_second']:,.0f}",
+             f"{stats['kernel_steps_per_second']:,.0f}",
+             f"{stats['steps_speedup_median']:.2f}x"]
+            for workload, stats in kernel.items()
         ],
-        title="macro benchmark (Monte-Carlo campaign path)",
-    ))
-    print()
-    live = payload["results"]["live"]
-    print(render_table(
-        ["lanes", "messages/sec", "wall seconds", "reseq high-water"],
-        [
-            [stats["lanes"],
-             f"{stats['messages_per_second']:,.0f}",
-             f"{stats['wall_seconds']:.3f}",
-             stats["resequencer_high_water"]]
-            for __, stats in sorted(live.items(), key=lambda kv: kv[1]["lanes"])
-        ],
-        title="live benchmark (loopback UDP, lossless profile)",
-    ))
-    print()
+        title="kernel benchmark (step kernel vs object engine, paired runs)",
+    )
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.perf.bench import (
+        compare_payloads,
+        dump,
+        load,
+        run_bench,
+        run_kernel_bench,
+    )
+
+    if args.only == "kernel":
+        runner = lambda: run_kernel_bench(
+            quick=args.quick, base_seed=args.base_seed
+        )
+    else:
+        runner = lambda: run_bench(quick=args.quick, base_seed=args.base_seed)
+    if args.profile:
+        profile_path = (
+            os.path.join(
+                os.path.dirname(os.path.abspath(args.out)), "bench.pstats"
+            )
+            if args.out
+            else "bench.pstats"
+        )
+        payload = _profiled_call(runner, profile_path)
+    else:
+        payload = runner()
+    results = payload["results"]
+    if "macro" in results:
+        print(render_table(
+            ["workload", "mode", "steps/sec", "events/sec", "checker overhead"],
+            [
+                [workload, mode,
+                 f"{stats['steps_per_second']:,.0f}",
+                 f"{stats['events_per_second']:,.0f}",
+                 f"{stats['checker_overhead_ratio']:.1%}"]
+                for workload, modes in results["macro"].items()
+                for mode, stats in modes.items()
+            ],
+            title="macro benchmark (Monte-Carlo campaign path)",
+        ))
+        print()
+    if "live" in results:
+        live = results["live"]
+        print(render_table(
+            ["lanes", "messages/sec", "wall seconds", "reseq high-water"],
+            [
+                [stats["lanes"],
+                 f"{stats['messages_per_second']:,.0f}",
+                 f"{stats['wall_seconds']:.3f}",
+                 stats["resequencer_high_water"]]
+                for __, stats in sorted(
+                    live.items(), key=lambda kv: kv[1]["lanes"]
+                )
+            ],
+            title="live benchmark (loopback UDP, lossless profile)",
+        ))
+        print()
+    if "kernel" in results:
+        print(_render_kernel_table(results["kernel"]))
+        print()
     print(render_table(
         ["ratio", "value"],
         [[key, f"{value:.2f}"] for key, value in sorted(payload["ratios"].items())],
-        title="gated ratios (streaming_none vs legacy, same run)",
+        title="gated ratios (within-run engine comparisons)",
     ))
     if args.out:
         dump(payload, args.out)
@@ -614,12 +695,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"cannot read baseline {args.check!r}: {error.strerror}"
             )
-        failures = check_regression(payload, baseline, threshold=args.threshold)
+        failures, warnings = compare_payloads(
+            payload, baseline, threshold=args.threshold
+        )
+        for warning in warnings:
+            print(f"WARNING {warning}")
         if failures:
             for failure in failures:
                 print(f"REGRESSION {failure}")
             return 1
         print(f"regression gate passed (threshold {args.threshold:.0%})")
+    else:
+        # Absolute floors gate even without a baseline to compare against.
+        from repro.perf.bench import _floor_failures
+
+        failures = _floor_failures(payload)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}")
+            return 1
     return 0
 
 

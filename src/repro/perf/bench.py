@@ -50,14 +50,17 @@ numbers measured on the pre-streaming tree for the before/after story.
 from __future__ import annotations
 
 import dataclasses
+import gc
 import json
 import math
 import platform
+import statistics
 import sys
 import tracemalloc
 from time import perf_counter
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.adversary.benign import ReliableAdversary
 from repro.adversary.corruption import StateCorruptionAdversary
 from repro.adversary.random_faults import FaultProfile, RandomFaultAdversary
 from repro.checkers.liveness import check_liveness
@@ -73,17 +76,22 @@ from repro.core.events import (
     ReceiveMsg,
     SendMsg,
 )
+from repro.core.protocol import make_data_link
 from repro.core.random_source import split_seed
 from repro.sim.runner import RunSpec, run_once
 from repro.sim.simulator import Simulator
+from repro.sim.workload import SequentialWorkload
 
 __all__ = [
     "SEED_BASELINE",
     "SEED_COMPARISON",
     "MACRO_MODES",
     "run_bench",
+    "run_kernel_bench",
     "gate_ratios",
     "check_regression",
+    "compare_payloads",
+    "hosts_match",
 ]
 
 #: Absolute numbers measured on the pre-streaming tree (commit ec5718d,
@@ -147,7 +155,20 @@ _GATE_KEYS = (
     "campaign_dispatch_speedup",
     "live_lane_speedup",
     "stabilization_overhead",
+    "kernel_steps_speedup",
+    "kernel_steps_speedup_lossy",
 )
+
+#: Absolute floors, enforced whenever the key is present in the current
+#: run — independent of any baseline.  Unlike the baseline-relative
+#: checks these survive host mismatches: the step kernel must clear 5x
+#: over the object engine on the reliable campaign shape (3x on the
+#: lossy one) wherever the bench runs, or the kernel has lost the
+#: advantage that justifies maintaining two engines.
+_GATE_FLOORS = {
+    "kernel_steps_speedup": 5.0,
+    "kernel_steps_speedup_lossy": 3.0,
+}
 
 #: Per-key overrides of :func:`check_regression`'s default threshold.
 #: The live leg times real asyncio round trips on a shared host's
@@ -265,6 +286,96 @@ def _bench_memory_mode(spec: RunSpec, mode: str, base_seed: int) -> int:
     finally:
         tracemalloc.stop()
     return peak
+
+
+def _kernel_leg_run(engine: str, lossy: bool, messages: int, seed: int):
+    """One engine-throughput run: direct simulator, no checkers, no trace.
+
+    The kernel leg measures the *execution engines* against each other, so
+    both sides run the bare campaign configuration (``retain="none"``,
+    ``checks=None``) — the same observable outputs (metrics, verdict-free
+    counters, final station state), none of the shared recording overhead
+    that would dilute the ratio equally on both sides.
+    """
+    adversary = (
+        RandomFaultAdversary(FaultProfile(loss=0.2))
+        if lossy
+        else ReliableAdversary()
+    )
+    simulator = Simulator(
+        link=make_data_link(epsilon=2.0 ** -8, seed=split_seed(seed, "link")),
+        adversary=adversary,
+        workload=SequentialWorkload(messages),
+        seed=split_seed(seed, "adversary"),
+        max_steps=400_000,
+        retain="none",
+        checks=None,
+        engine=engine,
+    )
+    started = perf_counter()
+    result = simulator.run()
+    return perf_counter() - started, result.steps
+
+
+def _bench_kernel(
+    messages: int, pairs: int, base_seed: int
+) -> Dict[str, Dict[str, float]]:
+    """Step-kernel speedup over the object engine, paired run by run.
+
+    Every seed is executed back-to-back on both engines (object first,
+    kernel second) and contributes one wall-clock ratio; the recorded
+    speedup is the *median* of the per-pair ratios, which is robust to
+    the occasional run that a noisy host slows several-fold.  Collection
+    is paused around the timed pairs so a GC cycle cannot land inside
+    one engine's window but not the other's.  Both engines must execute
+    the identical number of steps per seed — a kernel that diverged from
+    the object engine would invalidate the comparison, so it raises.
+    """
+    stats: Dict[str, Dict[str, float]] = {}
+    for lossy in (False, True):
+        label = "lossy" if lossy else "reliable"
+        warm_seed = split_seed(base_seed, "bench-kernel-warmup", label)
+        _kernel_leg_run("object", lossy, messages, warm_seed)
+        _kernel_leg_run("kernel", lossy, messages, warm_seed)
+        ratios: List[float] = []
+        object_wall = 0.0
+        kernel_wall = 0.0
+        total_steps = 0
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for i in range(pairs):
+                seed = split_seed(base_seed, "bench-kernel", label, i)
+                wall_o, steps_o = _kernel_leg_run("object", lossy, messages, seed)
+                wall_k, steps_k = _kernel_leg_run("kernel", lossy, messages, seed)
+                if steps_o != steps_k:
+                    raise RuntimeError(
+                        f"kernel bench {label} pair {i}: engines diverged "
+                        f"({steps_o} vs {steps_k} steps)"
+                    )
+                object_wall += wall_o
+                kernel_wall += wall_k
+                total_steps += steps_k
+                ratios.append(wall_o / wall_k if wall_k > 0 else 0.0)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        stats[label] = {
+            "pairs": pairs,
+            "messages": messages,
+            "steps": total_steps,
+            "object_wall_seconds": object_wall,
+            "kernel_wall_seconds": kernel_wall,
+            "object_steps_per_second": (
+                total_steps / object_wall if object_wall > 0 else 0.0
+            ),
+            "kernel_steps_per_second": (
+                total_steps / kernel_wall if kernel_wall > 0 else 0.0
+            ),
+            "pair_ratios": [round(r, 3) for r in ratios],
+            "steps_speedup_median": statistics.median(ratios),
+        }
+    return stats
 
 
 #: Wall-clock repetitions per campaign dispatch mode; best-of is recorded.
@@ -528,17 +639,18 @@ def _bench_streaming_checks(events: List[Event]) -> Dict[str, float]:
 
 def gate_ratios(results: dict) -> Dict[str, float]:
     """The machine-independent ratios the regression gate compares."""
-    macro = results["macro"]
-    memory = results["memory"]
+    macro = results.get("macro") or {}
+    memory = results.get("memory") or {}
     ratios: Dict[str, float] = {}
     for workload in ("reliable", "lossy"):
-        legacy = macro[workload]["legacy"]
-        fast = macro[workload]["streaming_none"]
-        if legacy["steps_per_second"] > 0:
-            ratios[f"steps_speedup_{workload}"] = (
-                fast["steps_per_second"] / legacy["steps_per_second"]
-            )
-        if memory[workload]["streaming_none"] > 0:
+        if workload in macro:
+            legacy = macro[workload]["legacy"]
+            fast = macro[workload]["streaming_none"]
+            if legacy["steps_per_second"] > 0:
+                ratios[f"steps_speedup_{workload}"] = (
+                    fast["steps_per_second"] / legacy["steps_per_second"]
+                )
+        if workload in memory and memory[workload]["streaming_none"] > 0:
             ratios[f"memory_reduction_{workload}"] = (
                 memory[workload]["legacy"] / memory[workload]["streaming_none"]
             )
@@ -560,6 +672,14 @@ def gate_ratios(results: dict) -> Dict[str, float]:
             stabilization["monitored"]["steps_per_second"]
             / stabilization["plain"]["steps_per_second"]
         )
+    kernel = results.get("kernel")
+    if kernel:
+        ratios["kernel_steps_speedup"] = kernel["reliable"][
+            "steps_speedup_median"
+        ]
+        ratios["kernel_steps_speedup_lossy"] = kernel["lossy"][
+            "steps_speedup_median"
+        ]
     return ratios
 
 
@@ -577,8 +697,10 @@ def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
     campaign_runs = 1024
     if quick:
         messages, runs, micro_events, live_messages = 60, 4, 40_000, 40
+        kernel_messages, kernel_pairs = 800, 5
     else:
         messages, runs, micro_events, live_messages = 200, 12, 200_000, 80
+        kernel_messages, kernel_pairs = 2000, 8
     memory_messages = messages * 2
     specs = {
         "reliable": _reliable_spec(messages),
@@ -604,6 +726,7 @@ def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
     campaign = _bench_campaign(campaign_runs, base_seed)
     live = _bench_live(live_messages, base_seed)
     stabilization = _bench_stabilization(messages, runs, base_seed)
+    kernel = _bench_kernel(kernel_messages, kernel_pairs, base_seed)
     results = {
         "macro": macro,
         "memory": memory,
@@ -611,6 +734,7 @@ def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
         "campaign": campaign,
         "live": live,
         "stabilization": stabilization,
+        "kernel": kernel,
     }
     return {
         "schema": 1,
@@ -622,6 +746,8 @@ def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
             "micro_events": micro_events,
             "campaign_runs": campaign_runs,
             "live_messages": live_messages,
+            "kernel_messages": kernel_messages,
+            "kernel_pairs": kernel_pairs,
             "base_seed": base_seed,
         },
         "host": {
@@ -635,21 +761,40 @@ def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
     }
 
 
-def check_regression(
-    current: dict, baseline: dict, threshold: float = 0.25
-) -> List[str]:
-    """Compare gated ratios against a baseline payload.
+def run_kernel_bench(quick: bool = False, base_seed: int = 0) -> dict:
+    """Run only the step-kernel speedup leg (the CI kernel-differential job).
 
-    Returns a list of human-readable failures; empty means the gate
-    passes.  A ratio regresses when it falls more than ``threshold``
-    below the baseline's value; keys in :data:`_GATE_THRESHOLDS` use
-    their own (wider) tolerance — but never a tighter one than the
-    caller asked for.  Ratios absent from the baseline are skipped
-    (forward compatibility), ratios absent from the current run are
-    failures.
+    Returns a reduced payload with the same shape as :func:`run_bench`
+    (``results``/``ratios``/``host``), so :func:`check_regression` and
+    the absolute floors apply unchanged.
     """
-    if not 0.0 < threshold < 1.0:
-        raise ValueError("threshold must be in (0, 1)")
+    if quick:
+        kernel_messages, kernel_pairs = 800, 5
+    else:
+        kernel_messages, kernel_pairs = 2000, 8
+    kernel = _bench_kernel(kernel_messages, kernel_pairs, base_seed)
+    results = {"kernel": kernel}
+    return {
+        "schema": 1,
+        "quick": quick,
+        "config": {
+            "kernel_messages": kernel_messages,
+            "kernel_pairs": kernel_pairs,
+            "base_seed": base_seed,
+        },
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "results": results,
+        "ratios": gate_ratios(results),
+    }
+
+
+def _relative_failures(
+    current: dict, baseline: dict, threshold: float
+) -> List[str]:
+    """Baseline-relative shortfalls: ratios that dropped past threshold."""
     failures: List[str] = []
     baseline_ratios = baseline.get("ratios", {})
     current_ratios = current.get("ratios", {})
@@ -669,6 +814,81 @@ def check_regression(
                 f"(baseline {expected:.2f}, threshold {key_threshold:.0%})"
             )
     return failures
+
+
+def _floor_failures(current: dict) -> List[str]:
+    """Absolute-floor shortfalls, baseline-independent (see _GATE_FLOORS)."""
+    failures: List[str] = []
+    current_ratios = current.get("ratios", {})
+    for key, floor in _GATE_FLOORS.items():
+        actual = current_ratios.get(key)
+        if actual is not None and actual < floor:
+            failures.append(
+                f"{key}: {actual:.2f} fell below absolute floor {floor:.2f}"
+            )
+    return failures
+
+
+def hosts_match(current: dict, baseline: dict) -> bool:
+    """Whether two payloads were measured on the same platform.
+
+    Gated ratios are engine-vs-engine comparisons within one host, but
+    they still shift between CPU generations and interpreter builds; a
+    baseline recorded elsewhere bounds a different machine's behavior.
+    """
+    return current.get("host") == baseline.get("host")
+
+
+def check_regression(
+    current: dict, baseline: dict, threshold: float = 0.25
+) -> List[str]:
+    """Compare gated ratios against a baseline payload.
+
+    Returns a list of human-readable failures; empty means the gate
+    passes.  A ratio regresses when it falls more than ``threshold``
+    below the baseline's value; keys in :data:`_GATE_THRESHOLDS` use
+    their own (wider) tolerance — but never a tighter one than the
+    caller asked for.  Ratios absent from the baseline are skipped
+    (forward compatibility), ratios absent from the current run are
+    failures.  Ratios listed in :data:`_GATE_FLOORS` must additionally
+    clear their absolute floor whenever the current run measured them.
+
+    Host identity is deliberately ignored here — use
+    :func:`compare_payloads` for the mismatch-aware verdict.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    return _relative_failures(current, baseline, threshold) + _floor_failures(
+        current
+    )
+
+
+def compare_payloads(
+    current: dict, baseline: dict, threshold: float = 0.25
+) -> Tuple[List[str], List[str]]:
+    """Host-aware regression verdict: ``(failures, warnings)``.
+
+    On the baseline's own host this is :func:`check_regression` with an
+    empty warning list.  When the hosts differ, the baseline-relative
+    comparisons are demoted to *warnings* — a ratio recorded on another
+    machine is advisory there, not a gate — while the absolute floors of
+    :data:`_GATE_FLOORS` keep failing hard: the kernel's required margin
+    over the object engine is a property of the code, not of the host
+    that recorded the baseline.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    relative = _relative_failures(current, baseline, threshold)
+    floors = _floor_failures(current)
+    if hosts_match(current, baseline):
+        return relative + floors, []
+    warnings = [
+        "baseline was recorded on a different host "
+        f"({baseline.get('host')} vs {current.get('host')}); "
+        "baseline-relative ratio checks are advisory here"
+    ]
+    warnings.extend(relative)
+    return floors, warnings
 
 
 def dump(payload: dict, path: str) -> None:

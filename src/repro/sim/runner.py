@@ -70,6 +70,9 @@ class RunSpec:
     # accounting is suspended during corruption probation windows.
     stabilization: bool = False
     stabilization_window: int = 8
+    # Execution engine: "object" (classic loop) or "kernel" (flat
+    # slot-indexed step kernel; identical executions, several times faster).
+    engine: str = "object"
 
     @classmethod
     def default(
@@ -177,6 +180,7 @@ class RunSession:
                     retain=spec.retain,
                     tail_size=spec.tail_size,
                     checks=checks,
+                    engine=spec.engine,
                 )
             else:
                 checks = self._checks

@@ -142,6 +142,14 @@ class Simulator:
     keep_storage_samples:
         Forwarded to :class:`MetricsCollector`; default keeps the series
         only under ``retain="full"``.
+    engine:
+        ``"object"`` runs the classic per-object loop below; ``"kernel"``
+        runs the flat slot-indexed step kernel (:mod:`repro.kernel`),
+        which produces the identical execution — same trace events, same
+        RNG draws, same verdicts — several times faster.  The kernel
+        borrows the stations'/channels'/adversary's state for the run and
+        syncs it back afterwards, so everything observable through this
+        class behaves the same either way.
     """
 
     def __init__(
@@ -159,17 +167,23 @@ class Simulator:
         checks: Optional[StreamingChecks] = None,
         storage_sample_every: Optional[int] = None,
         keep_storage_samples: Optional[bool] = None,
+        engine: str = "object",
     ) -> None:
         if retry_every < 1:
             raise ValueError("retry_every must be >= 1")
         if max_steps < 1:
             raise ValueError("max_steps must be >= 1")
+        if engine not in ("object", "kernel"):
+            raise ValueError(
+                f"engine must be 'object' or 'kernel', got {engine!r}"
+            )
         if storage_sample_every is None:
             storage_sample_every = 1 if retain == "full" else 16
         if storage_sample_every < 0:
             raise ValueError("storage_sample_every must be >= 0")
         if keep_storage_samples is None:
             keep_storage_samples = retain == "full"
+        self._engine = engine
         self._retry_every = retry_every
         self._max_steps = max_steps
         self._storage_sample_every = storage_sample_every
@@ -292,6 +306,14 @@ class Simulator:
         this is the engine's hottest couple of lines; keep the two in sync.
         :meth:`step` remains the single-step API.
         """
+        if self._engine == "kernel":
+            from repro.kernel.engine import run_kernel
+
+            return run_kernel(self)
+        # A prior kernel run on this simulator may have parked flat packet
+        # tuples on the channels; the object loop works on packet objects.
+        self._channels.t_to_r._materialize()
+        self._channels.r_to_t._materialize()
         submit = self._maybe_submit_message
         fire_retry = self._fire_retry
         adversary = self._adversary

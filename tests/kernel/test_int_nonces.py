@@ -1,0 +1,151 @@
+"""Properties of the kernel's int-coded nonce representation.
+
+The step kernel (src/repro/kernel/engine.py) carries every nonce as a
+``(value, length)`` pair of plain ints instead of a :class:`BitString`
+object, and re-implements the Figure 3 prefix algebra as shift/compare
+expressions on those pairs.  These tests pin the correspondence: the int
+coding must be a lossless round-trip of the object representation, and
+every inline int formula the kernel uses (prefix test, concatenation,
+suffix extraction) must agree with the BitString method it replaces —
+including the awkward corners (leading-zero nonces, empty strings, and
+values far longer than any protocol run produces).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitstrings import BitString
+
+
+@st.composite
+def int_nonces(draw, max_bits: int = 256):
+    """A (value, length) pair as the kernel codes nonces."""
+    length = draw(st.integers(min_value=0, max_value=max_bits))
+    value = draw(st.integers(min_value=0, max_value=(1 << length) - 1)) if length else 0
+    return value, length
+
+
+@st.composite
+def huge_nonces(draw):
+    """4096-bit pairs — far beyond any adaptive-extension run."""
+    length = draw(st.integers(min_value=3500, max_value=4096))
+    value = draw(st.integers(min_value=0, max_value=(1 << length) - 1))
+    return value, length
+
+
+# -- round-trip: (value, length) <-> BitString -----------------------------------
+
+
+@given(int_nonces())
+def test_pair_to_bitstring_round_trip(pair):
+    value, length = pair
+    bs = BitString.from_int(value, length)
+    assert (bs.value, len(bs)) == (value, length)
+    # The kernel's unchecked constructor builds the identical object.
+    assert BitString._trusted(value, length) == bs
+
+
+@given(st.text(alphabet="01", max_size=200))
+def test_bitstring_to_pair_round_trip(bits):
+    bs = BitString(bits)
+    assert BitString.from_int(bs.value, len(bs)).to01() == bits
+
+
+@given(int_nonces())
+def test_length_tag_disambiguates_leading_zeros(pair):
+    value, length = pair
+    padded = BitString.from_int(value, length + 3)
+    plain = BitString.from_int(value, length)
+    # Same value, different length tag: distinct strings, never equal.
+    assert padded != plain
+    assert padded.to01() == "000" + plain.to01()
+
+
+def test_all_zero_nonce_keeps_its_length():
+    # value.bit_length() == 0 but the nonce is 64 bits of zeros, not empty.
+    bs = BitString.from_int(0, 64)
+    assert len(bs) == 64
+    assert bs.value == 0
+    assert bs.to01() == "0" * 64
+
+
+@settings(max_examples=10)
+@given(huge_nonces())
+def test_round_trip_survives_4096_bit_values(pair):
+    value, length = pair
+    bs = BitString.from_int(value, length)
+    assert (bs.value, len(bs)) == (value, length)
+    assert len(bs.to01()) == length
+
+
+# -- the kernel's inline prefix test ---------------------------------------------
+
+
+def kernel_is_prefix(v1, l1, v2, l2):
+    """The exact int formula the step kernel inlines for Figure 3 prefix."""
+    return l1 <= l2 and (v2 >> (l2 - l1)) == v1
+
+
+@given(int_nonces(), int_nonces())
+def test_prefix_formula_matches_bitstring_on_random_pairs(a, b):
+    (v1, l1), (v2, l2) = a, b
+    expected = BitString.from_int(v1, l1).is_prefix_of(BitString.from_int(v2, l2))
+    assert kernel_is_prefix(v1, l1, v2, l2) == expected
+
+
+@given(int_nonces(), st.data())
+def test_prefix_formula_accepts_actual_prefixes(pair, data):
+    value, length = pair
+    cut = data.draw(st.integers(min_value=0, max_value=length))
+    prefix = BitString.from_int(value, length).prefix(cut)
+    assert kernel_is_prefix(prefix.value, len(prefix), value, length)
+
+
+@given(int_nonces())
+def test_prefix_formula_is_reflexive_and_accepts_empty(pair):
+    value, length = pair
+    assert kernel_is_prefix(value, length, value, length)
+    assert kernel_is_prefix(0, 0, value, length)
+
+
+@settings(max_examples=10)
+@given(huge_nonces(), st.data())
+def test_prefix_formula_at_4096_bits(pair, data):
+    value, length = pair
+    cut = data.draw(st.integers(min_value=0, max_value=length))
+    pv, pl = value >> (length - cut), cut
+    assert kernel_is_prefix(pv, pl, value, length)
+    assert BitString._trusted(pv, pl).is_prefix_of(BitString._trusted(value, length))
+
+
+@given(int_nonces(), int_nonces())
+def test_comparability_formula_matches_bitstring(a, b):
+    (v1, l1), (v2, l2) = a, b
+    expected = BitString.from_int(v1, l1).is_comparable_with(
+        BitString.from_int(v2, l2)
+    )
+    got = kernel_is_prefix(v1, l1, v2, l2) or kernel_is_prefix(v2, l2, v1, l1)
+    assert got == expected
+
+
+# -- concatenation and suffix (adaptive nonce extension) -------------------------
+
+
+@given(int_nonces(), int_nonces())
+def test_concat_formula_matches_bitstring(a, b):
+    (v1, l1), (v2, l2) = a, b
+    cv, cl = (v1 << l2) | v2, l1 + l2
+    assert BitString.from_int(v1, l1).concat(BitString.from_int(v2, l2)) == (
+        BitString.from_int(cv, cl)
+    )
+    # Extension preserves the prefix relation the protocol relies on.
+    assert kernel_is_prefix(v1, l1, cv, cl)
+
+
+@given(int_nonces(), st.data())
+def test_suffix_mask_matches_bitstring(pair, data):
+    value, length = pair
+    cut = data.draw(st.integers(min_value=0, max_value=length))
+    sv = value & ((1 << cut) - 1)
+    assert BitString.from_int(value, length).suffix(cut) == BitString.from_int(sv, cut)

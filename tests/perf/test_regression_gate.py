@@ -16,8 +16,10 @@ from repro.perf.bench import (
     SEED_BASELINE,
     SEED_COMPARISON,
     check_regression,
+    compare_payloads,
     dump,
     gate_ratios,
+    hosts_match,
     load,
 )
 
@@ -118,6 +120,68 @@ def test_check_regression_threshold_validation():
             check_regression(full_ratios(1.0), full_ratios(1.0), threshold=bad)
 
 
+def test_absolute_floor_fails_even_with_matching_baseline():
+    # kernel_steps_speedup carries a machine-independent floor of 5.0: a
+    # baseline recorded at the same low value cannot launder it through
+    # the relative check.
+    low = payload_with_ratios(kernel_steps_speedup=4.0)
+    failures = check_regression(low, low)
+    assert len(failures) == 1
+    assert "absolute floor" in failures[0]
+
+
+def test_absolute_floor_passes_at_or_above():
+    ok = payload_with_ratios(
+        kernel_steps_speedup=5.0, kernel_steps_speedup_lossy=3.0
+    )
+    assert check_regression(ok, ok) == []
+
+
+def test_floor_not_enforced_when_key_absent():
+    # Pre-kernel payloads (no kernel keys at all) still gate cleanly.
+    assert check_regression(full_ratios(1.4), full_ratios(1.4)) == []
+
+
+def hosted(payload: dict, python: str = "3.12", platform: str = "linux") -> dict:
+    return {**payload, "host": {"python": python, "platform": platform}}
+
+
+def test_hosts_match_compares_recorded_hosts():
+    assert hosts_match(hosted({}), hosted({}))
+    assert not hosts_match(hosted({}), hosted({}, platform="darwin"))
+    # A payload predating host recording never matches: relative checks
+    # must not pretend the hosts are known-identical.
+    assert not hosts_match(hosted({}), {})
+
+
+def test_compare_payloads_same_host_keeps_failures():
+    baseline = hosted(full_ratios(1.4))
+    failures, warnings = compare_payloads(hosted(full_ratios(1.0)), baseline)
+    assert len(failures) == 4
+    assert warnings == []
+
+
+def test_compare_payloads_cross_host_demotes_relative_to_warnings():
+    baseline = hosted(full_ratios(1.4))
+    current = hosted(full_ratios(1.0), platform="darwin")
+    failures, warnings = compare_payloads(current, baseline)
+    assert failures == []
+    # The demoted shortfalls plus one explanatory preamble.
+    assert len(warnings) == 5
+    assert "host" in warnings[0]
+
+
+def test_compare_payloads_cross_host_keeps_absolute_floors():
+    baseline = hosted(payload_with_ratios(kernel_steps_speedup=6.0))
+    current = hosted(
+        payload_with_ratios(kernel_steps_speedup=4.0), platform="darwin"
+    )
+    failures, warnings = compare_payloads(current, baseline)
+    assert len(failures) == 1
+    assert "absolute floor" in failures[0]
+    assert warnings  # the relative shortfall still surfaces as a warning
+
+
 def test_dump_load_round_trip(tmp_path):
     payload = full_ratios(1.23)
     path = tmp_path / "bench.json"
@@ -136,11 +200,20 @@ def test_committed_bench_core_passes_its_own_gate():
         "memory_reduction_reliable",
         "memory_reduction_lossy",
         "campaign_dispatch_speedup",
+        "kernel_steps_speedup",
+        "kernel_steps_speedup_lossy",
     ):
         assert baseline["ratios"][key] > 1.0
     # The headline claim of the batched campaign engine: sharded dispatch
     # clears 3x over per-run dispatch on the recorded lossy campaign.
     assert baseline["ratios"]["campaign_dispatch_speedup"] >= 3.0
+    # The step kernel's headline: the committed numbers clear the same
+    # absolute floors CI enforces, with the lossy leg above 3x.
+    assert baseline["ratios"]["kernel_steps_speedup"] >= 5.0
+    assert baseline["ratios"]["kernel_steps_speedup_lossy"] >= 3.0
+    # The baseline records its host so cross-host checks can demote
+    # baseline-relative failures to warnings.
+    assert set(baseline["host"]) == {"python", "platform"}
 
 
 def test_seed_comparison_backs_the_two_x_claim():
@@ -172,9 +245,12 @@ def test_bench_cli_parser_accepts_the_documented_flags():
     parser = build_parser()
     args = parser.parse_args(
         ["bench", "--quick", "--out", "x.json", "--check", "y.json",
-         "--threshold", "0.3", "--base-seed", "7"]
+         "--threshold", "0.3", "--base-seed", "7", "--only", "kernel",
+         "--profile"]
     )
     assert args.command == "bench"
     assert args.quick and args.out == "x.json" and args.check == "y.json"
     assert args.threshold == pytest.approx(0.3)
     assert args.base_seed == 7
+    assert args.only == "kernel"
+    assert args.profile
