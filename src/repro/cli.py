@@ -220,6 +220,17 @@ def build_parser() -> argparse.ArgumentParser:
                            "probation window")
     live.add_argument("--restart-delay", type=float, default=0.02,
                       help="how long a crashed station stays down")
+    live.add_argument("--wire", choices=("batched", "classic"),
+                      default="batched",
+                      help="datagram layer: batched drain/flush "
+                           "(recvmmsg/sendmmsg where available) or the "
+                           "classic per-datagram asyncio transports; "
+                           "verdicts are identical either way")
+    live.add_argument("--loop", choices=("asyncio", "uvloop", "auto"),
+                      default="asyncio",
+                      help="event loop backend; uvloop falls back to "
+                           "asyncio when not installed (auto: use uvloop "
+                           "if available)")
     live.add_argument("--label", default="", help="row label for the report")
 
     bench = sub.add_parser(
@@ -569,11 +580,12 @@ def _cmd_live(args: argparse.Namespace) -> int:
             restart_delay=args.restart_delay,
             lanes=args.lanes,
             stabilization_window=args.corrupt_window,
+            wire=args.wire,
             label=args.label,
         )
     except ValueError as error:
         raise SystemExit(str(error))
-    report = run_live_scenario(scenario)
+    report = run_live_scenario(scenario, loop=args.loop)
     print(report.render())
     if report.forensic_tail:
         print()
@@ -675,6 +687,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 )
             ],
             title="live benchmark (loopback UDP, lossless profile)",
+        ))
+        print()
+    if "live_wire" in results:
+        live_wire = results["live_wire"]
+        print(render_table(
+            ["wire", "messages/sec", "wall seconds"],
+            [
+                [wire + (" (mmsg)" if stats.get("mmsg") else ""),
+                 f"{stats['messages_per_second']:,.0f}",
+                 f"{stats['wall_seconds']:.3f}"]
+                for wire, stats in live_wire.items()
+            ],
+            title="live wire benchmark (isolated loopback pump, 8 lanes)",
         ))
         print()
     if "kernel" in results:

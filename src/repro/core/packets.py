@@ -16,6 +16,17 @@ lengths.  We therefore give every packet a canonical wire encoding;
 adversary.  Encoding/decoding round-trips exactly, which the property tests
 verify, so simulations may pass packet objects by reference without losing
 fidelity.
+
+**Zero-copy discipline.**  The live wire (docs/PROTOCOL.md §15) drains
+batches of datagrams into reusable buffers, so every reader here accepts a
+``memoryview`` as well as ``bytes`` and never materializes intermediate
+slices: :func:`peek_wire_info` reads only the identifier octets,
+:func:`decode_packet` unpacks straight out of the caller's buffer (the one
+unavoidable copy is the message payload, which outlives the buffer), and
+the ``*_into`` encoders serialize into a caller-supplied ``bytearray`` with
+lane/session prefixes written in place of a concatenation.  A view handed
+to these functions is only valid for the duration of the call — the live
+drain loop reuses its buffers on the next wakeup.
 """
 
 from __future__ import annotations
@@ -23,7 +34,7 @@ from __future__ import annotations
 import struct
 import sys
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import NamedTuple, Optional, Union
 
 from repro.core.bitstrings import BitString
 from repro.core.exceptions import CodecError
@@ -37,6 +48,8 @@ __all__ = [
     "WireInfo",
     "MAX_LANES",
     "encode_packet",
+    "encode_packet_into",
+    "packet_wire_bytes",
     "decode_packet",
     "encode_lane_frame",
     "decode_lane_frame",
@@ -45,6 +58,11 @@ __all__ = [
     "make_data_packet",
     "make_poll_packet",
 ]
+
+#: Anything the codec can read without copying: the classic wire hands the
+#: endpoints ``bytes``, the batched wire hands them ``memoryview`` slices
+#: of pooled receive buffers.
+ReadableBuffer = Union[bytes, bytearray, memoryview]
 
 # Packets are allocated once per send_pkt; slot them where the runtime allows.
 _SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
@@ -74,7 +92,24 @@ def _bitstring_wire_bytes(bits: BitString) -> int:
     return 4 + (len(bits) + 7) // 8
 
 
-def _decode_bitstring(data: bytes, offset: int) -> "tuple[BitString, int]":
+def _encode_bitstring_into(buf: bytearray, offset: int, bits: BitString) -> int:
+    """Write :func:`_encode_bitstring`'s output at ``buf[offset:]``.
+
+    Returns the new offset.  The caller guarantees capacity (see
+    :func:`packet_wire_bytes`); ``struct.pack_into`` raises on a short
+    buffer rather than silently extending it the way slice assignment on a
+    ``bytearray`` would.
+    """
+    n = len(bits)
+    nbytes = (n + 7) // 8
+    value = bits.value << (nbytes * 8 - n) if n else 0
+    struct.pack_into(">I", buf, offset, n)
+    offset += 4
+    buf[offset : offset + nbytes] = value.to_bytes(nbytes, "big")
+    return offset + nbytes
+
+
+def _decode_bitstring(data: ReadableBuffer, offset: int) -> "tuple[BitString, int]":
     if offset + 4 > len(data):
         raise CodecError("truncated bit-string length")
     (n,) = struct.unpack_from(">I", data, offset)
@@ -195,8 +230,49 @@ def encode_packet(packet: Packet) -> bytes:
     raise CodecError(f"not a protocol packet: {type(packet).__name__}")
 
 
-@dataclass(frozen=True, **_SLOTS)
-class WireInfo:
+def packet_wire_bytes(packet: Packet) -> int:
+    """Byte length of ``encode_packet(packet)``, without encoding.
+
+    The batched wire sizes its pooled send buffers with this before calling
+    :func:`encode_packet_into`; it is ``wire_length_bits // 8`` but named
+    separately because callers here want a buffer size, not an
+    adversary-visible length.
+    """
+    if isinstance(packet, (DataPacket, PollPacket)):
+        return packet.wire_length_bits // 8
+    raise CodecError(f"not a protocol packet: {type(packet).__name__}")
+
+
+def encode_packet_into(buf: bytearray, offset: int, packet: Packet) -> int:
+    """Serialise ``packet`` into ``buf`` at ``offset``; return the end offset.
+
+    Byte-identical to ``buf[offset:] = encode_packet(packet)`` but without
+    the intermediate ``bytes`` objects: fields are packed straight into the
+    caller's (pooled, reusable) buffer.  A lane or session prefix is the
+    caller's slice-prefix write before ``offset`` — never a concatenation.
+    The caller guarantees ``len(buf) >= offset + packet_wire_bytes(packet)``.
+    """
+    if isinstance(packet, DataPacket):
+        buf[offset] = _KIND_DATA
+        offset += 1
+        message = packet.message
+        struct.pack_into(">I", buf, offset, len(message))
+        offset += 4
+        end = offset + len(message)
+        buf[offset:end] = message
+        offset = _encode_bitstring_into(buf, end, packet.rho)
+        return _encode_bitstring_into(buf, offset, packet.tau)
+    if isinstance(packet, PollPacket):
+        buf[offset] = _KIND_POLL
+        offset += 1
+        offset = _encode_bitstring_into(buf, offset, packet.rho)
+        offset = _encode_bitstring_into(buf, offset, packet.tau)
+        struct.pack_into(">Q", buf, offset, packet.retry)
+        return offset + 8
+    raise CodecError(f"not a protocol packet: {type(packet).__name__}")
+
+
+class WireInfo(NamedTuple):
     """What the adversary may learn from one wire datagram (Section 2.3).
 
     The model restricts adversary visibility to packet *identifiers* and
@@ -206,6 +282,9 @@ class WireInfo:
     length.  ``lane`` is the lane id of a multi-lane frame (``None`` for
     the classic unlaned wire) — structural framing, like the identifier,
     not content.  Nothing here requires (or performs) a content decode.
+
+    A named tuple rather than a dataclass: the proxy constructs one per
+    forwarded datagram, squarely on the wire hot path.
     """
 
     kind_byte: int
@@ -217,7 +296,7 @@ class WireInfo:
 _KIND_NAMES = {_KIND_DATA: "data", _KIND_POLL: "poll"}
 
 
-def peek_wire_info(data: bytes) -> WireInfo:
+def peek_wire_info(data: ReadableBuffer) -> WireInfo:
     """Identifier/length-only view of an encoded packet.
 
     This is the *maximum* the channel adversary is allowed to observe:
@@ -225,23 +304,31 @@ def peek_wire_info(data: bytes) -> WireInfo:
     datagram length.  Raises :class:`CodecError` on an empty datagram or
     an unknown kind byte so that in-path components can reject foreign
     traffic without ever looking at payloads.
+
+    Accepts ``bytes`` or a ``memoryview`` into a pooled receive buffer and
+    copies nothing either way: only the first one or two octets are indexed
+    (indexing yields an ``int``, never a slice) plus ``len``.
     """
-    if not data:
+    size = len(data)
+    if not size:
         raise CodecError("empty packet")
     first = data[0]
+    # Lane bytes sit below MAX_LANES (< 0x80) and kind octets above it, so
+    # one comparison routes the frame; the laned branch comes first — it is
+    # the live stack's hot path (every multi-lane datagram lands here).
+    if first < MAX_LANES:
+        if size >= 2:
+            second = data[1]
+            kind = _KIND_NAMES.get(second)
+            if kind is not None:
+                return WireInfo(second, kind, size * 8, first)
+            raise CodecError(
+                f"unknown packet kind byte 0x{second:02x} on lane {first}"
+            )
+        raise CodecError(f"unknown packet kind byte 0x{first:02x}")
     kind = _KIND_NAMES.get(first)
     if kind is not None:
-        return WireInfo(kind_byte=first, kind=kind, length_bits=len(data) * 8)
-    if first < MAX_LANES and len(data) >= 2:
-        kind = _KIND_NAMES.get(data[1])
-        if kind is not None:
-            return WireInfo(
-                kind_byte=data[1], kind=kind, length_bits=len(data) * 8,
-                lane=first,
-            )
-        raise CodecError(
-            f"unknown packet kind byte 0x{data[1]:02x} on lane {first}"
-        )
+        return WireInfo(first, kind, size * 8)
     raise CodecError(f"unknown packet kind byte 0x{first:02x}")
 
 
@@ -314,13 +401,35 @@ class PollEncoder:
             )
         return self._cached + _RETRY_STRUCT.pack(packet.retry)
 
+    def encode_into(self, buf: bytearray, offset: int, packet: PollPacket) -> int:
+        """Write :meth:`encode`'s output at ``buf[offset:]``; return end offset.
 
-def decode_packet(data: bytes) -> Packet:
+        Same cached-prefix fast path, but the prefix lands in the caller's
+        pooled buffer as one slice write and the counter is packed in place
+        — no per-poll ``bytes`` allocation on the batched wire.
+        """
+        rho, tau = packet.rho, packet.tau
+        if rho is not self._rho or tau is not self._tau:
+            self.encode(packet)  # refresh self._cached
+        cached = self._cached
+        end = offset + len(cached)
+        buf[offset:end] = cached
+        _RETRY_STRUCT.pack_into(buf, end, packet.retry)
+        return end + 8
+
+
+def decode_packet(data: ReadableBuffer) -> Packet:
     """Parse a packet from its canonical wire format.
 
     Raises :class:`CodecError` on any malformed input — the channel never
     corrupts packets (causality axiom), so a decode failure indicates a bug,
     not a tolerated fault.
+
+    ``data`` may be a ``memoryview`` into a reusable receive buffer; the
+    bit-string fields are unpacked straight out of it (``int.from_bytes``
+    and ``unpack_from`` read any buffer), and only a data packet's message
+    payload — which outlives the buffer — is materialized to ``bytes``.
+    The view must stay valid for the duration of this call only.
     """
     if not data:
         raise CodecError("empty packet")
@@ -333,6 +442,8 @@ def decode_packet(data: bytes) -> Packet:
         if offset + mlen > len(data):
             raise CodecError("truncated message body")
         message = data[offset : offset + mlen]
+        if type(message) is not bytes:
+            message = bytes(message)
         offset += mlen
         rho, offset = _decode_bitstring(data, offset)
         tau, offset = _decode_bitstring(data, offset)

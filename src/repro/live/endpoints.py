@@ -61,11 +61,14 @@ from repro.core.packets import (
     PollPacket,
     decode_packet,
     encode_packet,
+    encode_packet_into,
+    packet_wire_bytes,
 )
 from repro.core.random_source import RandomSource
 from repro.core.receiver import Receiver
 from repro.core.transmitter import Transmitter
 from repro.live.backoff import AdaptiveBackoff
+from repro.live.wire import BatchedDatagramIO, BufferPool
 
 __all__ = ["TransmitterEndpoint", "ReceiverEndpoint"]
 
@@ -95,13 +98,28 @@ class _SocketBase:
     teardown must leave nothing pending on the caller's loop.
     """
 
-    def __init__(self, proxy_addr: Address) -> None:
+    def __init__(
+        self,
+        proxy_addr: Address,
+        wire: str = "classic",
+        pool: Optional[BufferPool] = None,
+    ) -> None:
+        if wire not in ("classic", "batched"):
+            raise ValueError(f"unknown wire mode {wire!r}")
         self.proxy_addr = proxy_addr
+        self.wire = wire
         self._protocol = _StationProtocol(self)
+        self._batched: Optional[BatchedDatagramIO] = None
+        self._pool = pool
         self._timers: Set[asyncio.TimerHandle] = set()
         self._closed = False
 
     async def start(self) -> None:
+        if self.wire == "batched":
+            self._batched = BatchedDatagramIO(self._on_datagram,
+                                              pool=self._pool)
+            await self._batched.open()
+            return
         loop = asyncio.get_running_loop()
         await loop.create_datagram_endpoint(
             lambda: self._protocol, local_addr=("127.0.0.1", 0)
@@ -109,7 +127,14 @@ class _SocketBase:
 
     @property
     def local_address(self) -> Address:
+        if self._batched is not None:
+            return self._batched.local_address
         return self._protocol.transport.get_extra_info("sockname")
+
+    @property
+    def wire_ios(self) -> "List[BatchedDatagramIO]":
+        """The batched sockets behind this endpoint ([] on a classic wire)."""
+        return [self._batched] if self._batched is not None else []
 
     @property
     def pending_timer_count(self) -> int:
@@ -119,6 +144,8 @@ class _SocketBase:
     def close(self) -> None:
         self._closed = True
         self._cancel_timers()
+        if self._batched is not None:
+            self._batched.close()
         if self._protocol.transport is not None:
             self._protocol.transport.close()
 
@@ -147,11 +174,46 @@ class _SocketBase:
         self._timers.clear()
 
     def _sendto(self, data: bytes) -> None:
+        if self._closed:
+            return
+        if self._batched is not None:
+            self._batched.send(data, self.proxy_addr)
+            return
         transport = self._protocol.transport
-        if transport is not None and not self._closed:
+        if transport is not None:
             transport.sendto(data, self.proxy_addr)
 
-    def _on_datagram(self, data: bytes) -> None:
+    def _send_wire(self, packet, prefix: bytes = b"", encoder=None) -> None:
+        """Serialise ``packet`` (behind ``prefix``) and queue it for the wire.
+
+        ``encoder``, when given, is a :class:`PollEncoder` whose output
+        already *includes* ``prefix`` — the argument then only sizes the
+        pooled buffer.  On the batched wire the packet is encoded straight
+        into a pool buffer (no intermediate ``bytes``); on the classic wire
+        this reduces to the PR-4/PR-5 concatenating path byte for byte.
+        """
+        io = self._batched
+        if io is None:
+            if encoder is not None:
+                data = encoder.encode(packet)
+            elif prefix:
+                data = prefix + encode_packet(packet)
+            else:
+                data = encode_packet(packet)
+            self._sendto(data)
+            return
+        if self._closed:
+            return
+        buf = io.pool.acquire(len(prefix) + packet_wire_bytes(packet))
+        if encoder is not None:
+            end = encoder.encode_into(buf, 0, packet)
+        else:
+            if prefix:
+                buf[: len(prefix)] = prefix
+            end = encode_packet_into(buf, len(prefix), packet)
+        io.send_pooled(buf, end, self.proxy_addr)
+
+    def _on_datagram(self, data) -> None:
         raise NotImplementedError
 
 
@@ -167,8 +229,10 @@ class _EndpointBase(_SocketBase):
         log: LiveEventLog,
         proxy_addr: Address,
         restart_delay: float = 0.02,
+        wire: str = "classic",
+        pool: Optional[BufferPool] = None,
     ) -> None:
-        super().__init__(proxy_addr)
+        super().__init__(proxy_addr, wire=wire, pool=pool)
         self.log = log
         self.restart_delay = restart_delay
         self.dead = False
@@ -181,11 +245,11 @@ class _EndpointBase(_SocketBase):
 
     # -- wire I/O ---------------------------------------------------------------
 
-    def _encode(self, packet) -> bytes:
-        return encode_packet(packet)
+    def _wire_encoder(self, packet):
+        """Cached-prefix encoder for this packet, or None for plain encode."""
+        return None
 
     def _send_packet(self, packet) -> None:
-        data = self._encode(packet)
         self._out_ids += 1
         # Packet ids on a live wire are log-local bookkeeping: datagrams
         # carry no id field, so sends and deliveries number independently.
@@ -193,9 +257,9 @@ class _EndpointBase(_SocketBase):
         self.log.record(
             make_pkt_sent(self.outbound, self._out_ids, packet.wire_length_bits)
         )
-        self._sendto(data)
+        self._send_wire(packet, encoder=self._wire_encoder(packet))
 
-    def _on_datagram(self, data: bytes) -> None:
+    def _on_datagram(self, data) -> None:
         if self._closed:
             return
         if self.dead:
@@ -285,8 +349,10 @@ class TransmitterEndpoint(_EndpointBase):
         on_ok: Optional[Callable[[], None]] = None,
         on_done: Optional[Callable[[], None]] = None,
         restart_delay: float = 0.02,
+        wire: str = "classic",
+        pool: Optional[BufferPool] = None,
     ) -> None:
-        super().__init__(log, proxy_addr, restart_delay)
+        super().__init__(log, proxy_addr, restart_delay, wire=wire, pool=pool)
         self.tm = transmitter
         self.queue: Deque[_Slot] = deque(_Slot(p) for p in payloads)
         self.total_slots = len(self.queue)
@@ -405,8 +471,10 @@ class ReceiverEndpoint(_EndpointBase):
         on_progress: Optional[Callable[[], None]] = None,
         on_delivery: Optional[Callable[[bytes], None]] = None,
         restart_delay: float = 0.02,
+        wire: str = "classic",
+        pool: Optional[BufferPool] = None,
     ) -> None:
-        super().__init__(log, proxy_addr, restart_delay)
+        super().__init__(log, proxy_addr, restart_delay, wire=wire, pool=pool)
         self.rm = receiver
         self.backoff = backoff
         self.deliveries = 0
@@ -420,10 +488,10 @@ class ReceiverEndpoint(_EndpointBase):
         await super().start()
         self._poll_tick()
 
-    def _encode(self, packet) -> bytes:
+    def _wire_encoder(self, packet):
         if type(packet) is PollPacket:
-            return self._poll_encoder.encode(packet)
-        return encode_packet(packet)
+            return self._poll_encoder
+        return None
 
     @property
     def polls_without_progress(self) -> int:

@@ -69,7 +69,6 @@ from repro.core.packets import (
     PollEncoder,
     PollPacket,
     decode_packet,
-    encode_packet,
     lane_prefix,
 )
 from repro.core.protocol import DataLink
@@ -184,10 +183,11 @@ class _LanedBase(_SocketBase):
     """Shared datagram dispatch for the laned endpoints."""
 
     def __init__(self, proxy_addr: Address, lane_count: int,
-                 restart_delay: float) -> None:
+                 restart_delay: float, wire: str = "classic",
+                 pool=None) -> None:
         if lane_count < 1:
             raise ValueError("need at least one lane")
-        super().__init__(proxy_addr)
+        super().__init__(proxy_addr, wire=wire, pool=pool)
         self.lane_count = lane_count
         self.restart_delay = restart_delay
         self.malformed = 0
@@ -197,8 +197,10 @@ class _LanedBase(_SocketBase):
     # Laned frames are split by hand here (rather than through
     # decode_lane_frame) so a foreign lane id and a malformed body are
     # counted separately; body decode still goes through decode_packet,
-    # preserving strict-prefix rejection lane by lane.
-    def _on_datagram(self, data: bytes) -> None:
+    # preserving strict-prefix rejection lane by lane.  ``data`` may be a
+    # memoryview into a reused receive buffer: the lane byte is an index
+    # read and the body slice decodes zero-copy.
+    def _on_datagram(self, data) -> None:
         if self._closed:
             return
         if len(data) < 2 or data[0] >= self.lane_count:
@@ -243,8 +245,11 @@ class LanedTransmitterEndpoint(_LanedBase):
         on_ok: Optional[Callable[[], None]] = None,
         on_done: Optional[Callable[[], None]] = None,
         restart_delay: float = 0.02,
+        wire: str = "classic",
+        pool=None,
     ) -> None:
-        super().__init__(proxy_addr, len(links), restart_delay)
+        super().__init__(proxy_addr, len(links), restart_delay,
+                         wire=wire, pool=pool)
         if len(logs) != len(links):
             raise ValueError("need one event log per lane")
         self._lanes = [
@@ -328,7 +333,6 @@ class LanedTransmitterEndpoint(_LanedBase):
                     self._maybe_send_next(lane)
 
     def _send_packet(self, lane: _TmLane, packet) -> None:
-        data = lane.prefix + encode_packet(packet)
         lane.out_ids += 1
         # The +8 bits are the lane-frame byte: length as the wire (and the
         # adversary) sees the datagram.
@@ -336,7 +340,7 @@ class LanedTransmitterEndpoint(_LanedBase):
             make_pkt_sent(self.outbound, lane.out_ids,
                           packet.wire_length_bits + 8)
         )
-        self._sendto(data)
+        self._send_wire(packet, prefix=lane.prefix)
 
     def _handle_lane_packet(self, lane_id: int, packet: PollPacket) -> None:
         lane = self._lanes[lane_id]
@@ -436,8 +440,11 @@ class LanedReceiverEndpoint(_LanedBase):
         on_progress: Optional[Callable[[], None]] = None,
         on_delivery: Optional[Callable[[bytes], None]] = None,
         restart_delay: float = 0.02,
+        wire: str = "classic",
+        pool=None,
     ) -> None:
-        super().__init__(proxy_addr, len(links), restart_delay)
+        super().__init__(proxy_addr, len(links), restart_delay,
+                         wire=wire, pool=pool)
         if len(logs) != len(links) or len(backoffs) != len(links):
             raise ValueError("need one event log and one backoff per lane")
         self._lanes = [
@@ -525,16 +532,17 @@ class LanedReceiverEndpoint(_LanedBase):
                 self._send_packet(lane, output.packet)
 
     def _send_packet(self, lane: _RmLane, packet) -> None:
-        if type(packet) is PollPacket:
-            data = lane.encoder.encode(packet)  # cached lane + (ρ, τ) prefix
-        else:
-            data = lane_prefix(lane.lane) + encode_packet(packet)
         lane.out_ids += 1
         lane.log.record(
             make_pkt_sent(self.outbound, lane.out_ids,
                           packet.wire_length_bits + 8)
         )
-        self._sendto(data)
+        if type(packet) is PollPacket:
+            # The encoder's cached prefix covers the lane byte + (ρ, τ).
+            self._send_wire(packet, prefix=lane_prefix(lane.lane),
+                            encoder=lane.encoder)
+        else:
+            self._send_wire(packet, prefix=lane_prefix(lane.lane))
 
     def _handle_lane_packet(self, lane_id: int, packet: DataPacket) -> None:
         lane = self._lanes[lane_id]

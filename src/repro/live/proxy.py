@@ -48,6 +48,7 @@ from repro.core.events import ChannelId
 from repro.core.exceptions import CodecError
 from repro.core.packets import peek_wire_info
 from repro.core.random_source import RandomSource
+from repro.live.wire import BatchedDatagramIO, BufferPool, link_flush_group
 from repro.resilience.faultplan import (
     AbortAt,
     CorruptAt,
@@ -143,13 +144,19 @@ class ChaosProxy:
         on_crash: Optional[Callable[[str, int, Optional[int]], None]] = None,
         on_abort: Optional[Callable[[int], None]] = None,
         on_corrupt: Optional[Callable[[CorruptAt, int, Optional[int]], None]] = None,
+        wire: str = "classic",
+        pool: Optional[BufferPool] = None,
     ) -> None:
+        if wire not in ("classic", "batched"):
+            raise ValueError(f"unknown wire mode {wire!r}")
         self.plan = plan if plan is not None else FaultPlan()
         self.profile = profile if profile is not None else LinkProfile()
         self._rng = rng if rng is not None else RandomSource(0)
         self._on_crash = on_crash
         self._on_abort = on_abort
         self._on_corrupt = on_corrupt
+        self.wire = wire
+        self._pool = pool
         self.stats = ProxyStats()
         self._turn = 0
         self._closed = False
@@ -157,6 +164,8 @@ class ChaosProxy:
         self._rm_addr: Optional[Address] = None
         self._t_side = _ProxySide(self, ChannelId.T_TO_R)  # faces the TM
         self._r_side = _ProxySide(self, ChannelId.R_TO_T)  # faces the RM
+        self._t_io: Optional[BatchedDatagramIO] = None
+        self._r_io: Optional[BatchedDatagramIO] = None
         self._last_forwarded: Optional[Tuple[ChannelId, bytes]] = None
         self._paused_until: Optional[float] = None  # None=open; inf=forever
         self._held: List[Tuple[ChannelId, bytes]] = []  # stalled/hung traffic
@@ -193,6 +202,25 @@ class ChaosProxy:
     # -- lifecycle ---------------------------------------------------------------
 
     async def start(self) -> None:
+        if self.wire == "batched":
+            # Each side drains in chunks but dispatches datagrams to
+            # _on_datagram ONE AT A TIME, so the scripted-event turn clock
+            # ticks exactly as it does on the classic wire.  The two sides
+            # share one flush group: a datagram drained on the T-facing
+            # socket is forwarded out the R-facing one, and that borrowed
+            # view must leave before the next drain chunk reuses it.
+            self._t_io = BatchedDatagramIO(
+                lambda view: self._on_datagram(ChannelId.T_TO_R, view),
+                pool=self._pool,
+            )
+            self._r_io = BatchedDatagramIO(
+                lambda view: self._on_datagram(ChannelId.R_TO_T, view),
+                pool=self._pool,
+            )
+            await self._t_io.open()
+            await self._r_io.open()
+            link_flush_group([self._t_io, self._r_io])
+            return
         loop = asyncio.get_running_loop()
         await loop.create_datagram_endpoint(
             lambda: self._t_side, local_addr=("127.0.0.1", 0)
@@ -209,12 +237,21 @@ class ChaosProxy:
     @property
     def t_facing_address(self) -> Address:
         """Where the TM should send its datagrams."""
+        if self._t_io is not None:
+            return self._t_io.local_address
         return self._t_side.transport.get_extra_info("sockname")
 
     @property
     def r_facing_address(self) -> Address:
         """Where the RM should send its datagrams."""
+        if self._r_io is not None:
+            return self._r_io.local_address
         return self._r_side.transport.get_extra_info("sockname")
+
+    @property
+    def wire_ios(self) -> "List[BatchedDatagramIO]":
+        """The batched sockets behind the relay ([] on a classic wire)."""
+        return [io for io in (self._t_io, self._r_io) if io is not None]
 
     @property
     def turns(self) -> int:
@@ -223,13 +260,21 @@ class ChaosProxy:
 
     def close(self) -> None:
         self._closed = True
+        for io in (self._t_io, self._r_io):
+            if io is not None:
+                io.close()
         for side in (self._t_side, self._r_side):
             if side.transport is not None:
                 side.transport.close()
 
     # -- the wire ----------------------------------------------------------------
 
-    def _on_datagram(self, channel: ChannelId, data: bytes) -> None:
+    def _on_datagram(self, channel: ChannelId, data) -> None:
+        # ``data`` is bytes on the classic wire, a memoryview into a reused
+        # receive buffer on the batched one.  The hot path (peek → forward)
+        # stays zero-copy; anything that must survive past this call —
+        # stalled/hung holds, delayed forwards, the duplicate-burst replay
+        # buffer — is copied at the point it escapes.
         if self._closed:
             return
         # Adversary visibility: identifier + length only, never a decode.
@@ -255,7 +300,10 @@ class ChaosProxy:
             return
         if self._in_stall(turn) or self._is_paused():
             self.stats.stalled += 1
-            self._held.append((channel, data))
+            # Held datagrams outlive the drain chunk: copy a borrowed view.
+            self._held.append(
+                (channel, data if type(data) is bytes else bytes(data))
+            )
             return
         if self.profile.drop and self._rng.bernoulli(self.profile.drop):
             self.stats.dropped += 1
@@ -361,26 +409,39 @@ class ChaosProxy:
             delay += self.profile.jitter * self._rng.random_float()
         return delay
 
-    def _forward(self, channel: ChannelId, data: bytes, delay: float) -> None:
+    def _forward(self, channel: ChannelId, data, delay: float) -> None:
         if delay > 0.0:
+            if type(data) is not bytes:
+                # The view dies with the drain chunk; a delayed forward
+                # needs its own copy.
+                data = bytes(data)
             asyncio.get_running_loop().call_later(
                 delay, self._send_now, channel, data
             )
         else:
             self._send_now(channel, data)
 
-    def _send_now(self, channel: ChannelId, data: bytes) -> None:
+    def _send_now(self, channel: ChannelId, data) -> None:
         if self._closed:
             return
         if channel is ChannelId.T_TO_R:
-            dest, side = self._rm_addr, self._r_side
+            dest, io, side = self._rm_addr, self._r_io, self._r_side
         else:
-            dest, side = self._tm_addr, self._t_side
-        if dest is None or side.transport is None:
+            dest, io, side = self._tm_addr, self._t_io, self._t_side
+        if dest is None:
             return
         self.stats.forwarded += 1
-        self._last_forwarded = (channel, data)
-        side.transport.sendto(data, dest)
+        if self._dups:
+            # The duplicate-burst replay buffer is only consulted while
+            # scripted bursts remain; gating the (copying) bookkeeping on
+            # that keeps the no-burst hot path zero-copy.
+            self._last_forwarded = (
+                channel, data if type(data) is bytes else bytes(data)
+            )
+        if io is not None:
+            io.send(data, dest)
+        elif side.transport is not None:
+            side.transport.sendto(data, dest)
 
     def describe(self) -> str:
         profile = "clean" if self.profile.is_clean else (

@@ -1,0 +1,290 @@
+"""Loopback wire pump: the live stack's datagram path, isolated.
+
+The live scenario's throughput blends wire cost with protocol cost
+(automata, streaming checkers, trace recording), so a wire-layer change
+drowns in shared pipeline work.  This module pumps real encoded protocol
+frames through the real live *topology* — sender station → relay (the
+chaos proxy's two-socket seat) → receiver station and back — with the
+protocol machinery held constant and minimal for both modes:
+
+* Frames are encoded **once per lane** before the clock starts and
+  re-sent verbatim.  That is the protocol's own shape — Axiom 2 says the
+  transmitter re-sends the *identical* frame on every retry — and it
+  keeps codec cost (identical in both modes, pinned byte-for-byte by the
+  codec parity tests) out of a wire measurement.
+* The relays peek every frame (``peek_wire_info`` — the Section 2.3
+  adversary view the chaos proxy computes per datagram); the stations
+  read only the lane byte, which is all the demultiplexer needs to pick
+  the reply frame.
+
+Two implementations of the same workload:
+
+* ``wire="classic"`` — the PR-4/PR-5 mechanics: one asyncio
+  ``DatagramTransport`` per socket, one ``datagram_received`` callback
+  per datagram, per-datagram ``sendto``.
+* ``wire="batched"`` — :class:`repro.live.wire.BatchedDatagramIO`:
+  drain/flush batches via recvmmsg/sendmmsg, zero-copy forwards at the
+  relays, connected sockets (every pump socket has exactly one peer).
+
+``repro.perf.bench`` derives ``live_wire_speedup`` from the two
+throughputs; ``examples/live_wire.py`` drives the same pump by hand.
+
+The flow is credit-based like the protocol itself (a station answers
+each delivery, so at most ``window`` datagrams per lane are in flight)
+— the pump cannot outrun the kernel's socket buffers, and a lost
+datagram would stall it, so completing the workload *is* the delivery
+check: every message is acknowledged end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.bitstrings import BitString
+from repro.core.packets import (
+    DataPacket,
+    PollPacket,
+    PollEncoder,
+    encode_packet,
+    lane_prefix,
+    peek_wire_info,
+)
+from repro.live.wire import (
+    BatchedDatagramIO,
+    BufferPool,
+    WireStats,
+    link_flush_group,
+    merge_wire_stats,
+)
+
+__all__ = ["PumpReport", "run_wire_pump", "run_wire_pump_async"]
+
+Address = Tuple[str, int]
+
+_LOCAL = "127.0.0.1"
+
+#: Datagrams per mmsg chunk in the pump.  Larger than the live stack's
+#: default (32): the pump runs deep self-clocking credit chains, so the
+#: kernel queues actually hold this many, and the marshalling arrays
+#: still fit in cache (128 measurably regresses).
+_PUMP_BATCH = 64
+
+
+@dataclass
+class PumpReport:
+    """Outcome of one pump run (all messages delivered, or it timed out)."""
+
+    wire: str
+    messages: int
+    lanes: int
+    window: int
+    wall_seconds: float
+    wire_stats: Optional[WireStats] = None
+    pool_outstanding: int = 0
+
+    @property
+    def messages_per_second(self) -> float:
+        return self.messages / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def _fixed_frames(
+    lanes: int, payload_bytes: int
+) -> Tuple[List[bytes], List[bytes]]:
+    """Per-lane wire frames, encoded once (Axiom 2: retries are verbatim).
+
+    Returns ``(data_frames, poll_frames)`` indexed by lane; frame byte 0
+    is the lane prefix, so a station can demultiplex without decoding.
+    """
+    data = DataPacket(
+        message=b"\xa5" * payload_bytes,
+        rho=BitString.from_int(0x1234_5678, 64),
+        tau=BitString.from_int(0x9ABC_DEF0, 64),
+    )
+    poll = PollPacket(rho=data.rho, tau=data.tau, retry=0)
+    poll_enc = PollEncoder()
+    data_frames = [lane_prefix(lane) + encode_packet(data)
+                   for lane in range(lanes)]
+    poll_frames = [lane_prefix(lane) + poll_enc.encode(poll)
+                   for lane in range(lanes)]
+    return data_frames, poll_frames
+
+
+async def _pump_classic(
+    messages: int, lanes: int, window: int, payload_bytes: int, timeout: float
+) -> PumpReport:
+    loop = asyncio.get_running_loop()
+    done: "asyncio.Future[None]" = loop.create_future()
+    sent = [0]
+    delivered = [0]
+    data_frames, poll_frames = _fixed_frames(lanes, payload_bytes)
+    # side -> (destination, outbound transport); filled once sockets exist.
+    routes: Dict[str, Tuple[Address, asyncio.DatagramTransport]] = {}
+
+    class Relay(asyncio.DatagramProtocol):
+        """The proxy's seat: peek the adversary view, forward unchanged."""
+
+        def __init__(self, side: str) -> None:
+            self.side = side
+
+        def datagram_received(self, data: bytes, addr: Address) -> None:
+            peek_wire_info(data)
+            dest, out = routes[self.side]
+            out.sendto(data, dest)
+
+    class Receiver(asyncio.DatagramProtocol):
+        def connection_made(self, transport) -> None:
+            self.transport = transport
+
+        def datagram_received(self, data: bytes, addr: Address) -> None:
+            self.transport.sendto(poll_frames[data[0]], addr)
+
+    class Sender(asyncio.DatagramProtocol):
+        def connection_made(self, transport) -> None:
+            self.transport = transport
+
+        def datagram_received(self, data: bytes, addr: Address) -> None:
+            delivered[0] += 1
+            if delivered[0] >= messages:
+                if not done.done():
+                    done.set_result(None)
+                return
+            if sent[0] < messages:
+                sent[0] += 1
+                self.transport.sendto(data_frames[data[0]], addr)
+
+    relay_t, _ = await loop.create_datagram_endpoint(
+        lambda: Relay("t"), local_addr=(_LOCAL, 0))
+    relay_r, _ = await loop.create_datagram_endpoint(
+        lambda: Relay("r"), local_addr=(_LOCAL, 0))
+    recv_tr, _ = await loop.create_datagram_endpoint(
+        Receiver, local_addr=(_LOCAL, 0))
+    send_tr, _ = await loop.create_datagram_endpoint(
+        Sender, local_addr=(_LOCAL, 0))
+    # Same deep kernel queues both modes get (BatchedDatagramIO sets these
+    # in open()): with defaults, the credit burst can overflow a relay's
+    # receive queue and the run degrades to a trickle of surviving
+    # credits — a loss artifact, not a throughput measurement.
+    import socket as _socket
+    for tr in (relay_t, relay_r, recv_tr, send_tr):
+        sock = tr.get_extra_info("socket")
+        try:
+            sock.setsockopt(_socket.SOL_SOCKET, _socket.SO_RCVBUF, 1 << 20)
+            sock.setsockopt(_socket.SOL_SOCKET, _socket.SO_SNDBUF, 1 << 20)
+        except OSError:
+            pass
+    # Data flows sender → relay_t ⇒ relay_r → receiver; polls come back
+    # receiver → relay_r ⇒ relay_t → sender (same seats as ChaosProxy).
+    routes["t"] = (recv_tr.get_extra_info("sockname"), relay_r)
+    routes["r"] = (send_tr.get_extra_info("sockname"), relay_t)
+    relay_in = relay_t.get_extra_info("sockname")
+
+    start = loop.time()
+    for lane in range(lanes):
+        for _ in range(window):
+            if sent[0] < messages:
+                sent[0] += 1
+                send_tr.sendto(data_frames[lane], relay_in)
+    try:
+        await asyncio.wait_for(done, timeout)
+    finally:
+        wall = loop.time() - start
+        for tr in (relay_t, relay_r, recv_tr, send_tr):
+            tr.close()
+    return PumpReport(wire="classic", messages=messages, lanes=lanes,
+                      window=window, wall_seconds=wall)
+
+
+async def _pump_batched(
+    messages: int, lanes: int, window: int, payload_bytes: int, timeout: float
+) -> PumpReport:
+    loop = asyncio.get_running_loop()
+    done: "asyncio.Future[None]" = loop.create_future()
+    sent = [0]
+    delivered = [0]
+    data_frames, poll_frames = _fixed_frames(lanes, payload_bytes)
+    pool = BufferPool()
+    addr: Dict[str, Address] = {}
+
+    def on_relay_t(view: memoryview) -> None:
+        peek_wire_info(view)
+        relay_r.send(view, addr["receiver"])
+
+    def on_relay_r(view: memoryview) -> None:
+        peek_wire_info(view)
+        relay_t.send(view, addr["sender"])
+
+    def on_data(view: memoryview) -> None:
+        receiver.send(poll_frames[view[0]], addr["relay_r"])
+
+    def on_poll(view: memoryview) -> None:
+        delivered[0] += 1
+        if delivered[0] >= messages:
+            if not done.done():
+                done.set_result(None)
+            return
+        if sent[0] < messages:
+            sent[0] += 1
+            sender.send(data_frames[view[0]], addr["relay_t"])
+
+    relay_t = BatchedDatagramIO(on_relay_t, pool=pool, batch=_PUMP_BATCH)
+    relay_r = BatchedDatagramIO(on_relay_r, pool=pool, batch=_PUMP_BATCH)
+    receiver = BatchedDatagramIO(on_data, pool=pool, batch=_PUMP_BATCH)
+    sender = BatchedDatagramIO(on_poll, pool=pool, batch=_PUMP_BATCH)
+    ios = [relay_t, relay_r, receiver, sender]
+    for io in ios:
+        await io.open((_LOCAL, 0))
+    link_flush_group(ios)
+    addr["relay_t"] = relay_t.local_address
+    addr["relay_r"] = relay_r.local_address
+    addr["receiver"] = receiver.local_address
+    addr["sender"] = sender.local_address
+    # Every pump socket has exactly one peer (data out one relay seat,
+    # polls back through the other), so all four can be connected — the
+    # kernel resolves routes once and drops per-datagram msg_name work.
+    sender.connect(addr["relay_t"])
+    relay_t.connect(addr["sender"])
+    relay_r.connect(addr["receiver"])
+    receiver.connect(addr["relay_r"])
+
+    start = loop.time()
+    for lane in range(lanes):
+        for _ in range(window):
+            if sent[0] < messages:
+                sent[0] += 1
+                sender.send(data_frames[lane], addr["relay_t"])
+    sender.flush()
+    try:
+        await asyncio.wait_for(done, timeout)
+    finally:
+        wall = loop.time() - start
+        stats = merge_wire_stats(ios)
+        for io in ios:
+            io.close()
+    return PumpReport(wire="batched", messages=messages, lanes=lanes,
+                      window=window, wall_seconds=wall, wire_stats=stats,
+                      pool_outstanding=pool.outstanding)
+
+
+async def run_wire_pump_async(
+    wire: str = "batched",
+    messages: int = 8000,
+    lanes: int = 8,
+    window: int = 32,
+    payload_bytes: int = 32,
+    timeout: float = 60.0,
+) -> PumpReport:
+    """Pump ``messages`` data frames end to end; every one is acked."""
+    if wire == "classic":
+        return await _pump_classic(messages, lanes, window, payload_bytes,
+                                   timeout)
+    if wire == "batched":
+        return await _pump_batched(messages, lanes, window, payload_bytes,
+                                   timeout)
+    raise ValueError(f"unknown wire mode: {wire!r}")
+
+
+def run_wire_pump(**kwargs) -> PumpReport:
+    """Synchronous wrapper around :func:`run_wire_pump_async`."""
+    return asyncio.run(run_wire_pump_async(**kwargs))

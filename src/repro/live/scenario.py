@@ -53,11 +53,17 @@ from repro.live.lanes import (
     LanedTransmitterEndpoint,
 )
 from repro.live.proxy import ChaosProxy, LinkProfile, ProxyStats
+from repro.live.wire import (
+    BufferPool,
+    WireStats,
+    link_flush_group,
+    merge_wire_stats,
+)
 from repro.resilience.faultplan import CorruptAt, FaultPlan
 from repro.util.tables import render_table
 
 __all__ = ["LiveStatus", "LiveScenario", "LiveRunReport", "run_live_scenario",
-           "run_live_scenario_async"]
+           "run_live_scenario_async", "resolve_loop_backend"]
 
 
 class LiveStatus(str, Enum):
@@ -86,6 +92,11 @@ class LiveScenario:
     tail_size: int = 4096  # forensic event tail retained by the log
     lanes: int = 1  # protocol instances striped over the socket pair
     stabilization_window: int = 8  # clean progress events ending probation
+    #: "batched" = zero-copy drain/flush sockets (PROTOCOL.md §15);
+    #: "classic" = the PR-4/PR-5 one-datagram-per-wakeup asyncio transports.
+    #: Verdicts are wire-mode independent; "classic" exists for the bench
+    #: comparison and as a fallback switch.
+    wire: str = "batched"
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -99,6 +110,8 @@ class LiveScenario:
             raise ValueError("lanes must be >= 1")
         if self.stabilization_window < 1:
             raise ValueError("stabilization_window must be >= 1")
+        if self.wire not in ("batched", "classic"):
+            raise ValueError(f"unknown wire mode {self.wire!r}")
 
     @property
     def wants_stabilization(self) -> bool:
@@ -135,6 +148,12 @@ class LiveRunReport:
     corruptions_t: int = 0  # in-place state scrambles applied to the TM
     corruptions_r: int = 0  # in-place state scrambles applied to the RM
     stabilization: Optional[StabilizationReport] = None
+    wire: str = "classic"  # which wire layer carried the run
+    loop_backend: str = "asyncio"  # event loop implementation used
+    wire_stats: Optional[WireStats] = None  # batching counters (batched wire)
+    pool_outstanding: int = 0  # pooled buffers still unreturned at teardown
+    pool_allocated: int = 0  # pooled buffers ever created
+    pool_high_water: int = 0  # worst simultaneous pooled-buffer demand
     delivered_stream: List[bytes] = field(repr=False, default_factory=list)
     forensic_tail: List[str] = field(repr=False, default_factory=list)
 
@@ -162,7 +181,26 @@ class LiveRunReport:
                 ["crashes (T/R)", f"{self.crashes_t}/{self.crashes_r}"],
                 ["events checked", self.events_seen],
                 ["wall seconds", f"{self.wall_seconds:.2f}"],
+                ["wire", f"{self.wire} ({self.loop_backend})"],
             ]
+            + (
+                [
+                    [
+                        "wire batches (recv/send)",
+                        f"{self.wire_stats.recv_batches}/"
+                        f"{self.wire_stats.send_batches}"
+                        + (" mmsg" if self.wire_stats.mmsg else ""),
+                    ],
+                    [
+                        "buffer pool",
+                        f"{self.pool_allocated} allocated, "
+                        f"{self.pool_outstanding} outstanding, "
+                        f"high-water {self.pool_high_water}",
+                    ],
+                ]
+                if self.wire_stats is not None
+                else []
+            )
             + (
                 [
                     [
@@ -265,6 +303,10 @@ async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
             )
         return LiveEventLog(checks=checks, tail_size=scenario.tail_size)
 
+    # One buffer pool for the whole deployment: every batched socket draws
+    # send buffers from it, so its counters are the run-wide leak check.
+    batched = scenario.wire == "batched"
+    pool = BufferPool() if batched else None
     proxy = ChaosProxy(
         plan=scenario.plan,
         profile=scenario.profile,
@@ -274,6 +316,8 @@ async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
             LiveStatus.ABORTED, f"scripted abort at wire turn {turn}"
         ),
         on_corrupt=lambda event, turn, lane: _corrupt_station(event, lane),
+        wire=scenario.wire,
+        pool=pool,
     )
     payloads = [b"live-%05d" % i for i in range(scenario.messages)]
     await proxy.start()
@@ -300,6 +344,8 @@ async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
             on_ok=note_progress,
             on_done=lambda: finish(LiveStatus.DELIVERED, "workload complete"),
             restart_delay=scenario.restart_delay,
+            wire=scenario.wire,
+            pool=pool,
         )
         rm = LanedReceiverEndpoint(
             links,
@@ -311,6 +357,8 @@ async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
             ],
             on_progress=note_progress,
             restart_delay=scenario.restart_delay,
+            wire=scenario.wire,
+            pool=pool,
         )
     else:
         link = make_data_link(epsilon=scenario.epsilon, seed=link_seed)
@@ -323,6 +371,8 @@ async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
             on_ok=note_progress,
             on_done=lambda: finish(LiveStatus.DELIVERED, "workload complete"),
             restart_delay=scenario.restart_delay,
+            wire=scenario.wire,
+            pool=pool,
         )
         rm = ReceiverEndpoint(
             link.receiver,
@@ -331,6 +381,8 @@ async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
             AdaptiveBackoff(scenario.poll, root.fork("poll-backoff")),
             on_progress=note_progress,
             restart_delay=scenario.restart_delay,
+            wire=scenario.wire,
+            pool=pool,
         )
 
     def _crash_station(station: str, turn: int, lane: "Optional[int]") -> None:
@@ -362,10 +414,17 @@ async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
 
     started = time.monotonic()
     supervisor: Optional[asyncio.Task] = None
+    wire_ios: List = []
     try:
         await tm.start()
         await rm.start()
         proxy.connect(tm.local_address, rm.local_address)
+        # All four batched sockets flush as one group: any drain chunk may
+        # enqueue sends on any of them (station → proxy side → station),
+        # and every borrowed view must leave before buffers are reused.
+        wire_ios = tm.wire_ios + rm.wire_ios + proxy.wire_ios
+        if wire_ios:
+            link_flush_group(wire_ios)
 
         async def _give_up_watch() -> None:
             # Deadline-based supervision: the poll backoff retransmits, this
@@ -481,11 +540,57 @@ async def run_live_scenario_async(scenario: LiveScenario) -> LiveRunReport:
         corruptions_t=tm.corruptions,
         corruptions_r=rm.corruptions,
         stabilization=stabilization,
+        wire=scenario.wire,
+        # Stats survive close(); teardown has already flushed or released
+        # every in-flight buffer, so pool_outstanding must read 0 here —
+        # the crash-amnesia leak test pins exactly that.
+        wire_stats=(merge_wire_stats(wire_ios) if wire_ios else None),
+        pool_outstanding=(pool.outstanding if pool is not None else 0),
+        pool_allocated=(pool.allocated if pool is not None else 0),
+        pool_high_water=(pool.high_water if pool is not None else 0),
         delivered_stream=list(rm.delivered),
         forensic_tail=forensic_tail,
     )
 
 
-def run_live_scenario(scenario: LiveScenario) -> LiveRunReport:
-    """Synchronous wrapper: run the scenario on a fresh event loop."""
-    return asyncio.run(run_live_scenario_async(scenario))
+def resolve_loop_backend(name: str) -> "tuple[str, object]":
+    """Map a requested loop backend to ``(resolved_name, loop_factory)``.
+
+    ``"uvloop"`` and ``"auto"`` try to import uvloop and fall back to
+    asyncio when it is not installed — the dependency is optional and the
+    live stack must run identically without it.
+    """
+    if name in ("uvloop", "auto"):
+        try:
+            import uvloop  # type: ignore[import-not-found]
+
+            return "uvloop", uvloop.new_event_loop
+        except ImportError:
+            if name == "uvloop":
+                # Explicit request degrades gracefully: same semantics,
+                # stock loop.  The report's loop_backend records the truth.
+                pass
+    return "asyncio", asyncio.new_event_loop
+
+
+def run_live_scenario(
+    scenario: LiveScenario, loop: str = "asyncio"
+) -> LiveRunReport:
+    """Synchronous wrapper: run the scenario on a fresh event loop.
+
+    ``loop`` selects the event loop backend: ``"asyncio"`` (default),
+    ``"uvloop"`` (falls back to asyncio when not installed), or ``"auto"``
+    (uvloop if available).  The loop lifecycle is managed manually instead
+    of via ``asyncio.run`` so the same code path drives both backends.
+    """
+    backend, factory = resolve_loop_backend(loop)
+    ev = factory()
+    try:
+        asyncio.set_event_loop(ev)
+        report = ev.run_until_complete(run_live_scenario_async(scenario))
+        ev.run_until_complete(ev.shutdown_asyncgens())
+    finally:
+        asyncio.set_event_loop(None)
+        ev.close()
+    report.loop_backend = backend
+    return report

@@ -30,7 +30,9 @@ from repro.core.packets import (
     decode_packet,
     encode_lane_frame,
     encode_packet,
+    encode_packet_into,
     lane_prefix,
+    packet_wire_bytes,
     peek_wire_info,
 )
 
@@ -227,6 +229,102 @@ def test_every_strict_prefix_of_a_laned_frame_is_rejected(packet, lane):
             continue
         with pytest.raises(CodecError):
             decode_packet(body)
+
+
+# -- zero-copy parity (batched wire path, docs/PROTOCOL.md §15) ------------------
+#
+# The batched datagram layer hands the codec memoryview slices of reused
+# receive buffers and encodes outbound packets straight into pooled
+# bytearrays.  Everything the bytes path decides — values, rejections,
+# peeks — must be bit-identical through views, or the batched wire would
+# silently change protocol behavior.
+
+
+@settings(max_examples=25)
+@given(messages, long_bitstrings(), long_bitstrings(), retries)
+def test_memoryview_decode_matches_bytes_decode(m, rho, tau, retry):
+    for packet in (DataPacket(message=m, rho=rho, tau=tau),
+                   PollPacket(rho=rho, tau=tau, retry=retry)):
+        wire = encode_packet(packet)
+        # Non-zero offset into a larger buffer: the view's own indices,
+        # not the backing buffer's, must drive the decode.
+        backing = bytearray(b"\xff" * 7 + wire + b"\xff" * 3)
+        view = memoryview(backing)[7:7 + len(wire)]
+        assert decode_packet(view) == decode_packet(wire) == packet
+
+
+@settings(max_examples=25)
+@given(packets)
+def test_memoryview_prefixes_rejected_like_bytes(packet):
+    # The strict-prefix property through views: every cut that the bytes
+    # path rejects, the view path rejects too (same error class).
+    wire = encode_packet(packet)
+    backing = bytearray(wire)
+    view = memoryview(backing)
+    for cut in range(len(wire)):
+        with pytest.raises(CodecError):
+            decode_packet(view[:cut])
+
+
+@given(packets, lanes)
+def test_peek_wire_info_memoryview_parity(packet, lane):
+    for frame in (encode_packet(packet),
+                  encode_lane_frame(lane, encode_packet(packet))):
+        view = memoryview(bytearray(frame))
+        assert peek_wire_info(view) == peek_wire_info(frame)
+        for cut in range(1, len(frame) + 1):
+            # Some cuts are themselves invalid (a laned frame cut to its
+            # lane byte alone); the view path must agree either way.
+            try:
+                expected = peek_wire_info(frame[:cut])
+            except CodecError:
+                with pytest.raises(CodecError):
+                    peek_wire_info(view[:cut])
+            else:
+                assert peek_wire_info(view[:cut]) == expected
+
+
+@given(st.binary(min_size=1, max_size=64))
+def test_peek_rejects_foreign_identifiers_through_views(data):
+    view = memoryview(bytearray(data))
+    try:
+        expected = peek_wire_info(data)
+    except CodecError:
+        with pytest.raises(CodecError):
+            peek_wire_info(view)
+    else:
+        assert peek_wire_info(view) == expected
+
+
+@settings(max_examples=25)
+@given(messages, long_bitstrings(), long_bitstrings(), retries, lanes)
+def test_encode_into_matches_encode(m, rho, tau, retry, lane):
+    # The pooled send path: encode into the middle of an oversized reused
+    # buffer, with a lane prefix written as a slice assignment — exactly
+    # what the batched endpoints do — and get the canonical bytes.
+    for packet in (DataPacket(message=m, rho=rho, tau=tau),
+                   PollPacket(rho=rho, tau=tau, retry=retry)):
+        wire = encode_packet(packet)
+        nbytes = packet_wire_bytes(packet)
+        assert nbytes == len(wire)
+        buf = bytearray(b"\xee" * (nbytes + 16))
+        end = encode_packet_into(buf, 1, packet)
+        assert end == 1 + nbytes
+        assert bytes(buf[1:end]) == wire
+        assert buf[0] == 0xEE and buf[end] == 0xEE  # neighbors untouched
+        buf[0:1] = lane_prefix(lane)
+        assert bytes(buf[:end]) == encode_lane_frame(lane, wire)
+
+
+@given(poll_packets, lanes)
+def test_poll_encoder_encode_into_matches_encode(packet, lane):
+    encoder = PollEncoder(lane)
+    framed = encoder.encode(packet)
+    buf = bytearray(b"\xee" * (len(framed) + 8))
+    end = encoder.encode_into(buf, 3, packet)
+    assert end == 3 + len(framed)
+    assert bytes(buf[3:end]) == framed
+    assert buf[2] == 0xEE and buf[end] == 0xEE
 
 
 # -- the cached poll encoder -----------------------------------------------------
