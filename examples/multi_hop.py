@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The relay fabric: source-to-destination streams over hostile topologies.
+
+Section 1 frames the data link as the bottom layer of a transport stack.
+This demo deploys the complementary top layer: a 4-hop line where *every
+directed edge* runs its own complete TM/RM protocol instance, interior
+nodes are bounded store-and-forward relays, and the Section 2.6
+conditions are verdicted for the source→destination stream as a whole
+(per Dolev–Spielrein, per-hop verdicts cannot substitute).
+
+Three runs, all on the same pinned seed:
+
+1. a quiet line — the baseline;
+2. the scenario from examples/relay_faults.json — relay 2 crashes with
+   total amnesia at tick 40 (its queued frames are destroyed), then the
+   link 1-2 partitions for ticks 48-130, longer than the end-to-end
+   retransmission timeout — the stream must still arrive exactly once;
+3. the same scenario with destination dedup ablated (--no-dedup in the
+   CLI): every hop still individually CLEAN, but the stream verdict
+   drops to VIOLATED, the executable form of "per-hop safety does not
+   compose end to end".
+
+Run:  python examples/multi_hop.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.resilience.faultplan import FaultPlan, LinkDownWindow, RelayCrashAt
+from repro.transport import FabricRun, FabricSpec
+
+SEED = 11
+MESSAGES = 50
+
+PLAN = FaultPlan.of(
+    RelayCrashAt(step=40, node=2),
+    LinkDownWindow(start=48, end=130, link=(1, 2)),
+    label="relay-crash-partition",
+)
+
+
+def run_fabric(title: str, spec: FabricSpec, plan: FaultPlan) -> FabricRun:
+    run = FabricRun(spec, plan.for_run(0).events, seed=SEED)
+    outcome = run.run()
+    safety = run.monitor.safety_report()
+    print(f"--- {title} ---")
+    print(f"  delivered:        {outcome.metrics.messages_ok}/{MESSAGES} "
+          f"in {run.ticks} ticks")
+    print(f"  relay crashes:    {run.relay_crashes}"
+          f"   e2e retransmits: {run.retransmits}"
+          f"   dup frames dropped: {run.dup_drops}")
+    print(f"  queue drops:      {run.queue_drops}"
+          f"   reroutes: {run.reroutes}")
+    print(f"  stream verdict:   {run.verdict()}")
+    if not safety.passed:
+        failed = [r.condition for r in safety.all_reports if not r.passed]
+        print(f"  violated:         {', '.join(failed)}")
+    print()
+    return run
+
+
+def main() -> None:
+    spec = FabricSpec(topology="line", size=4, messages=MESSAGES)
+
+    quiet = run_fabric("quiet 4-hop line", spec, FaultPlan.of())
+    assert quiet.verdict() == "CLEAN"
+
+    faulted = run_fabric("relay crash + partition (relay_faults.json)",
+                         spec, PLAN)
+    assert faulted.verdict() == "CLEAN"
+    assert faulted.ticks > quiet.ticks
+
+    ablated = run_fabric("same faults, destination dedup ablated",
+                         replace(spec, exactly_once=False), PLAN)
+    assert ablated.verdict() == "VIOLATED"
+
+    print("Every hop ran the same [GHM89] link protocol in all three runs;")
+    print("only the destination's dedup/resequencing buffer separates the")
+    print("CLEAN stream from the VIOLATED one.")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,11 @@ types and produce identical verdicts by construction.
 """
 
 from repro.checkers.axioms import check_axiom1, check_axiom2, check_axiom3_bounded
+from repro.checkers.endtoend import (
+    EndToEndMonitor,
+    EndToEndNoReplayMonitor,
+    SequentialOrderMonitor,
+)
 from repro.checkers.live import LiveEventLog
 from repro.checkers.liveness import LivenessStats, check_liveness, progress_gaps
 from repro.checkers.report import CheckReport, SafetyReport, Violation
@@ -61,6 +66,8 @@ __all__ = [
     "CausalityMonitor",
     "CheckReport",
     "ConvergenceRecord",
+    "EndToEndMonitor",
+    "EndToEndNoReplayMonitor",
     "EventsView",
     "LiveEventLog",
     "LivenessMonitor",
@@ -71,6 +78,7 @@ __all__ = [
     "OrderMonitor",
     "ProgressGapMonitor",
     "SafetyReport",
+    "SequentialOrderMonitor",
     "StabilizationMonitor",
     "StabilizationReport",
     "StreamMonitor",

@@ -50,6 +50,7 @@ from repro.adversary.replay import ReplayAttacker
 from repro.analysis.bounds import expected_handshake_packets
 from repro.baselines.naive_handshake import make_naive_handshake_link
 from repro.checkers.safety import check_all_safety
+from repro.core.exceptions import ConfigurationError
 from repro.core.protocol import make_data_link
 from repro.sim.runner import RunSpec, monte_carlo
 from repro.sim.simulator import Simulator
@@ -154,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
                       default="object",
                       help="execution engine for every run (identical "
                            "executions; kernel is several times faster)")
+    _add_topology_options(camp)
 
     shr = sub.add_parser("shrink", help="minimize a failing repro (seed + plan)")
     shr.add_argument("--fault-plan", required=True,
@@ -177,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
     shr.add_argument("--max-probes", type=int, default=200)
     shr.add_argument("--out", default=None,
                      help="write the minimal fault plan JSON here")
+    _add_topology_options(shr)
 
     live = sub.add_parser(
         "live",
@@ -374,6 +377,54 @@ def _cmd_sweep_loss(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_topology_options(parser: argparse.ArgumentParser) -> None:
+    """Relay-fabric options shared by ``campaign`` and ``shrink``."""
+    parser.add_argument("--topology", choices=["line", "ring", "mesh"],
+                        default=None,
+                        help="run the multi-hop relay fabric over this "
+                             "topology instead of a single link: every edge "
+                             "runs a full TM/RM instance, interior nodes are "
+                             "bounded store-and-forward relays, and verdicts "
+                             "are end-to-end (Section 2.6 over the "
+                             "source->destination stream)")
+    parser.add_argument("--topology-size", type=int, default=4,
+                        help="hops (line), nodes (ring) or grid side (mesh)")
+    parser.add_argument("--queue-limit", type=int, default=16,
+                        help="bounded relay queue depth; overflow drops "
+                             "frames (fabric only)")
+    parser.add_argument("--e2e-window", type=int, default=4,
+                        help="end-to-end pipeline window at the source "
+                             "(fabric only)")
+    parser.add_argument("--rto", type=int, default=64,
+                        help="end-to-end retransmission timeout in fabric "
+                             "ticks (fabric only)")
+    parser.add_argument("--no-dedup", action="store_true",
+                        help="ablation: disable the destination's "
+                             "exactly-once dedup/resequencing layer; "
+                             "retransmission races then reach the verdicts "
+                             "(fabric only)")
+
+
+def _fabric_spec(args: argparse.Namespace, messages: int):
+    """Build the relay-fabric spec for ``campaign --topology`` / ``shrink``."""
+    from repro.transport.fabric import FabricSpec
+
+    return FabricSpec(
+        topology=args.topology,
+        size=args.topology_size,
+        messages=messages,
+        epsilon=2.0 ** -args.epsilon_bits,
+        max_ticks=args.max_steps,
+        queue_limit=args.queue_limit,
+        window=args.e2e_window,
+        rto=args.rto,
+        exactly_once=not args.no_dedup,
+        label=getattr(args, "label", "") or f"fabric-{args.topology}",
+        retain=getattr(args, "retain", "none"),
+        tail_size=getattr(args, "tail_size", 256),
+    )
+
+
 def _campaign_link_factory(protocol: str, epsilon_bits: int):
     """Link factory for campaign/shrink: honors --epsilon-bits for "paper"."""
     if protocol == "paper":
@@ -486,13 +537,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
     except ValueError as error:
         raise SystemExit(str(error))
-    spec = _campaign_spec(args, args.messages)
-    if _plan_wants_stabilization(plan) and not spec.stabilization:
-        from dataclasses import replace
+    if args.topology:
+        try:
+            spec = _fabric_spec(args, args.messages)
+        except ConfigurationError as error:
+            raise SystemExit(str(error))
+    else:
+        spec = _campaign_spec(args, args.messages)
+        if _plan_wants_stabilization(plan) and not spec.stabilization:
+            from dataclasses import replace
 
-        spec = replace(
-            spec, stabilization=True, stabilization_window=args.corrupt_window
-        )
+            spec = replace(
+                spec, stabilization=True, stabilization_window=args.corrupt_window
+            )
     result = run_campaign(
         spec, args.runs, base_seed=args.base_seed, config=config, fault_plan=plan
     )
@@ -507,7 +564,9 @@ def _cmd_shrink(args: argparse.Namespace) -> int:
     plan = _load_fault_plan(args.fault_plan)
     needs_stabilization = _plan_wants_stabilization(plan)
 
-    def spec_builder(messages: int) -> RunSpec:
+    def spec_builder(messages: int):
+        if args.topology:
+            return _fabric_spec(args, messages)
         spec = _campaign_spec(args, messages)
         if needs_stabilization and not spec.stabilization:
             from dataclasses import replace
@@ -704,6 +763,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print()
     if "kernel" in results:
         print(_render_kernel_table(results["kernel"]))
+        print()
+    if "relay" in results:
+        print(render_table(
+            ["topology", "hops", "messages/sec", "ticks", "wall seconds"],
+            [
+                [leg, stats["hops"],
+                 f"{stats['messages_per_second']:,.0f}",
+                 stats["ticks"],
+                 f"{stats['wall_seconds']:.3f}"]
+                for leg, stats in sorted(results["relay"].items())
+            ],
+            title="relay fabric benchmark (end-to-end over per-hop TM/RM)",
+        ))
         print()
     print(render_table(
         ["ratio", "value"],

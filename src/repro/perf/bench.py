@@ -167,6 +167,7 @@ _GATE_KEYS = (
     "stabilization_overhead",
     "kernel_steps_speedup",
     "kernel_steps_speedup_lossy",
+    "relay_hop_efficiency",
 )
 
 #: Absolute floors, enforced whenever the key is present in the current
@@ -186,7 +187,14 @@ _GATE_FLOORS = {
 #: ratios'; the wider tolerance still keeps the committed ~5x lane
 #: baseline gated above the 2.5x target and the ~2x wire baseline
 #: gated above parity.
-_GATE_THRESHOLDS = {"live_lane_speedup": 0.5, "live_wire_speedup": 0.5}
+_GATE_THRESHOLDS = {
+    "live_lane_speedup": 0.5,
+    "live_wire_speedup": 0.5,
+    # The relay leg times whole end-to-end fabric runs (hundreds of
+    # per-link simulations each); its run-to-run variance is closer to
+    # the live legs' than the simulator ratios'.
+    "relay_hop_efficiency": 0.5,
+}
 
 
 def _reliable_spec(messages: int) -> RunSpec:
@@ -683,6 +691,52 @@ def _synthetic_events(count: int) -> List[Event]:
     return events[:count]
 
 
+_RELAY_REPEATS = 3
+
+
+def _bench_relay(messages: int, base_seed: int) -> Dict[str, Dict[str, float]]:
+    """End-to-end relay fabric throughput: 4-hop line vs single hop.
+
+    Both legs push the same message stream through the same end-to-end
+    layer at the same seed; only the hop count differs.  The gated ratio
+    is *per-hop efficiency* — 4-hop messages/sec scaled by the hop count,
+    over 1-hop messages/sec.  1.0 would mean relaying is free (each hop
+    runs a full TM/RM instance, so the 4-hop line does 4x the per-link
+    work); the committed baseline bounds how far below free the fabric's
+    store-and-forward overhead may drift.  Best-of-``_RELAY_REPEATS``
+    wall clock per leg, construction excluded (timeit discipline).
+    """
+    from repro.transport.fabric import FabricRun, FabricSpec
+
+    seed = split_seed(base_seed, "bench-relay")
+    stats: Dict[str, Dict[str, float]] = {}
+    for name, hops in (("line_1", 1), ("line_4", 4)):
+        spec = FabricSpec(
+            topology="line", size=hops, messages=messages, label=name
+        )
+        wall = math.inf
+        ticks = 0
+        for _ in range(_RELAY_REPEATS):
+            run = FabricRun(spec, (), seed)
+            started = perf_counter()
+            outcome = run.run()
+            wall = min(wall, perf_counter() - started)
+            if not outcome.result.completed:
+                raise RuntimeError(
+                    f"relay bench leg {name} failed to deliver its stream "
+                    f"within {spec.max_ticks} ticks"
+                )
+            ticks = run.ticks
+        stats[name] = {
+            "hops": hops,
+            "messages": messages,
+            "ticks": ticks,
+            "wall_seconds": wall,
+            "messages_per_second": messages / wall if wall > 0 else 0.0,
+        }
+    return stats
+
+
 def _bench_trace_append(events: List[Event]) -> Dict[str, float]:
     started = perf_counter()
     trace = Trace()
@@ -762,6 +816,13 @@ def gate_ratios(results: dict) -> Dict[str, float]:
         ratios["kernel_steps_speedup_lossy"] = kernel["lossy"][
             "steps_speedup_median"
         ]
+    relay = results.get("relay")
+    if relay and relay["line_1"]["messages_per_second"] > 0:
+        ratios["relay_hop_efficiency"] = (
+            relay["line_4"]["messages_per_second"]
+            * relay["line_4"]["hops"]
+            / relay["line_1"]["messages_per_second"]
+        )
     return ratios
 
 
@@ -781,10 +842,12 @@ def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
         messages, runs, micro_events, live_messages = 60, 4, 40_000, 40
         kernel_messages, kernel_pairs = 800, 5
         wire_messages = 2000
+        relay_messages = 40
     else:
         messages, runs, micro_events, live_messages = 200, 12, 200_000, 80
         kernel_messages, kernel_pairs = 2000, 8
         wire_messages = 8000
+        relay_messages = 120
     memory_messages = messages * 2
     specs = {
         "reliable": _reliable_spec(messages),
@@ -812,6 +875,7 @@ def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
     live_wire = _bench_live_wire(wire_messages)
     stabilization = _bench_stabilization(messages, runs, base_seed)
     kernel = _bench_kernel(kernel_messages, kernel_pairs, base_seed)
+    relay = _bench_relay(relay_messages, base_seed)
     results = {
         "macro": macro,
         "memory": memory,
@@ -821,6 +885,7 @@ def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
         "live_wire": live_wire,
         "stabilization": stabilization,
         "kernel": kernel,
+        "relay": relay,
     }
     return {
         "schema": 1,
@@ -835,6 +900,7 @@ def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
             "wire_messages": wire_messages,
             "kernel_messages": kernel_messages,
             "kernel_pairs": kernel_pairs,
+            "relay_messages": relay_messages,
             "base_seed": base_seed,
         },
         "host": {

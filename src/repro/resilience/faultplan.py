@@ -57,6 +57,11 @@ __all__ = [
     "StallWindow",
     "HangAt",
     "AbortAt",
+    "TopologyEvent",
+    "LinkDownWindow",
+    "LinkUpWindow",
+    "RelayCrashAt",
+    "RouteFlapAt",
     "FaultPlan",
     "ScriptedAdversary",
     "apply_fault_plan",
@@ -332,6 +337,134 @@ class AbortAt(FaultEvent):
         self._check_step(self.step)
 
 
+def _normalize_node(node):
+    """Canonical node label: JSON lists become tuples (mesh coordinates)."""
+    if isinstance(node, (list, tuple)):
+        return tuple(_normalize_node(part) for part in node)
+    return node
+
+
+@dataclass(frozen=True)
+class TopologyEvent(FaultEvent):
+    """Base class: a fault aimed at the relay fabric's *topology*.
+
+    Topology events act on the network graph a multi-hop fabric run is
+    routed over (links partitioning and healing, relay nodes crashing with
+    amnesia, routes flapping) rather than on one protocol station.  They
+    are interpreted by the fabric driver
+    (:class:`repro.transport.fabric.FabricSpec`); compiling one into a
+    single-link :class:`ScriptedAdversary` is a configuration error —
+    a plain campaign has no topology to act on.
+    """
+
+    def _check_link(self, link) -> Tuple[object, object]:
+        if not isinstance(link, (list, tuple)) or len(link) != 2:
+            raise ValueError(
+                f"{type(self).kind} link must be a [node, node] pair, "
+                f"got {link!r}"
+            )
+        a, b = (_normalize_node(end) for end in link)
+        if a == b:
+            raise ValueError(f"{type(self).kind} link endpoints must differ")
+        return (a, b)
+
+
+@dataclass(frozen=True)
+class LinkDownWindow(TopologyEvent):
+    """Force one link down during fabric ticks [start, end] (partition).
+
+    The link heals (returns to its own Markov dynamics) after ``end`` —
+    one event scripts a partition *and* its heal, the topology analogue of
+    :class:`DropWindow`.  Per-link protocol retransmission recovers the
+    in-flight traffic after the heal; the end-to-end monitor verdict must
+    converge back to clean.
+    """
+
+    kind = "link_down"
+
+    start: int
+    end: int
+    link: Tuple[object, object]
+    run: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._check_window(self.start, self.end)
+        object.__setattr__(self, "link", self._check_link(self.link))
+
+    def shrink_candidates(self) -> Tuple[FaultEvent, ...]:
+        width = self.end - self.start
+        if width == 0:
+            return ()
+        return (replace(self, end=self.start + width // 2),)
+
+
+@dataclass(frozen=True)
+class LinkUpWindow(TopologyEvent):
+    """Force one link up during fabric ticks [start, end] (scripted heal).
+
+    Overrides the link's Markov failure process for the window — the tool
+    for pinning a deterministic heal inside an otherwise lossy topology.
+    """
+
+    kind = "link_up"
+
+    start: int
+    end: int
+    link: Tuple[object, object]
+    run: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._check_window(self.start, self.end)
+        object.__setattr__(self, "link", self._check_link(self.link))
+
+    def shrink_candidates(self) -> Tuple[FaultEvent, ...]:
+        width = self.end - self.start
+        if width == 0:
+            return ()
+        return (replace(self, end=self.start + width // 2),)
+
+
+@dataclass(frozen=True)
+class RelayCrashAt(TopologyEvent):
+    """Crash one relay node with amnesia at an exact fabric tick.
+
+    The relay's store-and-forward queue is wiped and both stations of
+    every link instance adjacent to the node take their crash transition
+    (the same amnesia semantics as ``crash^T``/``crash^R`` on a single
+    link).  Crashing the fabric's source or destination endpoint is
+    rejected at interpretation time — those are the protocol's own
+    stations, scripted via :class:`CrashAt` on a single link.
+    """
+
+    kind = "relay_crash"
+
+    step: int
+    node: object
+    run: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._check_step(self.step)
+        object.__setattr__(self, "node", _normalize_node(self.node))
+
+
+@dataclass(frozen=True)
+class RouteFlapAt(TopologyEvent):
+    """Force the fabric's route to recompute at an exact fabric tick.
+
+    No link changes state — the event models control-plane churn: the
+    routing layer discards its cached path and re-derives it from the
+    live topology, surfacing in the fabric's ``reroutes`` counter.
+    """
+
+    kind = "route_flap"
+
+    step: int
+    run: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._check_step(self.step)
+
+
 _EVENT_TYPES: Dict[str, Type[FaultEvent]] = {
     cls.kind: cls
     for cls in (
@@ -342,6 +475,10 @@ _EVENT_TYPES: Dict[str, Type[FaultEvent]] = {
         StallWindow,
         HangAt,
         AbortAt,
+        LinkDownWindow,
+        LinkUpWindow,
+        RelayCrashAt,
+        RouteFlapAt,
     )
 }
 
@@ -461,6 +598,12 @@ class ScriptedAdversary(Adversary):
         self._drops: List[DropWindow] = []
         self._stalls: List[StallWindow] = []
         for event in plan.events:
+            if isinstance(event, TopologyEvent):
+                raise ValueError(
+                    f"fault event {type(event).kind!r} targets the network "
+                    "topology; it needs a relay-fabric run "
+                    "(repro campaign --topology), not a single-link adversary"
+                )
             if isinstance(event, CrashAt):
                 self._crashes.setdefault(event.step, []).append(event.station)
             elif isinstance(event, CorruptAt):

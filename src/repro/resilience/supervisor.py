@@ -526,11 +526,21 @@ def execute_attempt(
     run that dies mid-flight invalidates the session so the next attempt
     rebuilds clean.
     """
-    effective = spec if fault_plan is None else apply_fault_plan(spec, fault_plan, index)
+    # Specs that supervise themselves (the relay fabric's FabricSpec) take
+    # the whole run: they interpret the fault plan's topology events
+    # directly, so the single-link adversary-override path is bypassed.
+    run_direct = getattr(spec, "run_supervised", None)
+    effective = (
+        spec
+        if fault_plan is None or run_direct is not None
+        else apply_fault_plan(spec, fault_plan, index)
+    )
     started = time.monotonic()
     try:
         with _deadline(timeout):
-            if session is None:
+            if run_direct is not None:
+                outcome = run_direct(fault_plan, index, seed)
+            elif session is None:
                 outcome = run_once(effective, seed)
             else:
                 # apply_fault_plan returns `spec` itself (same object) when

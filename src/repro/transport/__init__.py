@@ -1,6 +1,7 @@
 """Transport-layer substrate: the data link over a relayed network (§1)."""
 
 from repro.transport.endtoend import NetworkRelay
+from repro.transport.fabric import FabricRun, FabricSpec
 from repro.transport.network import (
     LinkState,
     Network,
@@ -12,6 +13,8 @@ from repro.transport.routing import Arrival, FloodingRelay, PathRelay, RelayStra
 
 __all__ = [
     "Arrival",
+    "FabricRun",
+    "FabricSpec",
     "FloodingRelay",
     "LinkState",
     "Network",

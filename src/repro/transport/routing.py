@@ -8,13 +8,14 @@ duplicated (flooding finds several routes), and reordered (different
 latencies), but contents are never modified.
 
 * :class:`FloodingRelay` — "a trivial implementation ... is by flooding
-  each packet": breadth-first propagation over up links; a copy arrives per
-  loop-free entry route into the destination (capped), costing
-  Θ(|E|) transmissions per packet.
+  each packet": breadth-first propagation over up links with a
+  per-(token, edge) seen-set, so each link carries at most one copy of a
+  token — at most |E| transmissions per packet, arrivals capped.
 * :class:`PathRelay` — the [HK89] approach: keep one current path, send
-  along it, and only when a transit link is down (an "error is detected")
-  recompute from the live topology.  Costs path-length transmissions per
-  packet when quiet; loses the packet (and repairs the route) on failure.
+  along it, and when a transit link is down (an "error is detected")
+  recompute from the live topology *before* sending.  Costs path-length
+  transmissions per packet when quiet; reroutes (without losing the
+  packet) on failure, and loses the packet only when no up path exists.
 """
 
 from __future__ import annotations
@@ -83,14 +84,23 @@ class FloodingRelay(RelayStrategy):
         origin, target = self.endpoints(direction)
         up = self.network.up_subgraph()
         # BFS wavefront with duplicate suppression at every node except the
-        # target, which registers each incoming copy (up to the cap).
+        # target, which registers each incoming copy (up to the cap).  A
+        # per-(token, edge) seen-set caps each link at one copy of this
+        # token, bounding the storm at |E| transmissions per inject —
+        # without it every forwarder echoes the token back across the
+        # link it arrived on, and dense meshes amplify without bound.
         seen: Set[object] = {origin}
+        traversed: Set[frozenset] = set()
         frontier = [(origin, 0)]
         arrivals: List[Arrival] = []
         while frontier:
             next_frontier: List[Tuple[object, int]] = []
             for node, depth in frontier:
                 for neighbour in up.neighbors(node):
+                    edge = frozenset((node, neighbour))
+                    if edge in traversed:
+                        continue
+                    traversed.add(edge)
                     self.transmissions += 1
                     latency = self.network.link(node, neighbour).latency
                     if neighbour == target:
@@ -109,27 +119,54 @@ class FloodingRelay(RelayStrategy):
 class PathRelay(RelayStrategy):
     """[HK89]-style path maintenance: one cached route per direction.
 
-    A packet travels its direction's current path hop by hop; if any hop is
-    down when the packet would cross it, the packet is lost there and the
-    route is recomputed from the live topology (the "error detected" case).
-    When no up path exists the packet is simply lost — the data link's
-    retransmission machinery is what recovers, exactly the division of
-    labour the paper describes.
+    A packet travels its direction's current path hop by hop.  The cached
+    route is validated against the live topology before every send: when a
+    transit link has gone down since the route was cached (the "error
+    detected" case) the stale route is discarded — counted in
+    :attr:`reroutes` — and the packet rides the recomputed path instead of
+    dying at the dead hop.  Only when *no* up path exists is the packet
+    lost; the data link's retransmission machinery is what recovers then,
+    exactly the division of labour the paper describes.  Callers that
+    observe link failures directly (the fabric's topology events) can
+    invalidate eagerly via :meth:`on_link_down`.
     """
 
     def __init__(self, network: Network) -> None:
         super().__init__(network)
         self._paths: Dict[str, Optional[List]] = {"fwd": None, "rev": None}
         self.path_repairs = 0
+        self.reroutes = 0
         self.losses = 0
 
     def current_path(self, direction: str) -> Optional[List]:
         """The cached route for a direction (None until first use)."""
         return self._paths.get(direction)
 
+    def on_link_down(self, a, b) -> None:
+        """Eagerly drop any cached route that crossed the failed link."""
+        failed = frozenset((a, b))
+        for direction, path in self._paths.items():
+            if path is not None and any(
+                frozenset(hop) == failed for hop in zip(path, path[1:])
+            ):
+                self._paths[direction] = None
+                self.reroutes += 1
+
+    def _path_up(self, path: List) -> bool:
+        return all(
+            self.network.link_up(hop_from, hop_to)
+            for hop_from, hop_to in zip(path, path[1:])
+        )
+
     def inject(self, token, now, direction, rng) -> List[Arrival]:
         origin, target = self.endpoints(direction)
         path = self._paths[direction]
+        if path is not None and not self._path_up(path):
+            # Stale route: a transit link went down after it was cached.
+            # Repair *before* sending so the packet takes the fresh path
+            # instead of being sacrificed to discover the failure.
+            self._paths[direction] = path = None
+            self.reroutes += 1
         if path is None:
             path = self._recompute(origin, target)
         if path is None:
@@ -138,11 +175,6 @@ class PathRelay(RelayStrategy):
         elapsed = 0
         for hop_from, hop_to in zip(path, path[1:]):
             self.transmissions += 1
-            if not self.network.link_up(hop_from, hop_to):
-                # Error detected mid-route: drop the packet, repair the path.
-                self.losses += 1
-                self._paths[direction] = self._recompute(origin, target)
-                return []
             elapsed += self.network.link(hop_from, hop_to).latency
         self._paths[direction] = path
         return [Arrival(token=token, arrive_at=now + elapsed)]

@@ -1,0 +1,126 @@
+"""Unit tests for the topology fault events (PR 9's fault-plan extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.random_source import RandomSource
+from repro.resilience.faultplan import (
+    CrashAt,
+    FaultPlan,
+    LinkDownWindow,
+    LinkUpWindow,
+    RelayCrashAt,
+    RouteFlapAt,
+    ScriptedAdversary,
+    event_from_dict,
+)
+
+
+# -- validation ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda: LinkDownWindow(start=0, end=3, link=(0, 1)),
+        lambda: LinkDownWindow(start=5, end=2, link=(0, 1)),
+        lambda: LinkDownWindow(start=1, end=2, link=(1, 1)),
+        lambda: LinkDownWindow(start=1, end=2, link=(1,)),
+        lambda: LinkDownWindow(start=1, end=2, link="0-1"),
+        lambda: LinkUpWindow(start=4, end=1, link=(0, 1)),
+        lambda: LinkUpWindow(start=1, end=2, link=(2, 2)),
+        lambda: RelayCrashAt(step=0, node=1),
+        lambda: RouteFlapAt(step=0),
+    ],
+)
+def test_invalid_topology_events_are_rejected(build):
+    with pytest.raises(ValueError):
+        build()
+
+
+def test_unknown_field_rejected_on_topology_kinds():
+    with pytest.raises(ValueError, match="unknown fields"):
+        event_from_dict(
+            {"kind": "link_down", "start": 1, "end": 2, "link": [0, 1], "hops": 3}
+        )
+    with pytest.raises(ValueError, match="unknown fields"):
+        event_from_dict({"kind": "relay_crash", "step": 4, "node": 2, "wipe": True})
+
+
+def test_unknown_kind_still_rejected():
+    with pytest.raises(ValueError, match="unknown fault event kind"):
+        event_from_dict({"kind": "link_sideways", "start": 1, "end": 2})
+
+
+# -- (de)serialization --------------------------------------------------------------
+
+
+def test_topology_plan_json_round_trip(tmp_path):
+    plan = FaultPlan.of(
+        LinkDownWindow(start=4, end=9, link=(1, 2)),
+        LinkUpWindow(start=10, end=12, link=(0, 1), run=1),
+        RelayCrashAt(step=7, node=2),
+        RouteFlapAt(step=11, run=0),
+        label="topology-sink",
+    )
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+    path = tmp_path / "plan.json"
+    plan.save(str(path))
+    assert FaultPlan.load(str(path)) == plan
+
+
+def test_mesh_tuple_nodes_survive_json():
+    # JSON has no tuples: mesh node coordinates arrive as lists and must
+    # normalize back to the tuples networkx grid graphs use as node ids.
+    plan = FaultPlan.of(
+        LinkDownWindow(start=2, end=5, link=((0, 0), (0, 1))),
+        RelayCrashAt(step=3, node=(1, 1)),
+    )
+    restored = FaultPlan.from_json(plan.to_json())
+    assert restored == plan
+    down, crash = restored.events
+    assert down.link == ((0, 0), (0, 1))
+    assert crash.node == (1, 1)
+
+
+def test_for_run_projects_topology_events():
+    plan = FaultPlan.of(
+        RelayCrashAt(step=3, node=2),
+        LinkDownWindow(start=1, end=4, link=(0, 1), run=1),
+    )
+    assert len(plan.for_run(0).events) == 1
+    assert len(plan.for_run(1).events) == 2
+
+
+# -- shrinking ----------------------------------------------------------------------
+
+
+def test_window_events_shrink_by_halving():
+    event = LinkDownWindow(start=10, end=50, link=(1, 2))
+    (candidate,) = event.shrink_candidates()
+    assert isinstance(candidate, LinkDownWindow)
+    assert candidate.start == 10
+    assert candidate.end == 30
+    assert candidate.link == (1, 2)
+    point = LinkDownWindow(start=10, end=10, link=(1, 2))
+    assert point.shrink_candidates() == ()
+
+
+def test_point_topology_events_have_no_shrink_candidates():
+    assert RelayCrashAt(step=5, node=2).shrink_candidates() == ()
+    assert RouteFlapAt(step=5).shrink_candidates() == ()
+
+
+# -- interpretation boundary --------------------------------------------------------
+
+
+def test_scripted_adversary_rejects_topology_events():
+    plan = FaultPlan.of(
+        CrashAt(step=2, station="T"),
+        LinkDownWindow(start=1, end=4, link=(0, 1)),
+    )
+    with pytest.raises(ValueError, match="relay-fabric"):
+        adversary = ScriptedAdversary(plan)
+        adversary.bind(RandomSource(0))

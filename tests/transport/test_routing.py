@@ -36,8 +36,22 @@ class TestFloodingRelay:
         net = mesh_network(4)
         relay = FloodingRelay(net)
         relay.inject("tok", now=0, direction="fwd", rng=RNG)
-        # Flooding touches on the order of |E| links (both directions).
-        assert relay.transmissions >= net.edge_count
+        # Flooding touches on the order of |E| links.
+        assert relay.transmissions >= net.edge_count - 1
+
+    def test_duplicate_storm_bounded_per_token_edge(self):
+        # The PR-9 satellite fix: each link carries at most one copy of a
+        # token per inject, so a dense mesh cannot amplify the storm past
+        # |E| transmissions — previously every forwarder echoed the token
+        # back across the link it arrived on (~2|E|).
+        net = mesh_network(5)
+        relay = FloodingRelay(net, max_duplicates=3)
+        arrivals = relay.inject("tok", now=0, direction="fwd", rng=RNG)
+        assert relay.transmissions <= net.edge_count
+        assert len(arrivals) <= 3
+        # Repeated injects stay within the per-inject bound each time.
+        relay.inject("tok2", now=1, direction="fwd", rng=RNG)
+        assert relay.transmissions <= 2 * net.edge_count
 
     def test_cut_network_loses_packet(self):
         net = line_network(2)
@@ -84,19 +98,41 @@ class TestPathRelay:
         relay.inject("b", now=1, direction="fwd", rng=RNG)
         assert relay.path_repairs == repairs_after_first  # no recompute
 
-    def test_broken_hop_loses_packet_and_repairs(self):
+    def test_stale_path_reroutes_without_losing_packet(self):
+        # The PR-9 satellite fix: a link on the cached route going down
+        # mid-stream must trigger a recompute *before* the next send, not
+        # cost a packet to discover the failure.
         net = ring_network(8)
         relay = PathRelay(net)
         relay.inject("a", now=0, direction="fwd", rng=RNG)
         path = relay.current_path("fwd")
         net.configure_link(path[0], path[1], up=False)
         arrivals = relay.inject("b", now=1, direction="fwd", rng=RNG)
-        assert arrivals == []
-        assert relay.losses == 1
+        assert len(arrivals) == 1  # delivered via the fresh path
+        assert relay.losses == 0
+        assert relay.reroutes == 1
         # The repaired path avoids the dead link.
         new_path = relay.current_path("fwd")
         assert new_path is not None
         assert (path[0], path[1]) not in zip(new_path, new_path[1:])
+
+    def test_on_link_down_invalidates_eagerly(self):
+        net = ring_network(8)
+        relay = PathRelay(net)
+        relay.inject("a", now=0, direction="fwd", rng=RNG)
+        path = relay.current_path("fwd")
+        net.configure_link(path[1], path[2], up=False)
+        relay.on_link_down(path[1], path[2])
+        assert relay.current_path("fwd") is None
+        assert relay.reroutes == 1
+        # An unrelated link's failure leaves the (re)computed cache alone.
+        arrivals = relay.inject("b", now=1, direction="fwd", rng=RNG)
+        assert len(arrivals) == 1
+        before = relay.reroutes
+        other = relay.current_path("rev")  # None — not affected either
+        relay.on_link_down(path[1], path[2])
+        assert relay.reroutes == before
+        assert other is None
 
     def test_recovered_path_delivers(self):
         net = ring_network(8)
@@ -104,7 +140,7 @@ class TestPathRelay:
         relay.inject("a", now=0, direction="fwd", rng=RNG)
         path = relay.current_path("fwd")
         net.configure_link(path[0], path[1], up=False)
-        relay.inject("b", now=1, direction="fwd", rng=RNG)  # lost, repairs
+        relay.inject("b", now=1, direction="fwd", rng=RNG)  # reroutes
         arrivals = relay.inject("c", now=2, direction="fwd", rng=RNG)
         assert len(arrivals) == 1
 
