@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Multi-path striping: two vertex-disjoint routes through a faulty ring.
+
+The fabric normally pushes the whole window down one shortest path.
+``FabricSpec(paths=2)`` discovers vertex-disjoint routes (greedy
+shortest-first — on a ring, the two arcs) and stripes window frames
+round-robin across them.  Disjointness is the point: no relay serves
+both routes, so a fault on one arc cannot touch the other, and the
+per-path frame load halves, so the window drains in fewer protocol
+rounds.
+
+Three runs on the same pinned seed, all on the kernel hop engine:
+
+1. a quiet ring, single path — the baseline protocol time;
+2. the same ring with ``paths=2`` — same stream, measurably fewer
+   fabric ticks to completion (the ratio the bench gates as
+   ``relay_stripe_speedup``);
+3. ``paths=2`` with one arc partitioned mid-stream — the disjoint
+   sibling keeps the stream moving and the end-to-end verdict
+   converges back to CLEAN.
+
+Run:  python examples/multi_path.py
+"""
+
+from __future__ import annotations
+
+from repro.resilience.faultplan import FaultPlan, LinkDownWindow
+from repro.transport import FabricRun, FabricSpec
+from repro.transport.network import disjoint_routes, ring_network
+
+SEED = 0
+MESSAGES = 60
+
+QUIET = FaultPlan.of(label="quiet")
+PARTITION = FaultPlan.of(
+    LinkDownWindow(start=25, end=60, link=(0, 1)),
+    label="one-arc-partition",
+)
+
+
+def run_fabric(title: str, paths: int, plan: FaultPlan) -> FabricRun:
+    spec = FabricSpec(
+        topology="ring", size=8, messages=MESSAGES, window=16,
+        steps_per_tick=4, engine="kernel", paths=paths,
+    )
+    run = FabricRun(spec, plan.for_run(0).events, seed=SEED)
+    outcome = run.run()
+    print(f"--- {title} ---")
+    print(f"  delivered:      {outcome.metrics.messages_ok}/{MESSAGES} "
+          f"in {run.ticks} ticks")
+    print(f"  retransmits:    {run.retransmits}"
+          f"   dup frames dropped: {run.dup_drops}")
+    print(f"  drops:          {run.drop_report()}")
+    print(f"  stream verdict: {run.verdict()}")
+    print()
+    return run
+
+
+def main() -> None:
+    net = ring_network(8)
+    routes = disjoint_routes(net.graph, net.source, net.destination, 2)
+    print("ring-8 vertex-disjoint routes "
+          f"({net.source} -> {net.destination}):")
+    for route in routes:
+        print(f"  {' - '.join(str(n) for n in route)}")
+    print()
+
+    single = run_fabric("single path, quiet ring", 1, QUIET)
+    striped = run_fabric("two disjoint paths, quiet ring", 2, QUIET)
+    print(f"protocol-time speedup from striping: "
+          f"{single.ticks / striped.ticks:.2f}x "
+          f"({single.ticks} -> {striped.ticks} ticks)\n")
+
+    faulted = run_fabric(
+        "two disjoint paths, one arc partitioned (ticks 25-60)",
+        2, PARTITION,
+    )
+    assert faulted.verdict().startswith("CLEAN"), "striping must mask the fault"
+    print("the partitioned arc's frames rerouted over its disjoint sibling;")
+    print("the stream stayed exactly-once and the verdict is CLEAN.")
+
+
+if __name__ == "__main__":
+    main()

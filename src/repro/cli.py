@@ -102,6 +102,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--messages", type=int, default=20)
     sweep.add_argument("--epsilon-bits", type=int, default=16)
 
+    relay = sub.add_parser(
+        "sweep-relay",
+        help="fail_rate x topology sweep over the relay fabric",
+    )
+    relay.add_argument("--topologies", default="line,ring,mesh",
+                       help="comma-separated subset of line,ring,mesh")
+    relay.add_argument("--fail-rates", default="0,0.01,0.05,0.1",
+                       help="comma-separated per-step link failure rates")
+    relay.add_argument("--runs", type=int, default=10,
+                       help="campaign runs per (topology, fail_rate) cell")
+    relay.add_argument("--messages", type=int, default=40)
+    relay.add_argument("--jobs", type=int, default=2,
+                       help="parallel worker processes per cell campaign")
+    relay.add_argument("--engine", choices=["object", "kernel"],
+                       default="kernel",
+                       help="execution engine for every hop")
+    relay.add_argument("--paths", type=int, default=1,
+                       help="stripe frames over up to K disjoint routes")
+    relay.add_argument("--base-seed", type=int, default=0)
+    relay.add_argument("--markdown", action="store_true",
+                       help="emit the grid as a GFM table (EXPERIMENTS.md)")
+
     scenario = sub.add_parser("scenario", help="run a named scenario")
     scenario.add_argument("name", nargs="?", default=None,
                           help="scenario name (omit to list all)")
@@ -179,6 +201,10 @@ def build_parser() -> argparse.ArgumentParser:
     shr.add_argument("--max-probes", type=int, default=200)
     shr.add_argument("--out", default=None,
                      help="write the minimal fault plan JSON here")
+    shr.add_argument("--engine", choices=["object", "kernel"],
+                     default="object",
+                     help="execution engine for probe runs (fabric only; "
+                          "identical executions)")
     _add_topology_options(shr)
 
     live = sub.add_parser(
@@ -249,9 +275,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--threshold", type=float, default=0.25,
                        help="allowed relative drop in the gated ratios")
     bench.add_argument("--base-seed", type=int, default=0)
-    bench.add_argument("--only", choices=["all", "kernel"], default="all",
+    bench.add_argument("--only", choices=["all", "kernel", "relay"],
+                       default="all",
                        help='"kernel" runs just the step-kernel speedup leg '
-                            "(the CI kernel-differential job)")
+                            '(the CI kernel-differential job); "relay" runs '
+                            "just the relay fabric legs (hop efficiency, "
+                            "kernel engine, striping)")
     bench.add_argument("--profile", action="store_true",
                        help="run under cProfile; dump pstats next to --out "
                             "and print the top-25 cumulative table")
@@ -403,6 +432,11 @@ def _add_topology_options(parser: argparse.ArgumentParser) -> None:
                              "exactly-once dedup/resequencing layer; "
                              "retransmission races then reach the verdicts "
                              "(fabric only)")
+    parser.add_argument("--paths", type=int, default=1,
+                        help="stripe source frames over up to K "
+                             "vertex-disjoint routes (Bunn-Ostrovsky "
+                             "multi-path; fabric only, ring/mesh have "
+                             "route diversity)")
 
 
 def _fabric_spec(args: argparse.Namespace, messages: int):
@@ -422,6 +456,8 @@ def _fabric_spec(args: argparse.Namespace, messages: int):
         label=getattr(args, "label", "") or f"fabric-{args.topology}",
         retain=getattr(args, "retain", "none"),
         tail_size=getattr(args, "tail_size", 256),
+        engine=getattr(args, "engine", "object"),
+        paths=getattr(args, "paths", 1),
     )
 
 
@@ -521,6 +557,32 @@ def _parse_corrupt_triggers(spec: str, base_seed: int):
     if not events:
         raise SystemExit("--corrupt given but no STATION@TURN items found")
     return events
+
+
+def _cmd_sweep_relay(args: argparse.Namespace) -> int:
+    from repro.resilience.relay_sweep import RelaySweepConfig, run_relay_sweep
+    from repro.resilience.supervisor import CampaignConfig
+
+    try:
+        config = RelaySweepConfig(
+            topologies=tuple(
+                t.strip() for t in args.topologies.split(",") if t.strip()
+            ),
+            fail_rates=tuple(
+                float(r) for r in args.fail_rates.split(",") if r.strip()
+            ),
+            runs=args.runs,
+            messages=args.messages,
+            engine=args.engine,
+            paths=args.paths,
+            base_seed=args.base_seed,
+        )
+        campaign = CampaignConfig(jobs=args.jobs)
+    except (ConfigurationError, ValueError) as error:
+        raise SystemExit(str(error))
+    result = run_relay_sweep(config, campaign)
+    print(result.to_markdown() if args.markdown else result.render())
+    return 0
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -698,10 +760,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         load,
         run_bench,
         run_kernel_bench,
+        run_relay_bench,
     )
 
     if args.only == "kernel":
         runner = lambda: run_kernel_bench(
+            quick=args.quick, base_seed=args.base_seed
+        )
+    elif args.only == "relay":
+        runner = lambda: run_relay_bench(
             quick=args.quick, base_seed=args.base_seed
         )
     else:
@@ -777,14 +844,57 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             title="relay fabric benchmark (end-to-end over per-hop TM/RM)",
         ))
         print()
+    if "relay_kernel" in results:
+        print(render_table(
+            ["engine", "messages/sec", "ticks", "wall seconds"],
+            [
+                [engine,
+                 f"{stats['messages_per_second']:,.0f}",
+                 stats["ticks"],
+                 f"{stats['wall_seconds']:.3f}"]
+                for engine, stats in sorted(results["relay_kernel"].items())
+            ],
+            title="relay kernel benchmark (4-hop line, kernel vs object engine)",
+        ))
+        print()
+    if "relay_stripe" in results:
+        print(render_table(
+            ["paths", "messages/sec", "ticks", "wall seconds"],
+            [
+                [stats["paths"],
+                 f"{stats['messages_per_second']:,.0f}",
+                 stats["ticks"],
+                 f"{stats['wall_seconds']:.3f}"]
+                for __, stats in sorted(results["relay_stripe"].items())
+            ],
+            title="relay striping benchmark (ring-8, protocol ticks to completion)",
+        ))
+        print()
     print(render_table(
         ["ratio", "value"],
         [[key, f"{value:.2f}"] for key, value in sorted(payload["ratios"].items())],
         title="gated ratios (within-run engine comparisons)",
     ))
     if args.out:
-        dump(payload, args.out)
-        print(f"\nbenchmark payload written to {args.out}")
+        existing = None
+        if args.quick and os.path.exists(args.out):
+            try:
+                existing = load(args.out)
+            except (OSError, ValueError):
+                existing = None
+        if existing is not None and not existing.get("quick", True):
+            # A quick run must never clobber a committed full-run
+            # baseline: the full ratios stay authoritative and the quick
+            # payload rides along under its own key.
+            existing["quick_smoke"] = payload
+            dump(existing, args.out)
+            print(
+                f"\nquick payload merged into {args.out} under "
+                f"'quick_smoke' (full-run baseline preserved)"
+            )
+        else:
+            dump(payload, args.out)
+            print(f"\nbenchmark payload written to {args.out}")
     if args.check:
         try:
             baseline = load(args.check)
@@ -854,6 +964,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_attack(args)
     if args.command == "sweep-loss":
         return _cmd_sweep_loss(args)
+    if args.command == "sweep-relay":
+        return _cmd_sweep_relay(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
     if args.command == "campaign":

@@ -10,10 +10,13 @@ fast paths.  The object graph is re-synchronised at run boundaries, so the
 stations, channels and adversaries remain the public API (the veneer
 contract — see PROTOCOL.md §14).
 
-Entry point: :func:`repro.kernel.engine.run_kernel`, reached through
-``Simulator(engine="kernel")``.
+Entry points: :func:`repro.kernel.engine.run_kernel`, reached through
+``Simulator(engine="kernel")``, and :class:`repro.kernel.hop.HopKernel`,
+the persistent per-hop variant the relay fabric drives in bursts
+(``FabricSpec(engine="kernel")``).
 """
 
 from repro.kernel.engine import run_kernel
+from repro.kernel.hop import HopKernel
 
-__all__ = ["run_kernel"]
+__all__ = ["run_kernel", "HopKernel"]

@@ -168,6 +168,8 @@ _GATE_KEYS = (
     "kernel_steps_speedup",
     "kernel_steps_speedup_lossy",
     "relay_hop_efficiency",
+    "relay_kernel_speedup",
+    "relay_stripe_speedup",
 )
 
 #: Absolute floors, enforced whenever the key is present in the current
@@ -179,6 +181,14 @@ _GATE_KEYS = (
 _GATE_FLOORS = {
     "kernel_steps_speedup": 5.0,
     "kernel_steps_speedup_lossy": 3.0,
+    # The fabric's kernel hop engine must clear 4x over the object
+    # engine on the bench line (same spec, same seed, bit-identical
+    # trace) or the flat-state executor has lost its reason to exist.
+    "relay_kernel_speedup": 4.0,
+    # Two vertex-disjoint paths must shave at least a third off the
+    # protocol time of the single-path ring (ticks are deterministic,
+    # so this floor is host-independent).
+    "relay_stripe_speedup": 1.5,
 }
 
 #: Per-key overrides of :func:`check_regression`'s default threshold.
@@ -190,10 +200,12 @@ _GATE_FLOORS = {
 _GATE_THRESHOLDS = {
     "live_lane_speedup": 0.5,
     "live_wire_speedup": 0.5,
-    # The relay leg times whole end-to-end fabric runs (hundreds of
-    # per-link simulations each); its run-to-run variance is closer to
-    # the live legs' than the simulator ratios'.
+    # The relay legs time whole end-to-end fabric runs (hundreds of
+    # per-link simulations each); their run-to-run variance is closer
+    # to the live legs' than the simulator ratios'.  relay_stripe_speedup
+    # needs no override: it is a deterministic tick ratio.
     "relay_hop_efficiency": 0.5,
+    "relay_kernel_speedup": 0.5,
 }
 
 
@@ -737,6 +749,144 @@ def _bench_relay(messages: int, base_seed: int) -> Dict[str, Dict[str, float]]:
     return stats
 
 
+_RELAY_KERNEL_PAIRS = 5
+
+
+def _relay_kernel_leg_run(engine: str, messages: int, seed: int):
+    from repro.transport.fabric import FabricRun, FabricSpec
+
+    spec = FabricSpec(
+        topology="line",
+        size=4,
+        messages=messages,
+        window=32,
+        steps_per_tick=64,
+        engine=engine,
+        label=f"bench_{engine}",
+    )
+    run = FabricRun(spec, (), seed)
+    started = perf_counter()
+    outcome = run.run()
+    wall = perf_counter() - started
+    if not outcome.result.completed:
+        raise RuntimeError(
+            f"relay kernel bench ({engine} engine) failed to deliver "
+            f"its stream within {spec.max_ticks} ticks"
+        )
+    return wall, run.ticks
+
+
+def _bench_relay_kernel(messages: int, base_seed: int) -> Dict[str, Dict[str, float]]:
+    """Kernel-engine fabric hops vs the object engine on a 4-hop line.
+
+    Both engines run the identical spec at the identical seed (the
+    differential suite proves they produce bit-identical traces), so the
+    wall-clock ratio isolates pure executor overhead: per-step attribute
+    dispatch through the object graph vs the hop kernel's flat-local
+    burst loop with idle fast-forward.  The wide window and high
+    ``steps_per_tick`` keep the run engine-dominated rather than
+    fabric-dispatch-dominated.  Measurement follows :func:`_bench_kernel`
+    discipline: a warmup pair, collection paused around the timed pairs
+    (a GC cycle landing inside the short kernel window but not the long
+    object one would wreck the ratio), each seed run back-to-back on
+    both engines, and the recorded speedup is the *median* of the
+    per-pair ratios — robust to the occasional run a noisy host slows
+    several-fold, where a best-of-walls quotient is not.
+    """
+    warm_seed = split_seed(base_seed, "bench-relay-kernel-warmup")
+    _relay_kernel_leg_run("object", messages, warm_seed)
+    _relay_kernel_leg_run("kernel", messages, warm_seed)
+    ratios: List[float] = []
+    walls = {"object": 0.0, "kernel": 0.0}
+    ticks = {"object": 0, "kernel": 0}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for i in range(_RELAY_KERNEL_PAIRS):
+            seed = split_seed(base_seed, "bench-relay-kernel", i)
+            wall_o, ticks_o = _relay_kernel_leg_run("object", messages, seed)
+            wall_k, ticks_k = _relay_kernel_leg_run("kernel", messages, seed)
+            if ticks_o != ticks_k:
+                raise RuntimeError(
+                    f"relay kernel bench pair {i}: engines diverged "
+                    f"({ticks_o} vs {ticks_k} ticks)"
+                )
+            walls["object"] += wall_o
+            walls["kernel"] += wall_k
+            ticks["object"] = ticks_o
+            ticks["kernel"] = ticks_k
+            ratios.append(wall_o / wall_k if wall_k > 0 else 0.0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    median = statistics.median(ratios)
+    stats: Dict[str, Dict[str, float]] = {}
+    for engine in ("object", "kernel"):
+        total = messages * _RELAY_KERNEL_PAIRS
+        stats[engine] = {
+            "hops": 4,
+            "messages": messages,
+            "pairs": _RELAY_KERNEL_PAIRS,
+            "ticks": ticks[engine],
+            "wall_seconds": walls[engine],
+            "messages_per_second": (
+                total / walls[engine] if walls[engine] > 0 else 0.0
+            ),
+        }
+    stats["kernel"]["speedup_median"] = median
+    return stats
+
+
+def _bench_relay_stripe(messages: int, base_seed: int) -> Dict[str, Dict[str, float]]:
+    """Multi-path striping throughput on a ring: 2 disjoint paths vs 1.
+
+    The gated ratio is *protocol time* — fabric ticks to stream
+    completion with one path over ticks with two vertex-disjoint paths —
+    not wall clock.  Striping halves the per-path frame load, so the
+    window drains in fewer protocol rounds (the quantity Bunn–Ostrovsky
+    style multi-path arguments bound); wall clock would conflate that
+    with host scheduling of the extra busy links, which do the same
+    total engine work either way.  Tick counts are fully deterministic
+    per seed, so the ratio is exactly reproducible across hosts.
+    """
+    from repro.transport.fabric import FabricRun, FabricSpec
+
+    seed = split_seed(base_seed, "bench-relay-stripe")
+    stats: Dict[str, Dict[str, float]] = {}
+    for paths in (1, 2):
+        spec = FabricSpec(
+            topology="ring",
+            size=8,
+            messages=messages,
+            window=16,
+            steps_per_tick=4,
+            engine="kernel",
+            paths=paths,
+            label=f"bench_stripe_{paths}",
+        )
+        wall = math.inf
+        ticks = 0
+        for _ in range(_RELAY_REPEATS):
+            run = FabricRun(spec, (), seed)
+            started = perf_counter()
+            outcome = run.run()
+            wall = min(wall, perf_counter() - started)
+            if not outcome.result.completed:
+                raise RuntimeError(
+                    f"relay stripe bench ({paths}-path) failed to deliver "
+                    f"its stream within {spec.max_ticks} ticks"
+                )
+            ticks = run.ticks
+        stats[f"paths_{paths}"] = {
+            "paths": paths,
+            "messages": messages,
+            "ticks": ticks,
+            "wall_seconds": wall,
+            "messages_per_second": messages / wall if wall > 0 else 0.0,
+        }
+    return stats
+
+
 def _bench_trace_append(events: List[Event]) -> Dict[str, float]:
     started = perf_counter()
     trace = Trace()
@@ -823,6 +973,19 @@ def gate_ratios(results: dict) -> Dict[str, float]:
             * relay["line_4"]["hops"]
             / relay["line_1"]["messages_per_second"]
         )
+    relay_kernel = results.get("relay_kernel")
+    if relay_kernel and "speedup_median" in relay_kernel.get("kernel", {}):
+        ratios["relay_kernel_speedup"] = relay_kernel["kernel"][
+            "speedup_median"
+        ]
+    relay_stripe = results.get("relay_stripe")
+    if relay_stripe and relay_stripe["paths_2"]["ticks"] > 0:
+        # Protocol-time ratio (deterministic per seed) — see
+        # _bench_relay_stripe for why ticks, not wall clock.
+        ratios["relay_stripe_speedup"] = (
+            relay_stripe["paths_1"]["ticks"]
+            / relay_stripe["paths_2"]["ticks"]
+        )
     return ratios
 
 
@@ -876,6 +1039,8 @@ def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
     stabilization = _bench_stabilization(messages, runs, base_seed)
     kernel = _bench_kernel(kernel_messages, kernel_pairs, base_seed)
     relay = _bench_relay(relay_messages, base_seed)
+    relay_kernel = _bench_relay_kernel(relay_messages, base_seed)
+    relay_stripe = _bench_relay_stripe(relay_messages, base_seed)
     results = {
         "macro": macro,
         "memory": memory,
@@ -886,6 +1051,8 @@ def run_bench(quick: bool = False, base_seed: int = 0) -> dict:
         "stabilization": stabilization,
         "kernel": kernel,
         "relay": relay,
+        "relay_kernel": relay_kernel,
+        "relay_stripe": relay_stripe,
     }
     return {
         "schema": 1,
@@ -933,6 +1100,37 @@ def run_kernel_bench(quick: bool = False, base_seed: int = 0) -> dict:
         "config": {
             "kernel_messages": kernel_messages,
             "kernel_pairs": kernel_pairs,
+            "base_seed": base_seed,
+        },
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "results": results,
+        "ratios": gate_ratios(results),
+    }
+
+
+def run_relay_bench(quick: bool = False, base_seed: int = 0) -> dict:
+    """Run only the relay fabric legs (the CI fabric-differential job).
+
+    Covers hop efficiency, the kernel-vs-object engine ratio and the
+    striping protocol-time ratio; the reduced payload has the same
+    shape as :func:`run_bench`, so the absolute floors
+    (``relay_kernel_speedup >= 4.0``, ``relay_stripe_speedup >= 1.5``)
+    apply unchanged.
+    """
+    relay_messages = 40 if quick else 120
+    results = {
+        "relay": _bench_relay(relay_messages, base_seed),
+        "relay_kernel": _bench_relay_kernel(relay_messages, base_seed),
+        "relay_stripe": _bench_relay_stripe(relay_messages, base_seed),
+    }
+    return {
+        "schema": 1,
+        "quick": quick,
+        "config": {
+            "relay_messages": relay_messages,
             "base_seed": base_seed,
         },
         "host": {

@@ -225,14 +225,14 @@ def decode_report(wire: tuple) -> RunReport:
 # -- shared-memory shard results --------------------------------------------------
 
 #: struct format of one clean-run record: index, seed, completed, steps,
-#: duration, liveness_passed, trace_dropped_events, then the 21 fields of
-#: SimulationMetrics.to_wire (16 counters, wall/checker seconds, 3 more
+#: duration, liveness_passed, trace_dropped_events, then the 23 fields of
+#: SimulationMetrics.to_wire (16 counters, wall/checker seconds, 5 more
 #: counters), then (failures, trials) per safety condition.  Every int
 #: rides as an unsigned 64-bit ('Q'): seeds are 64-bit FNV hashes and all
 #: counters are non-negative.  Like :func:`encode_report`, the record
 #: omits ``attempts``/``worker_deaths`` — the parent stamps those during
 #: classification (:func:`_finalize`).
-_SHM_FIXED_FMT = "<QQBQdBQ" + "Q" * 16 + "dd" + "Q" * 3
+_SHM_FIXED_FMT = "<QQBQdBQ" + "Q" * 16 + "dd" + "Q" * 5
 
 #: Shard results from shared-memory-capable workers: a tagged tuple
 #: instead of the legacy list of wire tuples.
@@ -355,8 +355,8 @@ def _unpack_shard_result(result) -> List[RunReport]:
     try:
         for slot in range(count):
             values = record.unpack_from(segment.buf, slot * record.size)
-            metrics_wire = values[7:28]
-            pairs = values[28:]
+            metrics_wire = values[7:30]
+            pairs = values[30:]
             reports.append(
                 RunReport(
                     index=values[0],
@@ -823,6 +823,26 @@ class CampaignResult:
             return 0.0
         return sum(m.checker_seconds for m in timed) / wall
 
+    # -- relay drop accounting (zero on single-link campaigns) ---------------------
+
+    @property
+    def dropped_overflow(self) -> int:
+        """Pooled frames lost to full relay FIFOs across all data runs."""
+        return sum(
+            r.metrics.dropped_overflow
+            for r in self.data_reports
+            if r.metrics is not None
+        )
+
+    @property
+    def dropped_down(self) -> int:
+        """Pooled frames lost to link-down wires across all data runs."""
+        return sum(
+            r.metrics.dropped_down
+            for r in self.data_reports
+            if r.metrics is not None
+        )
+
     # -- stabilization aggregates (empty/zero when no run was corrupted) -----------
 
     @property
@@ -942,6 +962,13 @@ class CampaignResult:
                 title="stabilization (convergence over corrupted data runs)",
             )
             blocks += ["", stabilization]
+        if self.dropped_overflow or self.dropped_down:
+            drops = render_table(
+                ["dropped (overflow)", "dropped (link down)"],
+                [[self.dropped_overflow, self.dropped_down]],
+                title="relay drop accounting (pooled over data runs)",
+            )
+            blocks += ["", drops]
         if self._timed_metrics():
             wall_steps = (
                 f"{self.wall_steps_per_second:,.0f}"

@@ -62,6 +62,10 @@ class SimulationMetrics:
     wall_seconds: float = 0.0
     checker_seconds: float = 0.0
     events_recorded: int = 0
+    # Relay-fabric drop accounting (0 on single-link runs): frames lost
+    # to a full relay FIFO vs frames lost to a link-down wire.
+    dropped_overflow: int = 0
+    dropped_down: int = 0
 
     @property
     def per_message_packets(self) -> float:
@@ -139,6 +143,8 @@ class SimulationMetrics:
             self.events_recorded,
             self.corruptions_t,
             self.corruptions_r,
+            self.dropped_overflow,
+            self.dropped_down,
         )
 
     @classmethod
@@ -167,6 +173,8 @@ class SimulationMetrics:
             events_recorded=wire[18],
             corruptions_t=wire[19],
             corruptions_r=wire[20],
+            dropped_overflow=wire[21],
+            dropped_down=wire[22],
         )
 
 

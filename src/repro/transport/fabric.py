@@ -71,6 +71,7 @@ from repro.sim.simulator import SimulationResult, Simulator
 from repro.transport.network import (
     LinkState,
     Network,
+    disjoint_routes,
     line_network,
     mesh_network,
     ring_network,
@@ -150,6 +151,7 @@ class _LinkSimulator(Simulator):
         seed: int,
         epsilon: float,
         retry_every: int,
+        engine: str = "object",
     ) -> None:
         self.feed: Deque[bytes] = deque()
         self.delivered: Deque[bytes] = deque()
@@ -164,8 +166,17 @@ class _LinkSimulator(Simulator):
             max_steps=2 ** 62,
             enforce_fairness=False,
             retain="none",
+            engine=engine,
         )
         self._trace.subscribe(self._collect, types=(ReceiveMsg,))
+        # Kernel mode: a persistent flat-state executor owns this hop's
+        # state between bursts; the object graph goes stale until
+        # finalize_engine() syncs it back at the end of the fabric run.
+        self._hop: Optional["HopKernel"] = None
+        if engine == "kernel":
+            from repro.kernel.hop import HopKernel
+
+            self._hop = HopKernel(self)
 
     # -- fabric-facing API ----------------------------------------------------------
 
@@ -176,6 +187,10 @@ class _LinkSimulator(Simulator):
 
     def tick(self, steps: int) -> None:
         """Advance this hop by ``steps`` simulation steps."""
+        hop = self._hop
+        if hop is not None:
+            hop.tick(steps)
+            return
         if self._next_message is None and self.feed:
             self._advance_workload()
         for _ in range(steps):
@@ -184,6 +199,9 @@ class _LinkSimulator(Simulator):
     @property
     def active(self) -> bool:
         """Does this hop have any work an idle step could progress?"""
+        hop = self._hop
+        if hop is not None:
+            return hop.active
         return bool(
             self.feed
             or self._next_message is not None
@@ -192,17 +210,37 @@ class _LinkSimulator(Simulator):
         )
 
     def crash_transmitter_station(self) -> None:
-        self._crash_transmitter(None)
+        if self._hop is not None:
+            self._hop.crash_transmitter()
+        else:
+            self._crash_transmitter(None)
 
     def crash_receiver_station(self) -> None:
-        self._crash_receiver(None)
+        if self._hop is not None:
+            self._hop.crash_receiver()
+        else:
+            self._crash_receiver(None)
 
     def wipe_feed(self) -> int:
         """Amnesia for the origin node's outgoing queue on this hop."""
+        if self._hop is not None:
+            return self._hop.wipe_feed()
         wiped = len(self.feed) + (1 if self._next_message is not None else 0)
         self.feed.clear()
         self._next_message = None
         return wiped
+
+    def finalize_engine(self) -> None:
+        """Sync kernel-resident state back to the objects (no-op otherwise)."""
+        if self._hop is not None:
+            self._hop.finalize()
+
+    @property
+    def wire_dropped(self) -> int:
+        """Frames lost to link-down on this hop (live under either engine)."""
+        if self._hop is not None:
+            return self._hop.wire_dropped
+        return self.wire.dropped
 
     # -- Simulator overrides ---------------------------------------------------------
 
@@ -241,6 +279,8 @@ class FabricSpec:
     label: str = ""
     retain: str = "none"
     tail_size: int = 256
+    engine: str = "object"
+    paths: int = 1
 
     def __post_init__(self) -> None:
         if self.topology not in _TOPOLOGIES:
@@ -248,11 +288,15 @@ class FabricSpec:
                 f"topology must be one of {_TOPOLOGIES}, got {self.topology!r}"
             )
         for name in ("size", "steps_per_tick", "max_ticks", "queue_limit",
-                     "window", "rto", "retry_every"):
+                     "window", "rto", "retry_every", "paths"):
             if getattr(self, name) < 1:
                 raise ConfigurationError(f"{name} must be >= 1")
         if self.messages < 0:
             raise ConfigurationError("messages must be >= 0")
+        if self.engine not in ("object", "kernel"):
+            raise ConfigurationError(
+                f"engine must be 'object' or 'kernel', got {self.engine!r}"
+            )
 
     def build_network(self) -> Network:
         """The topology instance this spec runs over."""
@@ -303,16 +347,44 @@ class FabricRun:
         self.trace.subscribe(self.monitor.observe, types=self.monitor.observed_types)
 
         # One protocol instance per *directed* edge: TM at u, RM at v.
+        # ``_edge_state`` doubles each undirected LinkState under both
+        # orientations so hot-path up checks are one dict hit instead of
+        # Network.link's normalise-and-lookup.
         self.links: Dict[Tuple[object, object], _LinkSimulator] = {}
+        self._edge_state: Dict[Tuple[object, object], LinkState] = {}
         for a, b in self.network.graph.edges():
             state = self.network.link(a, b)
             for u, v in ((a, b), (b, a)):
+                self._edge_state[(u, v)] = state
                 self.links[(u, v)] = _LinkSimulator(
                     wire=_LinkAdversary(state),
                     seed=split_seed(seed, "fabric-link", repr(u), repr(v)),
                     epsilon=spec.epsilon,
                     retry_every=spec.retry_every,
+                    engine=spec.engine,
                 )
+
+        # Multi-path striping (Bunn–Ostrovsky): vertex-disjoint routes
+        # computed once on the full graph; data frames stripe round-robin
+        # by sequence number.  Vertex-disjointness means each relay is
+        # interior to at most one stripe, so relays infer their stripe
+        # from their own identity — no frame-format change.  paths=1 (or
+        # a topology with a single route) leaves behaviour bit-identical
+        # to the unstriped fabric.
+        self._stripes: Optional[List[List]] = None
+        self._stripe_next: Dict[object, object] = {}
+        if spec.paths > 1:
+            routes = disjoint_routes(
+                self.network.graph,
+                self.network.source,
+                self.network.destination,
+                spec.paths,
+            )
+            if len(routes) > 1:
+                self._stripes = routes
+                for route in routes:
+                    for i in range(1, len(route) - 1):
+                        self._stripe_next[route[i]] = route[i + 1]
 
         src, dst = self.network.source, self.network.destination
         self.queues: Dict[object, Deque[Tuple[bytes, int]]] = {
@@ -320,6 +392,13 @@ class FabricRun:
             for node in self.network.graph.nodes()
             if node not in (src, dst)
         }
+        # Delivery drain plan: (delivered deque, lands-at-destination,
+        # lands-at-source, relay queue or None) per directed hop, so the
+        # per-tick drain is one flat scan with no node comparisons.
+        self._drain_plan: List[Tuple[Deque[bytes], bool, bool, Optional[Deque]]] = [
+            (link.delivered, v == dst, v == src, self.queues.get(v))
+            for (u, v), link in self.links.items()
+        ]
 
         self._sort_events(events)
 
@@ -327,6 +406,7 @@ class FabricRun:
         self._next_seq = 0
         self._base = 0  # lowest unacknowledged sequence number
         self._sent_at: Dict[int, int] = {}
+        self._rto_guard = 0  # lower bound on min(_sent_at.values())
         # Destination endpoint: dedup + resequencer + cumulative acks.
         self._next_expected = 0
         self._reorder: Dict[int, bool] = {}
@@ -425,13 +505,20 @@ class FabricRun:
         return self._up_graph
 
     def _route_up(self, route: List) -> bool:
-        return all(self.network.link_up(a, b) for a, b in zip(route, route[1:]))
+        edge_state = self._edge_state
+        a = route[0]
+        for b in route[1:]:
+            if not edge_state[(a, b)].up:
+                return False
+            a = b
+        return True
 
     def _ensure_route(self) -> Optional[List]:
+        # A cached route is always up here: link state only changes in
+        # _apply_topology, which runs first in the tick and drops any
+        # route with a downed edge, so no per-frame re-verification.
         route = self._route
-        if route is None or not self._route_up(route):
-            if route is not None:
-                self.reroutes += 1
+        if route is None:
             try:
                 route = nx.shortest_path(
                     self._up(), self.network.source, self.network.destination
@@ -445,15 +532,12 @@ class FabricRun:
         """The next node for a frame at ``node``, or None while partitioned."""
         route = self._ensure_route()
         if route is not None and node in route:
+            # Route edges are up by construction (see _ensure_route).
             i = route.index(node)
             if toward_destination and i + 1 < len(route):
-                hop = route[i + 1]
-                if self.network.link_up(node, hop):
-                    return hop
+                return route[i + 1]
             elif not toward_destination and i > 0:
-                hop = route[i - 1]
-                if self.network.link_up(node, hop):
-                    return hop
+                return route[i - 1]
         # Off the main route (it changed underneath a queued frame): detour
         # along the shortest up path from here.
         target = (
@@ -471,12 +555,48 @@ class FabricRun:
     def _body(self, seq: int) -> bytes:
         return b"msg-%05d" % seq
 
+    def _stripe_hop(self, seq: int) -> Optional[object]:
+        """First hop for ``seq``'s stripe, falling back to dynamic routing."""
+        stripes = self._stripes
+        route = stripes[seq % len(stripes)]
+        src = self.network.source
+        first = route[1]
+        if self._edge_state[(src, first)].up:
+            return first
+        return self._next_hop(src, toward_destination=True)
+
     def _source_phase(self, tick: int) -> None:
         spec = self.spec
-        hop = self._next_hop(self.network.source, toward_destination=True)
+        src = self.network.source
+        if self._stripes is not None:
+            while (
+                self._next_seq < spec.messages
+                and self._next_seq - self._base < spec.window
+            ):
+                seq = self._next_seq
+                hop = self._stripe_hop(seq)
+                if hop is None:
+                    return  # partitioned at the source; retry next tick
+                self.trace.append(make_send_msg(self._body(seq)))
+                self.links[(src, hop)].push_frame(DATA, seq)
+                self._sent_at[seq] = tick
+                self._next_seq += 1
+            if tick - self._rto_guard >= spec.rto:
+                sent_at = self._sent_at
+                for seq in range(self._base, self._next_seq):
+                    if tick - sent_at[seq] >= spec.rto:
+                        hop = self._stripe_hop(seq)
+                        if hop is None:
+                            continue
+                        self.links[(src, hop)].push_frame(DATA, seq)
+                        sent_at[seq] = tick
+                        self.retransmits += 1
+                self._rto_guard = min(sent_at.values()) if sent_at else tick
+            return
+        hop = self._next_hop(src, toward_destination=True)
         if hop is None:
             return  # partitioned at the source; retry next tick
-        link = self.links[(self.network.source, hop)]
+        link = self.links[(src, hop)]
         while (
             self._next_seq < spec.messages
             and self._next_seq - self._base < spec.window
@@ -486,11 +606,16 @@ class FabricRun:
             link.push_frame(DATA, seq)
             self._sent_at[seq] = tick
             self._next_seq += 1
-        for seq in range(self._base, self._next_seq):
-            if tick - self._sent_at[seq] >= spec.rto:
-                link.push_frame(DATA, seq)
-                self._sent_at[seq] = tick
-                self.retransmits += 1
+        # The guard is a lower bound on min(sent_at): the scan only runs
+        # when some frame could actually be due for retransmission.
+        if tick - self._rto_guard >= spec.rto:
+            sent_at = self._sent_at
+            for seq in range(self._base, self._next_seq):
+                if tick - sent_at[seq] >= spec.rto:
+                    link.push_frame(DATA, seq)
+                    sent_at[seq] = tick
+                    self.retransmits += 1
+            self._rto_guard = min(sent_at.values()) if sent_at else tick
 
     def _source_ack(self, ack: int) -> None:
         """Cumulative acknowledgement: every seq ≤ ack is resolved."""
@@ -530,19 +655,18 @@ class FabricRun:
 
     def _drain_deliveries(self) -> bool:
         """Route every per-hop delivery to its node; True if data reached dst."""
-        src, dst = self.network.source, self.network.destination
         data_arrived = False
-        for (u, v), link in self.links.items():
-            while link.delivered:
-                kind, seq = _decode_frame(link.delivered.popleft())
-                if v == dst and kind == DATA:
+        queue_limit = self.spec.queue_limit
+        for delivered, at_dst, at_src, queue in self._drain_plan:
+            while delivered:
+                kind, seq = _decode_frame(delivered.popleft())
+                if at_dst and kind == DATA:
                     self._destination_data(seq)
                     data_arrived = True
-                elif v == src and kind == ACK:
+                elif at_src and kind == ACK:
                     self._source_ack(seq)
-                elif v in self.queues:
-                    queue = self.queues[v]
-                    if len(queue) >= self.spec.queue_limit:
+                elif queue is not None:
+                    if len(queue) >= queue_limit:
                         self.queue_drops += 1
                     else:
                         queue.append((kind, seq))
@@ -551,13 +675,20 @@ class FabricRun:
         return data_arrived
 
     def _forward_phase(self) -> None:
+        stripe_next = self._stripe_next if self._stripes is not None else None
         for node, queue in self.queues.items():
             if not queue:
                 continue
             kept: Deque[Tuple[bytes, int]] = deque()
             while queue:
                 kind, seq = queue.popleft()
-                hop = self._next_hop(node, toward_destination=kind == DATA)
+                hop = None
+                if stripe_next is not None and kind == DATA:
+                    nxt = stripe_next.get(node)
+                    if nxt is not None and self._edge_state[(node, nxt)].up:
+                        hop = nxt
+                if hop is None:
+                    hop = self._next_hop(node, toward_destination=kind == DATA)
                 if hop is None:
                     kept.append((kind, seq))
                 else:
@@ -571,6 +702,16 @@ class FabricRun:
         spec = self.spec
         started = perf_counter()
         ack_due = False
+        # Bind each hop's executor once: the kernel object itself when the
+        # spec asks for it, the link veneer otherwise.  Both expose the
+        # same ``active``/``tick(burst)`` surface; skipping the veneer's
+        # per-tick dispatch matters at eight calls per fabric tick.
+        drivers = [
+            link._hop if link._hop is not None else link
+            for link in self.links.values()
+        ]
+        kernel_mode = spec.engine == "kernel"
+        steps_per_tick = spec.steps_per_tick
         for tick in range(spec.max_ticks):
             if self._base >= spec.messages:
                 self.completed = True
@@ -578,9 +719,21 @@ class FabricRun:
             self.ticks = tick + 1
             self._apply_topology(tick)
             self._source_phase(tick)
-            for link in self.links.values():
-                if link.active:
-                    link.tick(spec.steps_per_tick)
+            if kernel_mode:
+                # Inlined HopKernel.active: plain attribute reads beat a
+                # property call at eight hops per fabric tick.
+                for driver in drivers:
+                    if (
+                        driver.wire_q
+                        or driver.t_busy
+                        or driver.feed
+                        or driver.next_message is not None
+                    ):
+                        driver.tick(steps_per_tick)
+            else:
+                for driver in drivers:
+                    if driver.active:
+                        driver.tick(steps_per_tick)
             if self._drain_deliveries():
                 ack_due = True
             if ack_due:
@@ -589,6 +742,12 @@ class FabricRun:
             self._forward_phase()
         else:
             self.completed = self._base >= spec.messages
+        # Kernel hops hold their state in flat slots; sync every hop's
+        # object graph before anything (metrics aggregation, tests) reads
+        # stations, channels or wire queues.  Counted inside the wall —
+        # it is part of the kernel engine's cost.
+        for link in self.links.values():
+            link.finalize_engine()
         wall = perf_counter() - started
         return self._outcome(wall)
 
@@ -614,6 +773,24 @@ class FabricRun:
     def verdict(self) -> str:
         """The end-to-end CLEAN/VIOLATED summary for the finished run."""
         return self.monitor.verdict(run_completed=self.completed)
+
+    @property
+    def dropped_overflow(self) -> int:
+        """Frames dropped because a relay's bounded FIFO was full."""
+        return self.queue_drops
+
+    @property
+    def dropped_down(self) -> int:
+        """Frames lost to link-down wires (announced while down or purged
+        in flight), summed over every directed hop."""
+        return sum(link.wire_dropped for link in self.links.values())
+
+    def drop_report(self) -> str:
+        """One-line drop accounting to accompany :meth:`verdict`."""
+        return (
+            f"dropped_overflow={self.dropped_overflow} "
+            f"dropped_down={self.dropped_down}"
+        )
 
     def _aggregate_metrics(self, wall_seconds: float) -> SimulationMetrics:
         packets_sent = packets_delivered = bits_sent = 0
@@ -660,4 +837,6 @@ class FabricRun:
             wall_seconds=wall_seconds,
             checker_seconds=0.0,
             events_recorded=self.trace.total_events,
+            dropped_overflow=self.dropped_overflow,
+            dropped_down=self.dropped_down,
         )

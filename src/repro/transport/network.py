@@ -23,7 +23,14 @@ import networkx as nx
 from repro.core.exceptions import ConfigurationError
 from repro.core.random_source import RandomSource
 
-__all__ = ["LinkState", "Network", "line_network", "ring_network", "mesh_network"]
+__all__ = [
+    "LinkState",
+    "Network",
+    "disjoint_routes",
+    "line_network",
+    "ring_network",
+    "mesh_network",
+]
 
 Edge = Tuple[object, object]
 
@@ -144,6 +151,38 @@ class Network:
             f"Network(nodes={self.graph.number_of_nodes()}, "
             f"edges={self.edge_count}, {self.source!r}->{self.destination!r})"
         )
+
+
+def disjoint_routes(graph: nx.Graph, source, destination, k: int) -> List[List]:
+    """Up to ``k`` vertex-disjoint source→destination routes.
+
+    Greedy shortest-first: repeatedly take a shortest path, then delete its
+    interior nodes (and, for a direct source–destination edge, the edge
+    itself) from a working copy, so later routes cannot share any relay
+    with earlier ones — the Bunn–Ostrovsky condition for running fully
+    independent protocol instances per route.  Deterministic for a given
+    graph (BFS order), shortest routes first, and degrades gracefully:
+    a line yields exactly one route, a ring two, a grid corner-to-corner
+    two (the corner degree caps it).  May return fewer than ``k`` routes;
+    never zero for a connected graph.
+    """
+    if k < 1:
+        raise ConfigurationError("k must be >= 1")
+    if source not in graph or destination not in graph:
+        raise ConfigurationError("source and destination must be graph nodes")
+    work = graph.copy()
+    routes: List[List] = []
+    while len(routes) < k:
+        try:
+            route = nx.shortest_path(work, source, destination)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            break
+        routes.append(route)
+        if len(route) == 2:
+            work.remove_edge(source, destination)
+        else:
+            work.remove_nodes_from(route[1:-1])
+    return routes
 
 
 def line_network(hops: int, **kwargs) -> Network:

@@ -213,3 +213,87 @@ class TestLiveCommand:
     def test_bad_rates_rejected(self):
         with pytest.raises(SystemExit):
             main(["live", "--drop", "1.5"])
+
+
+class TestSweepRelayCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep-relay"])
+        assert args.topologies == "line,ring,mesh"
+        assert args.fail_rates == "0,0.01,0.05,0.1"
+        assert args.runs == 10
+        assert args.engine == "kernel"
+        assert args.paths == 1
+
+    def test_small_sweep_prints_grid(self, capsys):
+        code = main([
+            "sweep-relay", "--topologies", "line", "--fail-rates", "0",
+            "--runs", "2", "--messages", "4", "--jobs", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "relay sweep" in out
+        assert "line-4" in out
+        assert "100.0%" in out
+
+    def test_markdown_output(self, capsys):
+        code = main([
+            "sweep-relay", "--topologies", "line", "--fail-rates", "0",
+            "--runs", "2", "--messages", "4", "--jobs", "1", "--markdown",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.lstrip().startswith("| topology |")
+
+
+class TestTopologyEngineOptions:
+    def test_campaign_engine_and_paths_parse(self):
+        args = build_parser().parse_args([
+            "campaign", "--topology", "ring", "--topology-size", "8",
+            "--engine", "kernel", "--paths", "2",
+        ])
+        assert args.engine == "kernel"
+        assert args.paths == 2
+
+    def test_kernel_striped_campaign_runs_clean(self, capsys):
+        code = main([
+            "campaign", "--topology", "ring", "--topology-size", "6",
+            "--engine", "kernel", "--paths", "2",
+            "--runs", "2", "--jobs", "1", "--messages", "6",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ok" in out
+
+
+class TestBenchQuickOutGuard:
+    def test_quick_does_not_clobber_full_baseline(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH.json"
+        # A committed full-run baseline (quick=false) with a ratio a
+        # quick re-record must not overwrite.
+        baseline = {"schema": 1, "quick": False,
+                    "ratios": {"relay_hop_efficiency": 1.23}}
+        out_path.write_text(json.dumps(baseline))
+        code = main([
+            "bench", "--only", "relay", "--quick", "--out", str(out_path),
+        ])
+        assert code == 0
+        assert "quick_smoke" in capsys.readouterr().out
+        merged = json.loads(out_path.read_text())
+        assert merged["quick"] is False
+        assert merged["ratios"] == {"relay_hop_efficiency": 1.23}
+        assert merged["quick_smoke"]["quick"] is True
+        assert "relay_kernel_speedup" in merged["quick_smoke"]["ratios"]
+
+    def test_quick_writes_fresh_file_directly(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "BENCH.json"
+        code = main([
+            "bench", "--only", "relay", "--quick", "--out", str(out_path),
+        ])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["quick"] is True
+        assert "quick_smoke" not in payload

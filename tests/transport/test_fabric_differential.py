@@ -1,0 +1,125 @@
+"""Differential pinning: the kernel hop engine vs the object engine.
+
+The fabric's ``engine="kernel"`` executor reimplements the per-hop
+protocol step loop over flat local state (with idle fast-forward); these
+tests pin it bit-for-bit against the object engine.  Every observable —
+the full event trace, the verdict string, the fabric diagnostics, the
+aggregated metrics wire and the liveness verdict — must be identical for
+the same spec at the same seed, across every topology shape and under
+scripted topology faults.  Any divergence is a kernel bug by definition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.faultplan import (
+    LinkDownWindow,
+    RelayCrashAt,
+    RouteFlapAt,
+)
+from repro.transport.fabric import FabricRun, FabricSpec
+
+SEEDS = (0, 1, 7, 42, 1234)
+
+TOPOLOGIES = (
+    ("line", 4),
+    ("ring", 6),
+    ("mesh", 3),
+)
+
+# Per-topology fault targets: an edge adjacent to the source and an
+# interior relay node (mesh nodes are (row, col) grid coordinates).
+_EDGE = {"line": (0, 1), "ring": (0, 1), "mesh": ((0, 0), (0, 1))}
+_RELAY = {"line": 1, "ring": 1, "mesh": (0, 1)}
+
+
+def _fingerprint(spec: FabricSpec, events, seed: int):
+    """Every observable of one fabric run, wall-clock terms excluded."""
+    run = FabricRun(spec, events, seed)
+    out = run.run()
+    metrics_wire = run._aggregate_metrics(1.0).to_wire()
+    return {
+        "trace": tuple(out.result.trace.events),
+        "verdict": run.verdict(),
+        "diagnostics": {
+            "ticks": run.ticks,
+            "completed": out.result.completed,
+            "reroutes": run.reroutes,
+            "queue_drops": run.queue_drops,
+            "dup_drops": run.dup_drops,
+            "retransmits": run.retransmits,
+            "misrouted": run.misrouted,
+            "dropped_overflow": run.dropped_overflow,
+            "dropped_down": run.dropped_down,
+        },
+        # Positions 16-17 carry wall seconds / checker overhead -- the
+        # only host-dependent fields in the wire tuple.
+        "metrics": metrics_wire[:16] + metrics_wire[18:],
+        "liveness": out.liveness_passed,
+    }
+
+
+def _assert_engines_match(topology: str, size: int, events=(), **overrides):
+    overrides.setdefault("messages", 12)
+    for seed in SEEDS:
+        prints = {}
+        for engine in ("object", "kernel"):
+            spec = FabricSpec(
+                topology=topology,
+                size=size,
+                retain="full",
+                engine=engine,
+                **overrides,
+            )
+            prints[engine] = _fingerprint(spec, events, seed)
+        assert prints["kernel"] == prints["object"], (
+            f"kernel/object divergence: topology={topology} seed={seed}"
+        )
+
+
+class TestCleanTopologies:
+    @pytest.mark.parametrize("topology,size", TOPOLOGIES)
+    def test_engines_identical(self, topology, size):
+        _assert_engines_match(topology, size)
+
+    @pytest.mark.parametrize("steps_per_tick", (2, 4, 8, 12))
+    def test_engines_identical_across_burst_sizes(self, steps_per_tick):
+        _assert_engines_match("line", 4, steps_per_tick=steps_per_tick)
+
+    def test_engines_identical_lossy_links(self):
+        _assert_engines_match("ring", 6, fail_rate=0.05)
+
+
+class TestFaultedTopologies:
+    @pytest.mark.parametrize("topology,size", TOPOLOGIES)
+    def test_link_down_window(self, topology, size):
+        events = (LinkDownWindow(start=5, end=25, link=_EDGE[topology]),)
+        _assert_engines_match(topology, size, events)
+
+    @pytest.mark.parametrize("topology,size", TOPOLOGIES)
+    def test_relay_crash(self, topology, size):
+        events = (RelayCrashAt(step=10, node=_RELAY[topology]),)
+        _assert_engines_match(topology, size, events)
+
+    @pytest.mark.parametrize("topology,size", TOPOLOGIES)
+    def test_route_flap(self, topology, size):
+        events = (RouteFlapAt(step=8),)
+        _assert_engines_match(topology, size, events)
+
+    def test_compound_fault_script(self):
+        events = (
+            LinkDownWindow(start=4, end=18, link=((0, 0), (0, 1))),
+            RouteFlapAt(step=6),
+            RelayCrashAt(step=22, node=(1, 1)),
+        )
+        _assert_engines_match("mesh", 3, events)
+
+
+class TestStripedDifferential:
+    def test_two_path_ring_engines_identical(self):
+        _assert_engines_match("ring", 6, paths=2)
+
+    def test_two_path_ring_under_link_faults(self):
+        events = (LinkDownWindow(start=5, end=30, link=(0, 1)),)
+        _assert_engines_match("ring", 6, events, paths=2)
